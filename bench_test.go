@@ -1,0 +1,255 @@
+// Benchmarks regenerating every table and figure of the reconstructed
+// evaluation (EXPERIMENTS.md). Each BenchmarkTableN / BenchmarkFigureN
+// runs the full deterministic experiment once per iteration and reports
+// its headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// both regenerates the results and tracks the cost of producing them.
+// cmd/evolve-bench renders the same tables and figures for reading.
+package evolve
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"evolve/internal/harness"
+)
+
+const benchSeed = 42
+
+func BenchmarkTable1Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, results, err := harness.Table1(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			ev := results["cloud/evolve"]
+			st := results["cloud/static-2x"]
+			b.ReportMetric(ev.OverallViolation()*100, "evolve-viol-%")
+			b.ReportMetric(st.OverallViolation()*100, "static2x-viol-%")
+			b.ReportMetric(ev.UsageOfAlloc, "evolve-usage/alloc")
+		}
+	}
+}
+
+func BenchmarkTable2MultiResource(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.Table2(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Scheduler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.Table3(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := harness.Table4()
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1Diurnal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Figure1(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fig.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2Tracking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Figure2(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fig.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3Step(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, stats, err := harness.Figure3(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fig.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range stats {
+				if s.Policy == "evolve" {
+					b.ReportMetric(s.SettleAfter.Seconds(), "evolve-settle-s")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFigure4Adaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Figure4(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fig.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5Converged(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Figure5(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fig.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := harness.Figure6()
+		if err := fig.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7Frontier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Figure7(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fig.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5CostEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.Table5(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8Failure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Figure8(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fig.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9StartupDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Figure9(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fig.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Figure10(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fig.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.Table6(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure11Bursts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Figure11(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fig.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro-benchmarks of the two hot control-plane paths.
+
+func BenchmarkControllerDecision(b *testing.B) {
+	// One Decide on a realistic observation; the Table 4 scale sweep
+	// lives in harness.MeasureDecisionLatency.
+	d := harness.MeasureDecisionLatency(1, b.N)
+	b.ReportMetric(float64(d.Nanoseconds()), "ns/decision")
+}
+
+func BenchmarkSimulatedClusterHour(b *testing.B) {
+	// Cost of simulating one virtual hour of the cloud mix under the
+	// full EVOLVE control loop.
+	sc := harness.BuildScenario(harness.MixCloud, benchSeed)
+	sc.Duration = time.Hour
+	pol := harness.StandardPolicies()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Run(sc, pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command evolve-bench regenerates every table and figure of the
+// reconstructed evaluation (see EXPERIMENTS.md): it runs the scenario
+// mixes under all policies, renders the ASCII tables and figure summaries
+// to stdout, and optionally writes the raw CSV data for plotting.
+//
+// Usage:
+//
+//	evolve-bench [-seed N] [-out DIR] [-only table1,figure3,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"evolve/internal/harness"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "scenario seed (every run is deterministic in it)")
+	out := flag.String("out", "", "directory for CSV dumps (omit to skip)")
+	only := flag.String("only", "", "comma-separated subset, e.g. table1,figure3")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, f := range strings.Split(*only, ",") {
+			want[strings.ToLower(strings.TrimSpace(f))] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	start := time.Now()
+	type tableFn struct {
+		id  string
+		run func() (*harness.Table, error)
+	}
+	tables := []tableFn{
+		{"table1", func() (*harness.Table, error) { t, _, err := harness.Table1(*seed); return t, err }},
+		{"table2", func() (*harness.Table, error) { return harness.Table2(*seed) }},
+		{"table3", func() (*harness.Table, error) { return harness.Table3(*seed) }},
+		{"table4", func() (*harness.Table, error) { return harness.Table4(), nil }},
+		{"table5", func() (*harness.Table, error) { return harness.Table5(*seed) }},
+		{"table6", func() (*harness.Table, error) { return harness.Table6(*seed) }},
+	}
+	for _, tf := range tables {
+		if !selected(tf.id) {
+			continue
+		}
+		tab, err := tf.run()
+		if err != nil {
+			fatal(err)
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		dumpCSV(*out, tf.id, tab.RenderCSV)
+	}
+
+	type figFn struct {
+		id  string
+		run func() (*harness.Figure, error)
+	}
+	figures := []figFn{
+		{"figure1", func() (*harness.Figure, error) { return harness.Figure1(*seed) }},
+		{"figure2", func() (*harness.Figure, error) { return harness.Figure2(*seed) }},
+		{"figure3", func() (*harness.Figure, error) { f, _, err := harness.Figure3(*seed); return f, err }},
+		{"figure4", func() (*harness.Figure, error) { return harness.Figure4(*seed) }},
+		{"figure5", func() (*harness.Figure, error) { return harness.Figure5(*seed) }},
+		{"figure6", func() (*harness.Figure, error) { return harness.Figure6(), nil }},
+		{"figure7", func() (*harness.Figure, error) { return harness.Figure7(*seed) }},
+		{"figure8", func() (*harness.Figure, error) { return harness.Figure8(*seed) }},
+		{"figure9", func() (*harness.Figure, error) { return harness.Figure9(*seed) }},
+		{"figure10", func() (*harness.Figure, error) { return harness.Figure10(*seed) }},
+		{"figure11", func() (*harness.Figure, error) { return harness.Figure11(*seed) }},
+	}
+	for _, ff := range figures {
+		if !selected(ff.id) {
+			continue
+		}
+		fig, err := ff.run()
+		if err != nil {
+			fatal(err)
+		}
+		if err := fig.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		dumpCSV(*out, ff.id, fig.RenderCSV)
+	}
+	fmt.Fprintf(os.Stderr, "evolve-bench: done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func dumpCSV(dir, id string, render func(w io.Writer) error) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := render(f); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "evolve-bench: wrote %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "evolve-bench:", err)
+	os.Exit(1)
+}

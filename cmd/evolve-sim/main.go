@@ -1,0 +1,143 @@
+// Command evolve-sim runs one converged-cluster scenario from flags and
+// prints the outcome report, optionally dumping telemetry series as CSV.
+//
+// Examples:
+//
+//	evolve-sim -policy evolve -nodes 5 -duration 2h
+//	evolve-sim -policy hpa -services web:300,kvstore:200 -hpc 4 -batch 3
+//	evolve-sim -config scenario.json -events
+//	evolve-sim -dump app/web/latency-mean -duration 1h > lat.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"evolve"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		nodes    = flag.Int("nodes", 5, "number of nodes")
+		policy   = flag.String("policy", "evolve", "resource policy: evolve, hpa, vpa, static, pid-cpu-only")
+		duration = flag.Duration("duration", 2*time.Hour, "virtual run time")
+		services = flag.String("services", "web:400,gateway:300,kvstore:200,inference:30",
+			"comma-separated archetype:baseRate service list (names default to the archetype)")
+		diurnal = flag.Bool("diurnal", true, "drive services with a diurnal cycle (0.5x..3x base); constant base rate otherwise")
+		batchN  = flag.Int("batch", 0, "number of TeraSort-like DAG jobs to stream in")
+		hpcN    = flag.Int("hpc", 0, "number of 4-rank HPC gang jobs to stream in")
+		dump    = flag.String("dump", "", "telemetry series to print as CSV after the run (e.g. app/web/latency-mean)")
+		list    = flag.Bool("list-series", false, "list telemetry series after the run")
+		events  = flag.Bool("events", false, "print the operational event journal after the run")
+		serve   = flag.String("serve", "", "after the run, serve /report, /series and /healthz on this address (e.g. :8080)")
+		config  = flag.String("config", "", "JSON scenario file (see evolve.FileConfig); overrides the workload flags")
+	)
+	flag.Parse()
+
+	if *config != "" {
+		f, err := os.Open(*config)
+		if err != nil {
+			fatal(err)
+		}
+		c, dur, err := evolve.NewFromConfig(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if dur == 0 {
+			dur = *duration
+		}
+		finish(c, dur, *list, *events, *dump, *serve)
+		return
+	}
+
+	c, err := evolve.New(evolve.Options{Seed: *seed, Nodes: *nodes, Policy: *policy})
+	if err != nil {
+		fatal(err)
+	}
+
+	idx := int64(0)
+	for _, item := range strings.Split(*services, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		parts := strings.SplitN(item, ":", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad service %q (want archetype:baseRate)", item))
+		}
+		base, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad base rate in %q: %v", item, err))
+		}
+		name := parts[0]
+		if err := c.AddService(evolve.ServiceOptions{Name: name, Archetype: parts[0], BaseRate: base}); err != nil {
+			fatal(err)
+		}
+		load := evolve.Constant(base)
+		if *diurnal {
+			load = evolve.Noisy(evolve.Diurnal(base*0.5, base*3, 2*time.Hour), 0.08, *seed+idx)
+		}
+		if err := c.SetLoad(name, load); err != nil {
+			fatal(err)
+		}
+		idx++
+	}
+	for i := 0; i < *batchN; i++ {
+		if err := c.SubmitBatchJob(evolve.BatchJobOptions{
+			Name: fmt.Sprintf("tsort-%d", i), Scale: 1.5,
+			SubmitAt: time.Duration(i+1) * 15 * time.Minute,
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	for i := 0; i < *hpcN; i++ {
+		if err := c.SubmitHPCJob(evolve.HPCJobOptions{
+			Name: fmt.Sprintf("mpi-%d", i), Ranks: 4,
+			SubmitAt: time.Duration(i+1) * 10 * time.Minute,
+		}); err != nil {
+			fatal(err)
+		}
+	}
+
+	finish(c, *duration, *list, *events, *dump, *serve)
+}
+
+// finish runs the cluster for dur and emits the requested outputs.
+func finish(c *evolve.Cluster, dur time.Duration, list, events bool, dump, serve string) {
+	if err := c.Run(dur); err != nil {
+		fatal(err)
+	}
+	fmt.Fprint(os.Stderr, c.Report())
+
+	if list {
+		for _, n := range c.SeriesNames() {
+			fmt.Println(n)
+		}
+	}
+	if events {
+		for _, e := range c.Events() {
+			fmt.Printf("%8.1fs %-16s %-24s %s\n", e.At.Seconds(), e.Kind, e.Object, e.Message)
+		}
+	}
+	if dump != "" {
+		if err := c.WriteSeriesCSV(dump, os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if serve != "" {
+		fmt.Fprintf(os.Stderr, "evolve-sim: serving results on %s\n", serve)
+		fatal(http.ListenAndServe(serve, c.Handler()))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "evolve-sim:", err)
+	os.Exit(1)
+}

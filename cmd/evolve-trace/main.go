@@ -1,0 +1,84 @@
+// Command evolve-trace generates, inspects and converts offered-load
+// traces. Traces are seconds,rate CSVs that evolve-sim-style runs can
+// replay; generating them standalone makes workload shapes inspectable
+// and shareable.
+//
+// Examples:
+//
+//	evolve-trace -pattern diurnal -base 300 -horizon 2h > web.csv
+//	evolve-trace -pattern flash -base 200 -horizon 1h -noise 0.1 > crowd.csv
+//	evolve-trace -inspect web.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"evolve/internal/workload"
+)
+
+func main() {
+	var (
+		pattern = flag.String("pattern", "diurnal", "shape: constant, diurnal, step, ramp, flash, mmpp")
+		base    = flag.Float64("base", 300, "base rate (ops/second)")
+		peakX   = flag.Float64("peak", 3, "peak multiplier for diurnal/step/ramp/flash")
+		horizon = flag.Duration("horizon", 2*time.Hour, "trace length")
+		step    = flag.Duration("step", 15*time.Second, "sampling interval")
+		noise   = flag.Float64("noise", 0, "multiplicative noise fraction (deterministic)")
+		seed    = flag.Int64("seed", 1, "noise/mmpp seed")
+		inspect = flag.String("inspect", "", "read a trace CSV and print summary instead of generating")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := workload.ReadCSV(f)
+		if err != nil {
+			fatal(err)
+		}
+		last := tr.Points[len(tr.Points)-1]
+		fmt.Printf("%s: %d points over %v, mean %.1f op/s, peak %.1f op/s\n",
+			*inspect, len(tr.Points), last.At, tr.Mean(), tr.Peak())
+		return
+	}
+
+	var p workload.Pattern
+	switch *pattern {
+	case "constant":
+		p = workload.Constant(*base)
+	case "diurnal":
+		p = workload.Diurnal{Trough: *base * 0.5, Peak: *base * *peakX, Period: *horizon}
+	case "step":
+		p = workload.Step{Before: *base, After: *base * *peakX, At: *horizon / 4}
+	case "ramp":
+		p = workload.Ramp{From: *base, To: *base * *peakX, Start: *horizon / 4, Length: *horizon / 2}
+	case "flash":
+		p = workload.FlashCrowd{Base: *base, Spike: *base * *peakX, Start: *horizon / 3, Length: *horizon / 10}
+	case "mmpp":
+		p = workload.NewMMPP(*base, *base**peakX, 10*time.Minute, 3*time.Minute, *seed)
+	default:
+		fatal(fmt.Errorf("unknown pattern %q", *pattern))
+	}
+	if *noise > 0 {
+		p = workload.Noisy{Inner: p, Frac: *noise, Seed: *seed}
+	}
+	if err := workload.Validate(p, *horizon); err != nil {
+		fatal(err)
+	}
+	tr := workload.Sample(p, *horizon, *step)
+	if err := tr.WriteCSV(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "evolve-trace: %d points, mean %.1f, peak %.1f\n", len(tr.Points), tr.Mean(), tr.Peak())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "evolve-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,554 @@
+// Package evolve is the public API of the EVOLVE resource-management
+// library: a converged big-data / HPC / cloud cluster substrate with a
+// multi-resource, adaptive, PID-based autoscaler that maps user-level
+// performance objectives (PLOs) to CPU, memory, disk-I/O and network
+// allocations.
+//
+// A Cluster is a deterministic discrete-event simulation of a Kubernetes-
+// style cluster. Deploy replicated services with performance objectives,
+// drive them with load patterns, submit big-data DAG jobs and rigid HPC
+// gangs, pick a resource-management policy, run virtual time forward and
+// read the outcome:
+//
+//	c, _ := evolve.New(evolve.Options{Seed: 1, Nodes: 5})
+//	_ = c.AddService(evolve.ServiceOptions{
+//	    Name: "web", Archetype: "web", BaseRate: 300,
+//	    LatencyObjective: 100 * time.Millisecond,
+//	})
+//	_ = c.SetLoad("web", evolve.Diurnal(150, 900, 2*time.Hour))
+//	_ = c.Run(2 * time.Hour)
+//	fmt.Println(c.Report())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reconstructed evaluation.
+package evolve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"evolve/internal/baseline"
+	"evolve/internal/batch"
+	"evolve/internal/cluster"
+	"evolve/internal/control"
+	"evolve/internal/core"
+	"evolve/internal/hpc"
+	"evolve/internal/perf"
+	"evolve/internal/plo"
+	"evolve/internal/resource"
+	"evolve/internal/sim"
+	"evolve/internal/workload"
+)
+
+// Options configures a Cluster.
+type Options struct {
+	// Seed drives all randomness; runs with the same seed and workload
+	// replay identically. Defaults to 1.
+	Seed int64
+	// Nodes is the cluster size (default 5).
+	Nodes int
+	// NodeShape is the per-node capacity as a resource string, e.g.
+	// "cpu=16 memory=64Gi diskio=1G netio=2G". Defaults to that shape.
+	NodeShape string
+	// ControlInterval is how often the policy runs (default 15s).
+	ControlInterval time.Duration
+	// Policy selects the resource manager: "evolve" (default), "hpa",
+	// "vpa", "static", or "pid-cpu-only".
+	Policy string
+	// Overprovision scales every service's initial allocation (static
+	// deployments usually carry a safety factor). Default 1.
+	Overprovision float64
+	// MeasurementNoise is the SLI jitter fraction (default 0.03).
+	MeasurementNoise float64
+	// HPCQueue selects the gang queue discipline: "backfill" (default),
+	// "easy" (backfill with head reservation) or "fcfs".
+	HPCQueue string
+	// Pools, when set, replaces the flat Nodes topology with labeled
+	// pools; workloads carrying a matching Pool option are confined to
+	// them. Nodes is ignored when Pools is non-empty.
+	Pools []PoolOptions
+}
+
+// PoolOptions declares one labeled node pool; its nodes carry the label
+// pool=<Name>.
+type PoolOptions struct {
+	Name  string
+	Nodes int
+}
+
+// ServiceOptions declares a replicated service.
+type ServiceOptions struct {
+	Name string
+	// Archetype picks the performance profile: "web" (CPU-bound),
+	// "gateway" (network-bound), "kvstore" (disk-bound, tail-latency
+	// objective) or "inference" (memory-heavy). Default "web".
+	Archetype string
+	// BaseRate is the sizing-point load in operations/second.
+	BaseRate float64
+	// Replicas is the initial replica count (default 2).
+	Replicas int
+	// LatencyObjective overrides the archetype's PLO with a mean-latency
+	// bound; ThroughputObjective with an ops/second floor. At most one.
+	LatencyObjective    time.Duration
+	ThroughputObjective float64
+	// StartupDelay is how long a new replica takes before serving
+	// (image pull + init + warmup). In-place vertical resizes are never
+	// delayed. Zero means instant.
+	StartupDelay time.Duration
+	// Pool, when set, confines replicas to nodes of that pool (see
+	// Options.Pools). Empty means any node.
+	Pool string
+}
+
+// BatchJobOptions declares a TeraSort-like DAG job (map → sort → reduce).
+type BatchJobOptions struct {
+	Name string
+	// Scale multiplies task counts (default 1 ⇒ 8 map + 4 sort + 4
+	// reduce tasks).
+	Scale float64
+	// SubmitAt is the virtual submission time.
+	SubmitAt time.Duration
+	// Pool, when set, confines the job's tasks to that pool.
+	Pool string
+}
+
+// HPCJobOptions declares a rigid gang job.
+type HPCJobOptions struct {
+	Name  string
+	Ranks int
+	// CPUSecondsPerRank is the per-rank work (default 420000 mc·s ≈ one
+	// minute at 7 cores).
+	CPUSecondsPerRank float64
+	// SubmitAt is the virtual submission time.
+	SubmitAt time.Duration
+	// Pool, when set, confines the ranks to that pool.
+	Pool string
+}
+
+// LoadFunc is an offered-load function over virtual time (ops/second).
+type LoadFunc func(at time.Duration) float64
+
+// Constant returns a flat load.
+func Constant(rate float64) LoadFunc {
+	return workload.Constant(rate).Rate
+}
+
+// Diurnal returns a day/night sinusoid between trough and peak.
+func Diurnal(trough, peak float64, period time.Duration) LoadFunc {
+	return workload.Diurnal{Trough: trough, Peak: peak, Period: period}.Rate
+}
+
+// Step jumps from before to after at the given time.
+func Step(before, after float64, at time.Duration) LoadFunc {
+	return workload.Step{Before: before, After: after, At: at}.Rate
+}
+
+// FlashCrowd spikes from base to spike during [start, start+length).
+func FlashCrowd(base, spike float64, start, length time.Duration) LoadFunc {
+	return workload.FlashCrowd{Base: base, Spike: spike, Start: start, Length: length}.Rate
+}
+
+// Noisy wraps a load function with deterministic multiplicative noise.
+func Noisy(inner LoadFunc, frac float64, seed int64) LoadFunc {
+	return workload.Noisy{Inner: workload.Func(inner), Frac: frac, Seed: seed}.Rate
+}
+
+// FromTraceCSV replays a seconds,rate trace (as written by evolve-trace
+// or WriteSeriesCSV-compatible tooling) as a load function with step
+// interpolation. The whole trace is read up front.
+func FromTraceCSV(r io.Reader) (LoadFunc, error) {
+	tr, err := workload.ReadCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Rate, nil
+}
+
+// Cluster is a simulated converged cluster plus its resource-management
+// control loop. Not safe for concurrent use.
+type Cluster struct {
+	opts    Options
+	eng     *sim.Engine
+	c       *cluster.Cluster
+	runner  *batch.Runner
+	queue   *hpc.Queue
+	ctrl    map[string]control.Controller
+	factory control.Factory
+	started bool
+}
+
+// New builds a cluster from options.
+func New(opts Options) (*Cluster, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Nodes <= 0 {
+		opts.Nodes = 5
+	}
+	if opts.NodeShape == "" {
+		opts.NodeShape = "cpu=16 memory=64Gi diskio=1G netio=2G"
+	}
+	if opts.ControlInterval <= 0 {
+		opts.ControlInterval = 15 * time.Second
+	}
+	if opts.Overprovision <= 0 {
+		opts.Overprovision = 1
+	}
+	shape, err := resource.ParseVector(opts.NodeShape)
+	if err != nil {
+		return nil, fmt.Errorf("evolve: node shape: %w", err)
+	}
+	factory, err := policyFactory(opts.Policy)
+	if err != nil {
+		return nil, err
+	}
+
+	eng := sim.NewEngine(opts.Seed)
+	ccfg := cluster.DefaultConfig()
+	if opts.MeasurementNoise > 0 {
+		ccfg.MeasurementNoise = opts.MeasurementNoise
+	}
+	c := cluster.New(eng, ccfg)
+	if len(opts.Pools) > 0 {
+		for _, pool := range opts.Pools {
+			if pool.Name == "" || pool.Nodes <= 0 {
+				return nil, fmt.Errorf("evolve: invalid pool %+v", pool)
+			}
+			for i := 0; i < pool.Nodes; i++ {
+				name := fmt.Sprintf("%s-%d", pool.Name, i)
+				if err := c.AddLabeledNode(name, shape, map[string]string{"pool": pool.Name}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	} else if err := c.AddNodes("node", opts.Nodes, shape); err != nil {
+		return nil, err
+	}
+	cl := &Cluster{
+		opts:    opts,
+		eng:     eng,
+		c:       c,
+		runner:  batch.NewRunner(c),
+		ctrl:    make(map[string]control.Controller),
+		factory: factory,
+	}
+	qp := hpc.Backfill
+	switch strings.ToLower(opts.HPCQueue) {
+	case "fcfs":
+		qp = hpc.FCFS
+	case "easy":
+		qp = hpc.EASY
+	}
+	cl.queue = hpc.NewQueue(c, qp)
+	return cl, nil
+}
+
+func policyFactory(name string) (control.Factory, error) {
+	switch strings.ToLower(name) {
+	case "", "evolve":
+		return core.Factory(core.DefaultConfig()), nil
+	case "hpa":
+		return baseline.HPAFactory(baseline.DefaultHPAConfig()), nil
+	case "vpa":
+		return baseline.VPAFactory(baseline.DefaultVPAConfig()), nil
+	case "static":
+		return baseline.StaticFactory(), nil
+	case "pid-cpu-only":
+		return core.SingleResourceFactory(), nil
+	default:
+		return nil, fmt.Errorf("evolve: unknown policy %q (want evolve, hpa, vpa, static or pid-cpu-only)", name)
+	}
+}
+
+// AddService deploys a replicated service sized for its base rate.
+func (cl *Cluster) AddService(o ServiceOptions) error {
+	if cl.started {
+		return fmt.Errorf("evolve: cannot add services after Run")
+	}
+	if o.Name == "" {
+		return fmt.Errorf("evolve: service needs a name")
+	}
+	if o.BaseRate <= 0 {
+		return fmt.Errorf("evolve: service %s needs a positive BaseRate", o.Name)
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	var arch workload.Archetype
+	switch strings.ToLower(o.Archetype) {
+	case "", "web":
+		arch = workload.Web
+	case "gateway":
+		arch = workload.Gateway
+	case "kvstore":
+		arch = workload.KVStore
+	case "inference":
+		arch = workload.Inference
+	default:
+		return fmt.Errorf("evolve: unknown archetype %q", o.Archetype)
+	}
+	spec := workload.Service(arch, o.Name, o.BaseRate, o.Replicas)
+	if o.LatencyObjective > 0 && o.ThroughputObjective > 0 {
+		return fmt.Errorf("evolve: service %s: set at most one objective", o.Name)
+	}
+	if o.LatencyObjective > 0 {
+		spec.PLO = plo.Latency(o.LatencyObjective)
+	}
+	if o.ThroughputObjective > 0 {
+		spec.PLO = plo.MinThroughput(o.ThroughputObjective)
+	}
+	if o.StartupDelay < 0 {
+		return fmt.Errorf("evolve: service %s: negative startup delay", o.Name)
+	}
+	spec.StartupDelay = o.StartupDelay
+	if o.Pool != "" {
+		spec.NodeSelector = map[string]string{"pool": o.Pool}
+	}
+	if cl.opts.Overprovision != 1 {
+		spec.InitialAlloc = spec.InitialAlloc.Scale(cl.opts.Overprovision).Min(spec.MaxAlloc)
+	}
+	if err := cl.c.CreateService(spec); err != nil {
+		return err
+	}
+	cl.ctrl[o.Name] = cl.factory(o.Name)
+	return nil
+}
+
+// SetLoad installs the offered-load function for a service.
+func (cl *Cluster) SetLoad(service string, fn LoadFunc) error {
+	if fn == nil {
+		return fmt.Errorf("evolve: nil load function")
+	}
+	return cl.c.SetLoadFunc(service, fn)
+}
+
+// SubmitBatchJob schedules a DAG job for submission at SubmitAt.
+func (cl *Cluster) SubmitBatchJob(o BatchJobOptions) error {
+	if o.Name == "" {
+		return fmt.Errorf("evolve: batch job needs a name")
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	job := batch.TeraSortLike(o.Name, o.Scale, 0)
+	if o.Pool != "" {
+		for i := range job.Stages {
+			job.Stages[i].NodeSelector = map[string]string{"pool": o.Pool}
+		}
+	}
+	cl.eng.At(o.SubmitAt, func() {
+		if err := cl.runner.Submit(job); err != nil {
+			panic(fmt.Sprintf("evolve: batch submit %s: %v", o.Name, err))
+		}
+	})
+	return nil
+}
+
+// SubmitHPCJob schedules a rigid gang job for submission at SubmitAt.
+func (cl *Cluster) SubmitHPCJob(o HPCJobOptions) error {
+	if o.Name == "" {
+		return fmt.Errorf("evolve: hpc job needs a name")
+	}
+	if o.Ranks <= 0 {
+		return fmt.Errorf("evolve: hpc job %s needs ranks", o.Name)
+	}
+	work := o.CPUSecondsPerRank
+	if work <= 0 {
+		work = 420000
+	}
+	job := hpc.JobSpec{
+		Name:    o.Name,
+		Ranks:   o.Ranks,
+		PerRank: resource.New(7000, 16<<30, 50e6, 200e6),
+		Model:   perf.TaskModel{Work: resource.New(work, 0, 5e9, 2e9), MemSet: 8 << 30},
+	}
+	if o.Pool != "" {
+		job.NodeSelector = map[string]string{"pool": o.Pool}
+	}
+	cl.eng.At(o.SubmitAt, func() {
+		if err := cl.queue.Submit(job); err != nil {
+			panic(fmt.Sprintf("evolve: hpc submit %s: %v", o.Name, err))
+		}
+	})
+	return nil
+}
+
+// Run advances virtual time by d, driving telemetry and the control loop.
+// It may be called repeatedly to run in stages.
+func (cl *Cluster) Run(d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("evolve: non-positive run duration")
+	}
+	if !cl.started {
+		cl.started = true
+		cl.c.Start()
+		lastRationale := make(map[string]string)
+		cl.eng.Every(cl.opts.ControlInterval, func() {
+			for _, name := range cl.c.Apps() {
+				obs, err := cl.c.Observe(name)
+				if err != nil {
+					panic(err)
+				}
+				ctrl := cl.ctrl[name]
+				d := ctrl.Decide(obs)
+				if err := cl.c.ApplyDecision(name, d); err != nil {
+					panic(err)
+				}
+				// Journal the controller's reasoning whenever it changes.
+				if ex, ok := ctrl.(control.Explainer); ok {
+					if r := ex.Rationale(); r != "" && r != lastRationale[name] {
+						lastRationale[name] = r
+						cl.c.RecordEvent("autoscale", name, r)
+					}
+				}
+			}
+		})
+	}
+	cl.eng.Run(cl.eng.Now() + d)
+	return nil
+}
+
+// Now returns the current virtual time.
+func (cl *Cluster) Now() time.Duration { return cl.eng.Now() }
+
+// ServiceReport summarises one service's outcome so far.
+type ServiceReport struct {
+	Name              string
+	Objective         string
+	ViolationFraction float64
+	MeanSLI           float64
+	Replicas          int
+	AllocPerReplica   string
+}
+
+// Report summarises the run so far.
+type Report struct {
+	Elapsed  time.Duration
+	Services []ServiceReport
+	// ClusterCPUAllocated/Used are fractions of allocatable capacity.
+	ClusterCPUAllocated float64
+	ClusterCPUUsed      float64
+	BatchJobsCompleted  uint64
+	HPCJobsCompleted    uint64
+	// HPCMeanWait is the mean queue time of completed rigid jobs.
+	HPCMeanWait time.Duration
+	Preemptions uint64
+}
+
+// String renders the report for terminals.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "after %v: cluster cpu allocated %.1f%%, used %.1f%%\n",
+		r.Elapsed, r.ClusterCPUAllocated*100, r.ClusterCPUUsed*100)
+	for _, s := range r.Services {
+		fmt.Fprintf(&b, "  service %-12s %-24s violations %.2f%%  mean SLI %.4f  replicas %d  alloc/replica %s\n",
+			s.Name, s.Objective, s.ViolationFraction*100, s.MeanSLI, s.Replicas, s.AllocPerReplica)
+	}
+	if r.BatchJobsCompleted > 0 || r.HPCJobsCompleted > 0 {
+		fmt.Fprintf(&b, "  batch jobs done %d, hpc jobs done %d, preemptions %d\n",
+			r.BatchJobsCompleted, r.HPCJobsCompleted, r.Preemptions)
+	}
+	return b.String()
+}
+
+// Report computes the summary over everything run so far.
+func (cl *Cluster) Report() Report {
+	met := cl.c.Metrics()
+	now := cl.eng.Now()
+	r := Report{Elapsed: now}
+	names := cl.c.Apps()
+	sort.Strings(names)
+	for _, name := range names {
+		tr, err := cl.c.Tracker(name)
+		if err != nil {
+			continue
+		}
+		app, err := cl.c.App(name)
+		if err != nil {
+			continue
+		}
+		sli := met.Series("app/" + name + "/sli").AllStats().Mean
+		r.Services = append(r.Services, ServiceReport{
+			Name:              name,
+			Objective:         tr.PLO().String(),
+			ViolationFraction: tr.ViolationFraction(),
+			MeanSLI:           sli,
+			Replicas:          app.DesiredReplicas,
+			AllocPerReplica:   app.Alloc.String(),
+		})
+	}
+	r.ClusterCPUAllocated = met.Series("cluster/allocated/cpu").TimeWeightedMean(0, now)
+	r.ClusterCPUUsed = met.Series("cluster/usage/cpu").TimeWeightedMean(0, now)
+	r.BatchJobsCompleted = met.Counter("batch/jobs-completed").Value()
+	r.HPCJobsCompleted = met.Counter("hpc/jobs-completed").Value()
+	if cl.queue != nil {
+		r.HPCMeanWait, _, _ = cl.queue.Stats()
+	}
+	r.Preemptions = met.Counter("sched/preemptions").Value()
+	return r
+}
+
+// Violations returns the PLO violation fraction for one service.
+func (cl *Cluster) Violations(service string) (float64, error) {
+	tr, err := cl.c.Tracker(service)
+	if err != nil {
+		return 0, err
+	}
+	return tr.ViolationFraction(), nil
+}
+
+// HPCStatus returns "queued", "running", "done" or "failed" for a
+// submitted HPC job.
+func (cl *Cluster) HPCStatus(job string) (string, error) { return cl.queue.Status(job) }
+
+// BatchDone reports whether a DAG job finished and its makespan.
+func (cl *Cluster) BatchDone(job string) (time.Duration, bool) { return cl.runner.Done(job) }
+
+// EventRecord is one entry of the cluster's operational journal.
+type EventRecord struct {
+	At      time.Duration
+	Kind    string
+	Object  string
+	Message string
+}
+
+// Events returns the operational journal oldest-first: placements,
+// evictions, preemptions, migrations, task completions, node failures.
+// The journal is bounded to the most recent ~2k events.
+func (cl *Cluster) Events() []EventRecord {
+	evs := cl.c.Events()
+	out := make([]EventRecord, len(evs))
+	for i, e := range evs {
+		out[i] = EventRecord{At: e.At, Kind: e.Kind, Object: e.Object, Message: e.Message}
+	}
+	return out
+}
+
+// SeriesNames lists the recorded telemetry series.
+func (cl *Cluster) SeriesNames() []string { return cl.c.Metrics().SeriesNames() }
+
+// WriteSeriesCSV dumps one telemetry series ("app/web/latency-mean",
+// "cluster/usage/cpu", …) as seconds,value CSV.
+func (cl *Cluster) WriteSeriesCSV(name string, w io.Writer) error {
+	if !cl.c.Metrics().HasSeries(name) {
+		return fmt.Errorf("evolve: unknown series %q (see SeriesNames)", name)
+	}
+	s := cl.c.Metrics().Series(name)
+	if _, err := fmt.Fprintln(w, "seconds,value"); err != nil {
+		return err
+	}
+	for _, p := range s.Samples() {
+		v := p.Value
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		if _, err := fmt.Fprintf(w, "%.3f,%g\n", p.At.Seconds(), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+// Converged worlds: one cluster simultaneously hosting latency-sensitive
+// cloud services, big-data analytics DAGs and rigid HPC gangs — the
+// scenario EVOLVE's title promises. Services run at high priority with
+// PLOs; analytics and HPC fill the troughs; the autoscaler keeps the
+// services inside their objectives while the batch layers absorb the
+// reclaimed capacity.
+//
+// Run with: go run ./examples/converged
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"evolve"
+)
+
+func main() {
+	c, err := evolve.New(evolve.Options{Seed: 33, Nodes: 6, HPCQueue: "backfill"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The cloud side: two services with different bottlenecks and
+	// opposite diurnal phases.
+	if err := c.AddService(evolve.ServiceOptions{
+		Name: "storefront", Archetype: "web", BaseRate: 400,
+		LatencyObjective: 100 * time.Millisecond,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.AddService(evolve.ServiceOptions{
+		Name: "catalog", Archetype: "kvstore", BaseRate: 250,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.SetLoad("storefront", evolve.Noisy(evolve.Diurnal(200, 1200, 2*time.Hour), 0.08, 1)); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.SetLoad("catalog", evolve.Noisy(evolve.Diurnal(125, 750, 100*time.Minute), 0.08, 2)); err != nil {
+		log.Fatal(err)
+	}
+
+	// The big-data side: an analytics DAG every 20 minutes.
+	for i := 0; i < 5; i++ {
+		if err := c.SubmitBatchJob(evolve.BatchJobOptions{
+			Name:     fmt.Sprintf("analytics-%d", i),
+			Scale:    1.5,
+			SubmitAt: time.Duration(i+1) * 20 * time.Minute,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The HPC side: rigid gangs of 2-6 ranks arriving every 12 minutes.
+	for i := 0; i < 8; i++ {
+		if err := c.SubmitHPCJob(evolve.HPCJobOptions{
+			Name:     fmt.Sprintf("simulation-%d", i),
+			Ranks:    2 + 2*(i%3),
+			SubmitAt: time.Duration(i+1) * 12 * time.Minute,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if err := c.Run(2 * time.Hour); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(c.Report())
+	fmt.Println("\nper-job outcomes:")
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("analytics-%d", i)
+		if makespan, done := c.BatchDone(name); done {
+			fmt.Printf("  %-14s makespan %v\n", name, makespan.Round(time.Second))
+		} else {
+			fmt.Printf("  %-14s still running\n", name)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("simulation-%d", i)
+		status, err := c.HPCStatus(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s %s\n", name, status)
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: deploy one latency-sensitive web service with a 100 ms
+// performance objective, drive it with a diurnal load that peaks at 3x
+// the sizing point, let the EVOLVE multi-resource autoscaler manage it,
+// and print the outcome.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"evolve"
+)
+
+func main() {
+	// A 5-node cluster, deterministic in its seed.
+	c, err := evolve.New(evolve.Options{Seed: 1, Nodes: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One CPU-bound web service: sized for 300 op/s, must keep mean
+	// latency under 100 ms whatever the load does.
+	if err := c.AddService(evolve.ServiceOptions{
+		Name:             "web",
+		Archetype:        "web",
+		BaseRate:         300,
+		LatencyObjective: 100 * time.Millisecond,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Load swings from 150 to 900 op/s over a 2-hour day/night cycle,
+	// with ±8% noise.
+	if err := c.SetLoad("web", evolve.Noisy(
+		evolve.Diurnal(150, 900, 2*time.Hour), 0.08, 7)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Run a full cycle of virtual time (finishes in well under a second
+	// of real time).
+	if err := c.Run(2 * time.Hour); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(c.Report())
+	v, _ := c.Violations("web")
+	fmt.Printf("\nthe objective was violated %.2f%% of the time across a 6x load swing\n", v*100)
+}

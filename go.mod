@@ -1,0 +1,3 @@
+module evolve
+
+go 1.22

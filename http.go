@@ -1,0 +1,59 @@
+package evolve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// Handler returns an http.Handler exposing the cluster's state — the
+// observability surface an operator points a dashboard at:
+//
+//	GET /healthz            liveness probe
+//	GET /report             the Report as JSON
+//	GET /series             recorded telemetry series names as JSON
+//	GET /series/<name>      one series as seconds,value CSV
+//
+// The handler reads the simulation's state; serve it between Run calls
+// (the Cluster is not safe for concurrent mutation while serving).
+func (cl *Cluster) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if _, err := w.Write([]byte("ok\n")); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cl.Report()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/series", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(cl.SeriesNames()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(cl.Events()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/series/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/series/")
+		if name == "" {
+			http.Error(w, "series name required", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		if err := cl.WriteSeriesCSV(name, w); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,127 @@
+package evolve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newServedCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := New(Options{Seed: 17, Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddService(ServiceOptions{Name: "svc", BaseRate: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetLoad("svc", Constant(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	srv := httptest.NewServer(newServedCluster(t).Handler())
+	defer srv.Close()
+	code, body, _ := get(t, srv, "/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+}
+
+func TestHTTPReport(t *testing.T) {
+	srv := httptest.NewServer(newServedCluster(t).Handler())
+	defer srv.Close()
+	code, body, ctype := get(t, srv, "/report")
+	if code != http.StatusOK || !strings.Contains(ctype, "application/json") {
+		t.Fatalf("report = %d %s", code, ctype)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("bad json: %v\n%s", err, body)
+	}
+	if len(rep.Services) != 1 || rep.Services[0].Name != "svc" {
+		t.Errorf("report: %+v", rep)
+	}
+}
+
+func TestHTTPSeriesListAndFetch(t *testing.T) {
+	srv := httptest.NewServer(newServedCluster(t).Handler())
+	defer srv.Close()
+	code, body, _ := get(t, srv, "/series")
+	if code != http.StatusOK {
+		t.Fatalf("series list = %d", code)
+	}
+	var names []string
+	if err := json.Unmarshal([]byte(body), &names); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("no series")
+	}
+	code, csv, ctype := get(t, srv, "/series/app/svc/latency-mean")
+	if code != http.StatusOK || !strings.Contains(ctype, "text/csv") {
+		t.Fatalf("series fetch = %d %s", code, ctype)
+	}
+	if !strings.HasPrefix(csv, "seconds,value\n") {
+		t.Errorf("csv body:\n%s", csv[:60])
+	}
+}
+
+func TestHTTPEvents(t *testing.T) {
+	srv := httptest.NewServer(newServedCluster(t).Handler())
+	defer srv.Close()
+	code, body, ctype := get(t, srv, "/events")
+	if code != http.StatusOK || !strings.Contains(ctype, "application/json") {
+		t.Fatalf("events = %d %s", code, ctype)
+	}
+	var evs []EventRecord
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("no events over a 10-minute run")
+	}
+	seen := false
+	for _, e := range evs {
+		if e.Kind == "pod-scheduled" {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("missing pod-scheduled events")
+	}
+}
+
+func TestHTTPSeriesErrors(t *testing.T) {
+	srv := httptest.NewServer(newServedCluster(t).Handler())
+	defer srv.Close()
+	if code, _, _ := get(t, srv, "/series/"); code != http.StatusBadRequest {
+		t.Errorf("empty name = %d", code)
+	}
+	if code, _, _ := get(t, srv, "/series/not/a/series"); code != http.StatusNotFound {
+		t.Errorf("unknown series = %d", code)
+	}
+}

@@ -1,0 +1,221 @@
+// Package baseline implements the comparison policies the EVOLVE
+// controller is evaluated against: the Kubernetes-style static allocation
+// (user-overprovisioned requests, no autoscaling), a threshold horizontal
+// pod autoscaler (HPA) on CPU utilisation, and a percentile-based vertical
+// pod autoscaler (VPA). Each implements control.Controller so the harness
+// can swap them freely.
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"evolve/internal/control"
+	"evolve/internal/resource"
+)
+
+// Static never changes anything: the user's initial requests stand, as in
+// a stock Kubernetes deployment without autoscaling. The overprovision
+// factor is applied by the harness when building the spec, not here.
+type Static struct{}
+
+// StaticFactory returns a control.Factory for the static policy.
+func StaticFactory() control.Factory {
+	return func(string) control.Controller { return Static{} }
+}
+
+// Name implements control.Controller.
+func (Static) Name() string { return "k8s-static" }
+
+// Decide implements control.Controller.
+func (Static) Decide(obs control.Observation) control.Decision { return control.Hold(obs) }
+
+// HPAConfig parameterises the threshold horizontal autoscaler.
+type HPAConfig struct {
+	// TargetUtil is the CPU utilisation setpoint (default 0.6, as a
+	// typical HPA configuration).
+	TargetUtil float64
+	// Tolerance suppresses changes when the ratio is within ±Tolerance
+	// of 1 (default 0.1, the Kubernetes default).
+	Tolerance float64
+	// StabilizationWindow is how many recent desired-counts the
+	// scale-down path takes the maximum over (default 6 — with 15s
+	// control periods this approximates the 5-minute k8s default
+	// loosely at experiment time scales).
+	StabilizationWindow int
+}
+
+// DefaultHPAConfig mirrors a stock HPA setup.
+func DefaultHPAConfig() HPAConfig {
+	return HPAConfig{TargetUtil: 0.6, Tolerance: 0.1, StabilizationWindow: 6}
+}
+
+// HPA is the Kubernetes horizontal pod autoscaler algorithm: desired =
+// ceil(current * utilisation/target) on CPU, with tolerance and a
+// scale-down stabilisation window. Allocation per replica never changes —
+// exactly the single-resource, horizontal-only behaviour the paper's
+// controller improves on.
+type HPA struct {
+	cfg    HPAConfig
+	recent []int
+}
+
+// NewHPA builds an HPA controller.
+func NewHPA(cfg HPAConfig) *HPA {
+	if cfg.TargetUtil <= 0 || cfg.TargetUtil > 1 {
+		cfg.TargetUtil = 0.6
+	}
+	if cfg.Tolerance < 0 {
+		cfg.Tolerance = 0.1
+	}
+	if cfg.StabilizationWindow <= 0 {
+		cfg.StabilizationWindow = 6
+	}
+	return &HPA{cfg: cfg}
+}
+
+// HPAFactory returns a control.Factory for the HPA policy.
+func HPAFactory(cfg HPAConfig) control.Factory {
+	return func(string) control.Controller { return NewHPA(cfg) }
+}
+
+// Name implements control.Controller.
+func (h *HPA) Name() string { return "hpa" }
+
+// Decide implements control.Controller.
+func (h *HPA) Decide(obs control.Observation) control.Decision {
+	d := control.Hold(obs)
+	if obs.ReadyReplicas == 0 || obs.Interval <= 0 {
+		return d
+	}
+	util := obs.Utilisation[resource.CPU]
+	ratio := util / h.cfg.TargetUtil
+	desired := obs.Replicas
+	if math.Abs(ratio-1) > h.cfg.Tolerance {
+		desired = int(math.Ceil(float64(obs.ReadyReplicas) * ratio))
+		if desired < 1 {
+			desired = 1
+		}
+	}
+	// Scale-down stabilisation: never go below the max desired count
+	// seen in the recent window.
+	h.recent = append(h.recent, desired)
+	if len(h.recent) > h.cfg.StabilizationWindow {
+		h.recent = h.recent[1:]
+	}
+	if desired < obs.Replicas {
+		for _, r := range h.recent {
+			if r > desired {
+				desired = r
+			}
+		}
+		if desired > obs.Replicas {
+			desired = obs.Replicas
+		}
+	}
+	d.Replicas = desired
+	return obs.Limits.Clamp(d)
+}
+
+// VPAConfig parameterises the percentile vertical autoscaler.
+type VPAConfig struct {
+	// Percentile of the usage history used as the recommendation base
+	// (default 0.95).
+	Percentile float64
+	// Margin inflates the recommendation (default 1.15).
+	Margin float64
+	// History is the number of samples kept (default 48).
+	History int
+	// MinChange suppresses updates smaller than this fraction (default
+	// 0.1): real VPAs avoid restart churn.
+	MinChange float64
+}
+
+// DefaultVPAConfig mirrors a stock VPA recommender.
+func DefaultVPAConfig() VPAConfig {
+	return VPAConfig{Percentile: 0.95, Margin: 1.15, History: 48, MinChange: 0.1}
+}
+
+// VPA recommends per-replica allocations from a usage-history percentile,
+// the strategy of the Kubernetes vertical pod autoscaler. Replica count
+// never changes. Reactive by construction: it follows usage, so it only
+// ever sees demand the current (possibly throttling) allocation admitted.
+type VPA struct {
+	cfg  VPAConfig
+	hist [resource.NumKinds][]float64
+}
+
+// NewVPA builds a VPA controller.
+func NewVPA(cfg VPAConfig) *VPA {
+	if cfg.Percentile <= 0 || cfg.Percentile > 1 {
+		cfg.Percentile = 0.95
+	}
+	if cfg.Margin < 1 {
+		cfg.Margin = 1.15
+	}
+	if cfg.History <= 0 {
+		cfg.History = 48
+	}
+	if cfg.MinChange < 0 {
+		cfg.MinChange = 0.1
+	}
+	return &VPA{cfg: cfg}
+}
+
+// VPAFactory returns a control.Factory for the VPA policy.
+func VPAFactory(cfg VPAConfig) control.Factory {
+	return func(string) control.Controller { return NewVPA(cfg) }
+}
+
+// Name implements control.Controller.
+func (v *VPA) Name() string { return "vpa" }
+
+// Decide implements control.Controller.
+func (v *VPA) Decide(obs control.Observation) control.Decision {
+	d := control.Hold(obs)
+	if obs.Interval <= 0 || obs.ReadyReplicas == 0 {
+		return d
+	}
+	for _, k := range resource.Kinds() {
+		v.hist[k] = append(v.hist[k], obs.Usage[k])
+		if len(v.hist[k]) > v.cfg.History {
+			v.hist[k] = v.hist[k][1:]
+		}
+	}
+	if len(v.hist[resource.CPU]) < 3 {
+		return d
+	}
+	var rec resource.Vector
+	for _, k := range resource.Kinds() {
+		rec[k] = percentile(v.hist[k], v.cfg.Percentile) * v.cfg.Margin
+	}
+	// Suppress small changes.
+	change := 0.0
+	for _, k := range resource.Kinds() {
+		if obs.Alloc[k] > 0 {
+			if c := math.Abs(rec[k]-obs.Alloc[k]) / obs.Alloc[k]; c > change {
+				change = c
+			}
+		}
+	}
+	if change < v.cfg.MinChange {
+		return d
+	}
+	d.Alloc = rec
+	return obs.Limits.Clamp(d)
+}
+
+func percentile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	rank := p * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,309 @@
+// Package batch is the big-data substrate: DAG-structured analytics jobs
+// (stages of parallel tasks with dependency barriers, à la Spark) executed
+// on the simulated cluster. The runner submits stage tasks as low-priority
+// pods, retries tasks killed by preemption or node failure, and tracks
+// per-job makespan — the metrics the converged-cluster experiments report.
+package batch
+
+import (
+	"fmt"
+	"time"
+
+	"evolve/internal/cluster"
+	"evolve/internal/perf"
+	"evolve/internal/resource"
+)
+
+// Stage is one layer of a DAG job: Tasks parallel tasks, all with the
+// same shape, runnable once every dependency stage has finished.
+type Stage struct {
+	Name      string
+	Tasks     int
+	Model     perf.TaskModel
+	Requests  resource.Vector
+	DependsOn []string
+	// NodeSelector restricts the stage's tasks to labeled nodes.
+	NodeSelector map[string]string
+}
+
+// JobSpec declares a DAG job.
+type JobSpec struct {
+	Name     string
+	Stages   []Stage
+	Priority int // pod priority; batch work usually runs below services
+	// MaxRetries bounds per-task retries after evictions (default 3).
+	MaxRetries int
+}
+
+// Validate checks the DAG: unique stage names, existing dependencies,
+// acyclicity, positive task counts.
+func (j JobSpec) Validate() error {
+	if j.Name == "" {
+		return fmt.Errorf("batch: job needs a name")
+	}
+	if len(j.Stages) == 0 {
+		return fmt.Errorf("batch: job %s has no stages", j.Name)
+	}
+	byName := make(map[string]*Stage, len(j.Stages))
+	for i := range j.Stages {
+		s := &j.Stages[i]
+		if s.Name == "" {
+			return fmt.Errorf("batch: job %s: stage %d needs a name", j.Name, i)
+		}
+		if _, dup := byName[s.Name]; dup {
+			return fmt.Errorf("batch: job %s: duplicate stage %s", j.Name, s.Name)
+		}
+		if s.Tasks <= 0 {
+			return fmt.Errorf("batch: job %s: stage %s has %d tasks", j.Name, s.Name, s.Tasks)
+		}
+		if s.Requests.IsZero() {
+			return fmt.Errorf("batch: job %s: stage %s has zero requests", j.Name, s.Name)
+		}
+		byName[s.Name] = s
+	}
+	// Cycle check via DFS colouring.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make(map[string]int, len(j.Stages))
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch colour[name] {
+		case grey:
+			return fmt.Errorf("batch: job %s: dependency cycle through %s", j.Name, name)
+		case black:
+			return nil
+		}
+		colour[name] = grey
+		for _, dep := range byName[name].DependsOn {
+			if _, ok := byName[dep]; !ok {
+				return fmt.Errorf("batch: job %s: stage %s depends on unknown %s", j.Name, name, dep)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		colour[name] = black
+		return nil
+	}
+	for name := range byName {
+		if err := visit(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stageState tracks one stage's progress.
+type stageState struct {
+	spec      *Stage
+	launched  bool
+	remaining int
+	retries   map[string]int
+}
+
+// jobState tracks one job's progress.
+type jobState struct {
+	spec        JobSpec
+	stages      map[string]*stageState
+	submittedAt time.Duration
+	finishedAt  time.Duration
+	done        bool
+}
+
+// Runner executes DAG jobs on a cluster.
+type Runner struct {
+	c       *cluster.Cluster
+	jobs    map[string]*jobState
+	onDone  func(job string, makespan time.Duration)
+	taskSeq uint64
+}
+
+// NewRunner returns a runner bound to the cluster.
+func NewRunner(c *cluster.Cluster) *Runner {
+	return &Runner{c: c, jobs: make(map[string]*jobState)}
+}
+
+// OnJobDone installs a completion callback.
+func (r *Runner) OnJobDone(fn func(job string, makespan time.Duration)) { r.onDone = fn }
+
+// Submit validates and starts a job: all dependency-free stages launch
+// immediately (their tasks queue in the cluster's pending set).
+func (r *Runner) Submit(spec JobSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if _, ok := r.jobs[spec.Name]; ok {
+		return fmt.Errorf("batch: job %s already submitted", spec.Name)
+	}
+	if spec.MaxRetries <= 0 {
+		spec.MaxRetries = 3
+	}
+	js := &jobState{
+		spec:        spec,
+		stages:      make(map[string]*stageState, len(spec.Stages)),
+		submittedAt: r.c.Engine().Now(),
+	}
+	for i := range spec.Stages {
+		s := &spec.Stages[i]
+		js.stages[s.Name] = &stageState{spec: s, remaining: s.Tasks, retries: make(map[string]int)}
+	}
+	r.jobs[spec.Name] = js
+	r.launchReady(js)
+	return nil
+}
+
+// launchReady submits tasks for every stage whose dependencies finished.
+func (r *Runner) launchReady(js *jobState) {
+	for _, stage := range js.spec.Stages {
+		st := js.stages[stage.Name]
+		if st.launched {
+			continue
+		}
+		ready := true
+		for _, dep := range stage.DependsOn {
+			if js.stages[dep].remaining > 0 {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		st.launched = true
+		for i := 0; i < stage.Tasks; i++ {
+			r.submitTask(js, st, i)
+		}
+	}
+}
+
+func (r *Runner) submitTask(js *jobState, st *stageState, idx int) {
+	r.taskSeq++
+	name := fmt.Sprintf("%s-%s-%d-r%d", js.spec.Name, st.spec.Name, idx, r.taskSeq)
+	taskKey := fmt.Sprintf("%s-%d", st.spec.Name, idx)
+	spec := cluster.TaskSpec{
+		Name:         name,
+		Job:          js.spec.Name,
+		Model:        st.spec.Model,
+		Requests:     st.spec.Requests,
+		Priority:     js.spec.Priority,
+		NodeSelector: st.spec.NodeSelector,
+		OnDone: func(_ string, failed bool) {
+			r.taskDone(js, st, taskKey, idx, failed)
+		},
+	}
+	if err := r.c.SubmitTask(spec); err != nil {
+		panic(fmt.Sprintf("batch: task submit: %v", err))
+	}
+}
+
+func (r *Runner) taskDone(js *jobState, st *stageState, taskKey string, idx int, failed bool) {
+	if failed {
+		st.retries[taskKey]++
+		if st.retries[taskKey] > js.spec.MaxRetries {
+			// Give up on the task; count the stage as progressing so the
+			// job cannot hang forever, but record the abandonment.
+			r.c.Metrics().Counter("batch/tasks-abandoned").Inc()
+		} else {
+			r.c.Metrics().Counter("batch/task-retries").Inc()
+			r.submitTask(js, st, idx)
+			return
+		}
+	}
+	st.remaining--
+	if st.remaining > 0 {
+		return
+	}
+	// Stage complete: unlock dependants, maybe the whole job.
+	r.launchReady(js)
+	for _, s := range js.stages {
+		if s.remaining > 0 {
+			return
+		}
+	}
+	if js.done {
+		return
+	}
+	js.done = true
+	js.finishedAt = r.c.Engine().Now()
+	r.c.Metrics().Counter("batch/jobs-completed").Inc()
+	makespan := js.finishedAt - js.submittedAt
+	r.c.Metrics().Series("batch/makespan").Add(js.finishedAt, makespan.Seconds())
+	if r.onDone != nil {
+		r.onDone(js.spec.Name, makespan)
+	}
+}
+
+// Done reports whether the job finished, and its makespan when it has.
+func (r *Runner) Done(job string) (time.Duration, bool) {
+	js, ok := r.jobs[job]
+	if !ok || !js.done {
+		return 0, false
+	}
+	return js.finishedAt - js.submittedAt, true
+}
+
+// Pending returns the number of unfinished jobs.
+func (r *Runner) Pending() int {
+	n := 0
+	for _, js := range r.jobs {
+		if !js.done {
+			n++
+		}
+	}
+	return n
+}
+
+// TeraSortLike returns a canonical 3-stage DAG (map → shuffle/sort →
+// reduce) sized by a scale factor; the examples and mixes use it as the
+// representative analytics job.
+func TeraSortLike(name string, scale float64, priority int) JobSpec {
+	if scale <= 0 {
+		scale = 1
+	}
+	mapTasks := int(8 * scale)
+	if mapTasks < 1 {
+		mapTasks = 1
+	}
+	reduceTasks := int(4 * scale)
+	if reduceTasks < 1 {
+		reduceTasks = 1
+	}
+	return JobSpec{
+		Name:     name,
+		Priority: priority,
+		Stages: []Stage{
+			{
+				Name:  "map",
+				Tasks: mapTasks,
+				Model: perf.TaskModel{
+					Work:   resource.New(30000, 0, 2e9, 200e6), // CPU+disk heavy
+					MemSet: 1 << 30,
+				},
+				Requests: resource.New(2000, 2<<30, 80e6, 20e6),
+			},
+			{
+				Name:      "sort",
+				Tasks:     reduceTasks,
+				DependsOn: []string{"map"},
+				Model: perf.TaskModel{
+					Work:   resource.New(20000, 0, 4e9, 1e9), // shuffle: net+disk
+					MemSet: 3 << 30,
+				},
+				Requests: resource.New(1500, 4<<30, 120e6, 80e6),
+			},
+			{
+				Name:      "reduce",
+				Tasks:     reduceTasks,
+				DependsOn: []string{"sort"},
+				Model: perf.TaskModel{
+					Work:   resource.New(15000, 0, 1e9, 100e6),
+					MemSet: 2 << 30,
+				},
+				Requests: resource.New(1000, 3<<30, 60e6, 20e6),
+			},
+		},
+	}
+}

@@ -1,0 +1,228 @@
+package batch
+
+import (
+	"testing"
+	"time"
+
+	"evolve/internal/cluster"
+	"evolve/internal/perf"
+	"evolve/internal/resource"
+	"evolve/internal/sim"
+)
+
+func newCluster(t *testing.T, nodes int) *cluster.Cluster {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cfg := cluster.DefaultConfig()
+	cfg.MeasurementNoise = 0
+	c := cluster.New(eng, cfg)
+	if err := c.AddNodes("n", nodes, resource.New(16000, 64<<30, 1e9, 2e9)); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	return c
+}
+
+func tinyJob(name string) JobSpec {
+	task := perf.TaskModel{Work: resource.New(10000, 0, 0, 0), MemSet: 1 << 30}
+	req := resource.New(2000, 2<<30, 10e6, 10e6) // 10000 mc·s / 2000m = 5s
+	return JobSpec{
+		Name: name,
+		Stages: []Stage{
+			{Name: "a", Tasks: 2, Model: task, Requests: req},
+			{Name: "b", Tasks: 1, Model: task, Requests: req, DependsOn: []string{"a"}},
+		},
+	}
+}
+
+func TestValidateDAG(t *testing.T) {
+	good := tinyJob("j")
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid job rejected: %v", err)
+	}
+	cases := []func(*JobSpec){
+		func(j *JobSpec) { j.Name = "" },
+		func(j *JobSpec) { j.Stages = nil },
+		func(j *JobSpec) { j.Stages[0].Name = "" },
+		func(j *JobSpec) { j.Stages[1].Name = "a" },
+		func(j *JobSpec) { j.Stages[0].Tasks = 0 },
+		func(j *JobSpec) { j.Stages[0].Requests = resource.Vector{} },
+		func(j *JobSpec) { j.Stages[1].DependsOn = []string{"zzz"} },
+		func(j *JobSpec) { // cycle a->b->a
+			j.Stages[0].DependsOn = []string{"b"}
+		},
+	}
+	for i, mutate := range cases {
+		j := tinyJob("j")
+		mutate(&j)
+		if err := j.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	// Self-cycle.
+	self := JobSpec{Name: "s", Stages: []Stage{{Name: "a", Tasks: 1, Requests: resource.New(1, 1, 1, 1), DependsOn: []string{"a"}}}}
+	if err := self.Validate(); err == nil {
+		t.Error("self-cycle should fail")
+	}
+}
+
+func TestJobRunsStagesInOrder(t *testing.T) {
+	c := newCluster(t, 2)
+	r := NewRunner(c)
+	var doneJob string
+	var makespan time.Duration
+	r.OnJobDone(func(job string, m time.Duration) { doneJob, makespan = job, m })
+
+	if err := r.Submit(tinyJob("j1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(tinyJob("j1")); err == nil {
+		t.Error("duplicate job should fail")
+	}
+	if r.Pending() != 1 {
+		t.Errorf("Pending = %d", r.Pending())
+	}
+	// Stage a: 2 tasks of 5s (placed on first tick at 5s, finish 10s);
+	// stage b launches then, finishes ~20s.
+	c.Engine().Run(time.Minute)
+	if doneJob != "j1" {
+		t.Fatal("job did not complete")
+	}
+	if m, ok := r.Done("j1"); !ok || m != makespan {
+		t.Errorf("Done = %v, %v", m, ok)
+	}
+	if makespan <= 10*time.Second || makespan > 40*time.Second {
+		t.Errorf("makespan = %v, want ≈15-25s", makespan)
+	}
+	if r.Pending() != 0 {
+		t.Errorf("Pending after completion = %d", r.Pending())
+	}
+	if c.Metrics().Counter("batch/jobs-completed").Value() != 1 {
+		t.Error("completion counter wrong")
+	}
+	if _, ok := r.Done("unknown"); ok {
+		t.Error("unknown job should not be done")
+	}
+}
+
+func TestStageBarrier(t *testing.T) {
+	c := newCluster(t, 4)
+	r := NewRunner(c)
+	if err := r.Submit(tinyJob("j")); err != nil {
+		t.Fatal(err)
+	}
+	// After the first tick both stage-a tasks run, but no stage-b pod may
+	// exist yet.
+	c.Engine().Run(6 * time.Second)
+	for _, p := range c.Pods() {
+		if p.App == "j" && p.Task != nil && p.Phase == cluster.Running {
+			if name := p.Name; len(name) > 4 && name[2] == 'b' {
+				t.Errorf("stage b pod %s running before barrier", name)
+			}
+		}
+	}
+	bCount := 0
+	for _, p := range c.Pods() {
+		if p.App == "j" && stageOf(p.Name) == "b" {
+			bCount++
+		}
+	}
+	if bCount != 0 {
+		t.Error("stage b launched before stage a finished")
+	}
+}
+
+// stageOf extracts the stage from "job-stage-idx-rN" pod names.
+func stageOf(podName string) string {
+	// names look like j-a-0-r1
+	parts := []rune(podName)
+	_ = parts
+	var fields []string
+	start := 0
+	for i, r := range podName {
+		if r == '-' {
+			fields = append(fields, podName[start:i])
+			start = i + 1
+		}
+	}
+	fields = append(fields, podName[start:])
+	if len(fields) >= 2 {
+		return fields[1]
+	}
+	return ""
+}
+
+func TestTaskRetryAfterNodeFailure(t *testing.T) {
+	c := newCluster(t, 2)
+	r := NewRunner(c)
+	job := tinyJob("j")
+	job.Stages = job.Stages[:1] // single stage, 2 tasks
+	if err := r.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+	c.Engine().Run(6 * time.Second) // tasks placed and running
+	// Kill one node: its task fails and must be resubmitted.
+	var victim string
+	for _, p := range c.Pods() {
+		if p.Phase == cluster.Running {
+			victim = p.Node
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no running task found")
+	}
+	if err := c.FailNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	c.Engine().Run(time.Minute)
+	if _, ok := r.Done("j"); !ok {
+		t.Fatal("job should complete despite node failure")
+	}
+	if c.Metrics().Counter("batch/task-retries").Value() == 0 {
+		t.Error("retry not counted")
+	}
+}
+
+func TestTeraSortLikeValid(t *testing.T) {
+	j := TeraSortLike("ts", 1, 0)
+	if err := j.Validate(); err != nil {
+		t.Fatalf("TeraSortLike invalid: %v", err)
+	}
+	if len(j.Stages) != 3 {
+		t.Errorf("stages = %d", len(j.Stages))
+	}
+	// Scale shrinks/grows task counts but never below 1.
+	small := TeraSortLike("s", 0.01, 0)
+	for _, st := range small.Stages {
+		if st.Tasks < 1 {
+			t.Errorf("stage %s has %d tasks", st.Name, st.Tasks)
+		}
+	}
+	big := TeraSortLike("b", 4, 0)
+	if big.Stages[0].Tasks != 32 {
+		t.Errorf("scaled map tasks = %d, want 32", big.Stages[0].Tasks)
+	}
+	if TeraSortLike("z", -1, 0).Stages[0].Tasks != 8 {
+		t.Error("non-positive scale should default to 1")
+	}
+}
+
+func TestTeraSortRunsEndToEnd(t *testing.T) {
+	c := newCluster(t, 6)
+	r := NewRunner(c)
+	if err := r.Submit(TeraSortLike("ts", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	c.Engine().Run(30 * time.Minute)
+	m, ok := r.Done("ts")
+	if !ok {
+		t.Fatal("terasort did not finish in 30 virtual minutes")
+	}
+	if m <= 0 {
+		t.Errorf("makespan = %v", m)
+	}
+	if c.Metrics().Series("batch/makespan").Len() != 1 {
+		t.Error("makespan series missing")
+	}
+}

@@ -1,0 +1,455 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"evolve/internal/metrics"
+	"evolve/internal/plo"
+	"evolve/internal/registry"
+	"evolve/internal/resource"
+	"evolve/internal/sched"
+	"evolve/internal/sim"
+)
+
+// Config parameterises the cluster substrate.
+type Config struct {
+	// MetricsInterval is the telemetry/actuation tick (default 5s).
+	MetricsInterval time.Duration
+	// Interference enables node-level contention slowdowns.
+	Interference bool
+	// SchedulerPolicy selects the placement policy.
+	SchedulerPolicy sched.Policy
+	// MeasurementNoise adds multiplicative jitter to SLI measurements
+	// (fraction, e.g. 0.05); real telemetry is never clean.
+	MeasurementNoise float64
+}
+
+// DefaultConfig returns the standard experiment configuration.
+func DefaultConfig() Config {
+	return Config{
+		MetricsInterval:  5 * time.Second,
+		Interference:     true,
+		SchedulerPolicy:  sched.PolicySpread,
+		MeasurementNoise: 0.03,
+	}
+}
+
+// appState is the cluster-internal bookkeeping for one service.
+type appState struct {
+	obj    *AppObject
+	loadFn func(now time.Duration) float64
+
+	tracker *plo.Tracker
+
+	// Rolling aggregates since the last Observe call.
+	winSLI        []float64
+	winMean       []float64
+	winP99        []float64
+	winThroughput []float64
+	winOffered    []float64
+	winUsage      []resource.Vector
+	winUtil       []resource.Vector
+	winSaturated  bool
+
+	lastObserve time.Duration
+	migrateDebt int // consecutive ticks with throttled resize
+}
+
+// Cluster is the simulated substrate. Not safe for concurrent use; all
+// access happens on the simulation goroutine.
+type Cluster struct {
+	eng   *sim.Engine
+	rng   *sim.RNG
+	store *registry.Store
+	met   *metrics.Registry
+	cfg   Config
+	sch   *sched.Scheduler
+
+	nodes map[string]*NodeObject
+	pods  map[string]*PodObject
+	apps  map[string]*appState
+
+	podSeq  uint64
+	started bool
+	events  eventLog
+}
+
+// New builds a cluster on the given engine.
+func New(eng *sim.Engine, cfg Config) *Cluster {
+	if cfg.MetricsInterval <= 0 {
+		cfg.MetricsInterval = 5 * time.Second
+	}
+	return &Cluster{
+		eng:   eng,
+		rng:   eng.RNG().Fork(),
+		store: registry.NewStore(),
+		met:   metrics.NewRegistry(),
+		cfg:   cfg,
+		sch:   sched.New(cfg.SchedulerPolicy),
+		nodes: make(map[string]*NodeObject),
+		pods:  make(map[string]*PodObject),
+		apps:  make(map[string]*appState),
+	}
+}
+
+// Engine returns the simulation engine.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Store returns the object registry.
+func (c *Cluster) Store() *registry.Store { return c.store }
+
+// Metrics returns the metrics registry.
+func (c *Cluster) Metrics() *metrics.Registry { return c.met }
+
+// Config returns the active configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// now is shorthand for the current virtual time.
+func (c *Cluster) now() time.Duration { return c.eng.Now() }
+
+// AddNode registers a node; 6% of capacity is reserved for the system,
+// mirroring kubelet reservations.
+func (c *Cluster) AddNode(name string, capacity resource.Vector) error {
+	return c.AddLabeledNode(name, capacity, nil)
+}
+
+// AddLabeledNode registers a node carrying operator labels ("pool=hpc")
+// that pod node-selectors can match against.
+func (c *Cluster) AddLabeledNode(name string, capacity resource.Vector, labels map[string]string) error {
+	if _, ok := c.nodes[name]; ok {
+		return fmt.Errorf("cluster: node %s already exists", name)
+	}
+	if !capacity.NonNegative() || capacity.IsZero() {
+		return fmt.Errorf("cluster: node %s has invalid capacity %v", name, capacity)
+	}
+	n := &NodeObject{
+		Meta:        registry.Meta{Kind: KindNode, Name: name, Labels: copyLabels(labels)},
+		Capacity:    capacity,
+		Allocatable: capacity.Scale(0.94),
+		Ready:       true,
+	}
+	if err := c.store.Create(n); err != nil {
+		return err
+	}
+	c.nodes[name] = n
+	return nil
+}
+
+func copyLabels(labels map[string]string) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(labels))
+	for k, v := range labels {
+		out[k] = v
+	}
+	return out
+}
+
+// AddNodes registers count identical nodes named prefix-0..count-1.
+func (c *Cluster) AddNodes(prefix string, count int, capacity resource.Vector) error {
+	for i := 0; i < count; i++ {
+		if err := c.AddNode(fmt.Sprintf("%s-%d", prefix, i), capacity); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Nodes returns all nodes sorted by name.
+func (c *Cluster) Nodes() []*NodeObject {
+	names := make([]string, 0, len(c.nodes))
+	for n := range c.nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*NodeObject, len(names))
+	for i, n := range names {
+		out[i] = c.nodes[n]
+	}
+	return out
+}
+
+// Capacity returns the summed allocatable capacity of ready nodes.
+func (c *Cluster) Capacity() resource.Vector {
+	var total resource.Vector
+	for _, n := range c.Nodes() {
+		if n.Ready {
+			total = total.Add(n.Allocatable)
+		}
+	}
+	return total
+}
+
+// largestNodeAllocatable returns the component-wise maximum allocatable
+// vector over ready nodes — the biggest pod shape that can possibly be
+// hosted. ok is false when no node is ready.
+func (c *Cluster) largestNodeAllocatable() (resource.Vector, bool) {
+	var biggest resource.Vector
+	any := false
+	for _, n := range c.nodes {
+		if !n.Ready {
+			continue
+		}
+		biggest = biggest.Max(n.Allocatable)
+		any = true
+	}
+	return biggest, any
+}
+
+// NodeInfos returns the scheduler's view of the ready nodes — public so
+// queueing layers (e.g. EASY backfill reservations) can reason about
+// placement hypothetically without mutating anything.
+func (c *Cluster) NodeInfos() []sched.NodeInfo { return c.nodeInfos() }
+
+// Scheduler returns the cluster's placement engine for hypothetical
+// queries (Schedule/ScheduleGang on snapshots never mutate state).
+func (c *Cluster) Scheduler() *sched.Scheduler { return c.sch }
+
+// nodeInfos snapshots ready nodes for the scheduler, sorted by name.
+func (c *Cluster) nodeInfos() []sched.NodeInfo {
+	nodes := c.Nodes()
+	infos := make([]sched.NodeInfo, 0, len(nodes))
+	for _, n := range nodes {
+		if !n.Ready {
+			continue
+		}
+		info := sched.NodeInfo{
+			Name:        n.Name,
+			Allocatable: n.Allocatable,
+			Allocated:   n.Allocated,
+			Labels:      n.Meta.Labels,
+		}
+		for _, p := range c.podsOnNode(n.Name) {
+			info.Pods = append(info.Pods, sched.PodInfo{
+				Name: p.Name, App: p.App, Requests: p.Requests, Priority: p.Priority,
+			})
+		}
+		infos = append(infos, info)
+	}
+	return infos
+}
+
+func (c *Cluster) podsOnNode(node string) []*PodObject {
+	var out []*PodObject
+	for _, name := range c.sortedPodNames() {
+		p := c.pods[name]
+		if p.Node == node && (p.Phase == Running || p.Phase == Pending) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (c *Cluster) sortedPodNames() []string {
+	names := make([]string, 0, len(c.pods))
+	for n := range c.pods {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Pods returns all live pods sorted by name.
+func (c *Cluster) Pods() []*PodObject {
+	var out []*PodObject
+	for _, n := range c.sortedPodNames() {
+		out = append(out, c.pods[n])
+	}
+	return out
+}
+
+// PendingPods returns pods awaiting placement, sorted by priority
+// (descending) then creation time then name.
+func (c *Cluster) PendingPods() []*PodObject {
+	var out []*PodObject
+	for _, n := range c.sortedPodNames() {
+		if p := c.pods[n]; p.Phase == Pending {
+			out = append(out, p)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		if out[i].CreatedAt != out[j].CreatedAt {
+			return out[i].CreatedAt < out[j].CreatedAt
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Start arms the periodic telemetry/actuation tick. Call once after the
+// initial topology is in place.
+func (c *Cluster) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.eng.Every(c.cfg.MetricsInterval, c.tick)
+}
+
+// bind grants a pod to a node and updates accounting.
+func (c *Cluster) bind(p *PodObject, nodeName string) error {
+	n, ok := c.nodes[nodeName]
+	if !ok || !n.Ready {
+		return fmt.Errorf("cluster: bind %s to unknown/unready node %s", p.Name, nodeName)
+	}
+	p.Node = nodeName
+	p.Phase = Running
+	p.BoundAt = c.now()
+	p.ReadyAt = c.now()
+	if !p.IsTask() {
+		if st, ok := c.apps[p.App]; ok {
+			p.ReadyAt = c.now() + st.obj.Spec.StartupDelay
+		}
+	}
+	n.Allocated = n.Allocated.Add(p.Requests)
+	c.met.Counter("sched/binds").Inc()
+	c.recordEvent("pod-scheduled", p.Name, "bound to %s (%s)", nodeName, p.Requests)
+	c.mustUpdate(p)
+	c.mustUpdate(n)
+	if p.IsTask() {
+		c.armTaskCompletion(p)
+	}
+	return nil
+}
+
+// release frees a pod's node allocation (if bound).
+func (c *Cluster) release(p *PodObject) {
+	if p.Node == "" {
+		return
+	}
+	if n, ok := c.nodes[p.Node]; ok {
+		n.Allocated = snapDust(n.Allocated.Sub(p.Requests).ClampMin(0))
+		c.mustUpdate(n)
+	}
+	p.Node = ""
+}
+
+// snapDust zeroes float residue left by repeated add/sub cycles; real
+// allocations are never below a millicore or a kilobyte, so anything
+// under 1e-3 is arithmetic dust.
+func snapDust(v resource.Vector) resource.Vector {
+	for i := range v {
+		if v[i] < 1e-3 {
+			v[i] = 0
+		}
+	}
+	return v
+}
+
+// deletePod removes a pod entirely.
+func (c *Cluster) deletePod(p *PodObject) {
+	c.release(p)
+	delete(c.pods, p.Name)
+	_ = c.store.Delete(KindPod, p.Name)
+}
+
+// evict returns a running pod to the pending queue (service replica) or
+// fails it (task); used by preemption and node failure.
+func (c *Cluster) evict(p *PodObject, reason string) {
+	c.release(p)
+	if p.IsTask() {
+		p.Phase = Failed
+		c.mustUpdate(p)
+		done := p.Task.OnDone
+		name := p.Name
+		delete(c.pods, p.Name)
+		_ = c.store.Delete(KindPod, p.Name)
+		c.met.Counter("evictions/" + reason).Inc()
+		c.recordEvent("task-killed", name, "task failed (%s)", reason)
+		if done != nil {
+			done(name, true)
+		}
+		return
+	}
+	p.Phase = Pending
+	p.Usage = resource.Vector{}
+	c.met.Counter("evictions/" + reason).Inc()
+	c.recordEvent("pod-evicted", p.Name, "back to pending queue (%s)", reason)
+	c.mustUpdate(p)
+}
+
+// schedulePending attempts placement of every pending pod; pods that do
+// not fit stay pending (retried next tick). High-priority pods may
+// preempt strictly lower-priority ones when no node fits.
+func (c *Cluster) schedulePending() {
+	for _, p := range c.PendingPods() {
+		info := sched.PodInfo{Name: p.Name, App: p.App, Requests: p.Requests, Priority: p.Priority, NodeSelector: p.NodeSelector}
+		nodeName, err := c.sch.Schedule(info, c.nodeInfos())
+		if err == nil {
+			if err := c.bind(p, nodeName); err != nil {
+				panic(fmt.Sprintf("cluster: bind after successful schedule: %v", err))
+			}
+			continue
+		}
+		c.met.Counter("sched/unschedulable").Inc()
+		if p.Priority <= 0 {
+			continue
+		}
+		if plan := c.sch.Preempt(info, c.nodeInfos()); plan != nil {
+			for _, victim := range plan.Victims {
+				if vp, ok := c.pods[victim]; ok {
+					c.evict(vp, "preempted")
+				}
+			}
+			c.met.Counter("sched/preemptions").Inc()
+			c.recordEvent("preemption", p.Name, "evicted %v on %s", plan.Victims, plan.Node)
+			if err := c.bind(p, plan.Node); err != nil {
+				panic(fmt.Sprintf("cluster: bind after preemption: %v", err))
+			}
+		}
+	}
+}
+
+// FailNode marks a node unready and evicts its pods; service replicas
+// return to the pending queue, tasks fail.
+func (c *Cluster) FailNode(name string) error {
+	n, ok := c.nodes[name]
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %s", name)
+	}
+	if !n.Ready {
+		return nil
+	}
+	n.Ready = false
+	for _, p := range c.podsOnNode(name) {
+		c.evict(p, "node-failure")
+	}
+	n.Allocated = resource.Vector{}
+	n.Usage = resource.Vector{}
+	c.mustUpdate(n)
+	c.met.Counter("nodes/failures").Inc()
+	c.recordEvent("node-failed", name, "node marked unready; pods evicted")
+	return nil
+}
+
+// RestoreNode brings a failed node back.
+func (c *Cluster) RestoreNode(name string) error {
+	n, ok := c.nodes[name]
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %s", name)
+	}
+	if n.Ready {
+		return nil
+	}
+	n.Ready = true
+	c.mustUpdate(n)
+	c.recordEvent("node-restored", name, "node ready again")
+	return nil
+}
+
+func (c *Cluster) mustUpdate(obj registry.Object) {
+	if err := c.store.Update(obj); err != nil {
+		panic(fmt.Sprintf("cluster: registry update: %v", err))
+	}
+}
+
+func (c *Cluster) nextPodName(prefix string) string {
+	c.podSeq++
+	return fmt.Sprintf("%s-%d", prefix, c.podSeq)
+}

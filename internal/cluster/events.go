@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// Event is one line of the cluster's operational journal — the
+// "kubectl get events" analogue. Events record the control plane's
+// actions (placements, evictions, migrations, failures), not telemetry.
+type Event struct {
+	At      time.Duration
+	Kind    string // e.g. "pod-scheduled", "pod-evicted", "node-failed"
+	Object  string // the pod or node concerned
+	Message string
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("%8.1fs %-16s %-24s %s", e.At.Seconds(), e.Kind, e.Object, e.Message)
+}
+
+// eventLog is a fixed-capacity ring; old events are dropped once full.
+type eventLog struct {
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+const eventLogCapacity = 2048
+
+func (l *eventLog) add(e Event) {
+	if l.buf == nil {
+		l.buf = make([]Event, eventLogCapacity)
+	}
+	if l.wrapped {
+		l.dropped++
+	}
+	l.buf[l.next] = e
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.wrapped = true
+	}
+}
+
+// snapshot returns events oldest-first.
+func (l *eventLog) snapshot() []Event {
+	if l.buf == nil {
+		return nil
+	}
+	if !l.wrapped {
+		out := make([]Event, l.next)
+		copy(out, l.buf[:l.next])
+		return out
+	}
+	out := make([]Event, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// recordEvent appends to the journal.
+func (c *Cluster) recordEvent(kind, object, format string, args ...interface{}) {
+	c.events.add(Event{
+		At:      c.now(),
+		Kind:    kind,
+		Object:  object,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// RecordEvent lets control-plane components outside the cluster (the
+// autoscaler driver, experiment hooks) write to the same journal.
+func (c *Cluster) RecordEvent(kind, object, message string) {
+	c.recordEvent(kind, object, "%s", message)
+}
+
+// Events returns the journal oldest-first (bounded: the last ~2k events).
+func (c *Cluster) Events() []Event { return c.events.snapshot() }
+
+// EventsDropped reports how many old events the ring has discarded.
+func (c *Cluster) EventsDropped() uint64 { return c.events.dropped }

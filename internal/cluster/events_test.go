@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventLogRecordsLifecycle(t *testing.T) {
+	c := newTestCluster(t, 2)
+	if err := c.CreateService(testService("web")); err != nil {
+		t.Fatal(err)
+	}
+	c.SchedulePendingNow()
+	task := testTask("t1", 2000, 10000) // 5s at 2000m
+	if err := c.SubmitTask(task); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.Engine().Run(30 * time.Second)
+	if err := c.FailNode("node-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestoreNode("node-1"); err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[string]int{}
+	for _, e := range c.Events() {
+		kinds[e.Kind]++
+		if e.Object == "" || e.Message == "" {
+			t.Errorf("incomplete event: %+v", e)
+		}
+	}
+	for _, want := range []string{"pod-scheduled", "task-completed", "node-failed", "node-restored"} {
+		if kinds[want] == 0 {
+			t.Errorf("no %q events recorded (got %v)", want, kinds)
+		}
+	}
+	// Events are time-ordered.
+	evs := c.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+	if s := evs[0].String(); !strings.Contains(s, evs[0].Kind) {
+		t.Errorf("event string = %q", s)
+	}
+}
+
+func TestEventLogRingWraps(t *testing.T) {
+	var l eventLog
+	for i := 0; i < eventLogCapacity+10; i++ {
+		l.add(Event{At: time.Duration(i), Kind: "k", Object: "o"})
+	}
+	snap := l.snapshot()
+	if len(snap) != eventLogCapacity {
+		t.Fatalf("snapshot length = %d", len(snap))
+	}
+	if l.dropped != 10 {
+		t.Errorf("dropped = %d, want 10", l.dropped)
+	}
+	// Oldest-first after wrap.
+	if snap[0].At != time.Duration(10) {
+		t.Errorf("first event At = %v, want 10", snap[0].At)
+	}
+	if snap[len(snap)-1].At != time.Duration(eventLogCapacity+9) {
+		t.Errorf("last event At = %v", snap[len(snap)-1].At)
+	}
+	var empty eventLog
+	if empty.snapshot() != nil {
+		t.Error("empty log should snapshot nil")
+	}
+}

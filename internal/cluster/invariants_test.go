@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"evolve/internal/control"
+	"evolve/internal/resource"
+	"evolve/internal/sim"
+)
+
+// checkInvariants asserts the accounting laws that must hold after any
+// sequence of operations:
+//  1. node.Allocated equals the sum of its hosted pods' requests,
+//  2. node.Allocated never exceeds node.Allocatable,
+//  3. no running pod sits on an unready or unknown node,
+//  4. every pod in the map is also in the registry and vice versa.
+func checkInvariants(t *testing.T, c *Cluster, step int) {
+	t.Helper()
+	sum := make(map[string]resource.Vector)
+	for _, p := range c.Pods() {
+		switch p.Phase {
+		case Running:
+			n, ok := c.nodes[p.Node]
+			if !ok {
+				t.Fatalf("step %d: pod %s on unknown node %q", step, p.Name, p.Node)
+			}
+			if !n.Ready {
+				t.Fatalf("step %d: pod %s on unready node %s", step, p.Name, p.Node)
+			}
+			sum[p.Node] = sum[p.Node].Add(p.Requests)
+		case Pending:
+			if p.Node != "" {
+				t.Fatalf("step %d: pending pod %s claims node %q", step, p.Name, p.Node)
+			}
+		}
+		if _, err := c.store.Get(KindPod, p.Name); err != nil {
+			t.Fatalf("step %d: pod %s missing from registry: %v", step, p.Name, err)
+		}
+	}
+	for name, n := range c.nodes {
+		want := sum[name]
+		for _, k := range resource.Kinds() {
+			tol := 1e-9 * (1 + want[k]) // relative: sums accumulate ULPs
+			if diff := n.Allocated[k] - want[k]; diff > tol || diff < -tol {
+				t.Fatalf("step %d: node %s allocated[%v] = %v, pods sum to %v",
+					step, name, k, n.Allocated[k], want[k])
+			}
+			if n.Allocated[k] > n.Allocatable[k]*(1+1e-9) {
+				t.Fatalf("step %d: node %s over-allocated on %v: %v > %v",
+					step, name, k, n.Allocated[k], n.Allocatable[k])
+			}
+		}
+	}
+}
+
+// TestInvariantsUnderRandomOperations drives the cluster through long
+// random sequences of every mutating operation — decisions, task
+// submissions, gangs, node failures/restores, kills — and checks the
+// accounting invariants after each step. Three seeds, several hundred
+// operations each.
+func TestInvariantsUnderRandomOperations(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			eng := sim.NewEngine(seed)
+			rng := sim.NewRNG(seed + 100)
+			cfg := DefaultConfig()
+			c := New(eng, cfg)
+			if err := c.AddNodes("n", 4, resource.New(16000, 64<<30, 1e9, 2e9)); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				spec := testService(fmt.Sprintf("svc%d", i))
+				if err := c.CreateService(spec); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.SetLoadFunc(spec.Name, func(time.Duration) float64 { return 100 }); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c.Start()
+
+			taskSeq := 0
+			for step := 0; step < 400; step++ {
+				switch rng.Intn(8) {
+				case 0, 1: // random decision on a random service
+					app := fmt.Sprintf("svc%d", rng.Intn(3))
+					d := control.Decision{
+						Replicas: 1 + rng.Intn(5),
+						Alloc: resource.New(
+							rng.Uniform(100, 6000),
+							rng.Uniform(128<<20, 8<<30),
+							rng.Uniform(1e6, 100e6),
+							rng.Uniform(1e6, 100e6),
+						),
+					}
+					if err := c.ApplyDecision(app, d); err != nil {
+						t.Fatal(err)
+					}
+				case 2: // submit a task
+					taskSeq++
+					task := testTask(fmt.Sprintf("task%d", taskSeq), 1000+float64(rng.Intn(4000)), 20000)
+					if err := c.SubmitTask(task); err != nil {
+						t.Fatal(err)
+					}
+				case 3: // try a gang (may legitimately fail to fit)
+					taskSeq++
+					var gang []TaskSpec
+					for r := 0; r < 2+rng.Intn(3); r++ {
+						gang = append(gang, testTask(fmt.Sprintf("gang%d-%d", taskSeq, r), 4000, 40000))
+					}
+					_ = c.SubmitGang(gang)
+				case 4: // fail a random node
+					_ = c.FailNode(fmt.Sprintf("n-%d", rng.Intn(4)))
+				case 5: // restore a random node
+					_ = c.RestoreNode(fmt.Sprintf("n-%d", rng.Intn(4)))
+				case 6: // kill a random task if any exists
+					for _, p := range c.Pods() {
+						if p.IsTask() {
+							_ = c.KillTask(p.Name)
+							break
+						}
+					}
+				case 7: // let time pass (ticks, completions)
+					eng.Run(eng.Now() + time.Duration(1+rng.Intn(30))*time.Second)
+				}
+				checkInvariants(t, c, step)
+			}
+			// Ensure at least one node is up, then drain: time passes,
+			// tasks finish, and the invariants must still hold.
+			_ = c.RestoreNode("n-0")
+			eng.Run(eng.Now() + time.Hour)
+			checkInvariants(t, c, 401)
+		})
+	}
+}
+
+// TestObservationInvariants checks observation sanity over a live run:
+// utilisation non-negative, ready <= desired replicas, interval sums to
+// elapsed time.
+func TestObservationInvariants(t *testing.T) {
+	c := newTestCluster(t, 3)
+	if err := c.CreateService(testService("web")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetLoadFunc("web", func(now time.Duration) float64 {
+		return 100 + 100*now.Hours()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	var total time.Duration
+	for i := 0; i < 20; i++ {
+		c.Engine().Run(c.Engine().Now() + 15*time.Second)
+		obs, err := c.Observe("web")
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += obs.Interval
+		if obs.ReadyReplicas > obs.Replicas {
+			t.Fatalf("ready %d > desired %d", obs.ReadyReplicas, obs.Replicas)
+		}
+		if !obs.Usage.NonNegative() || !obs.Utilisation.NonNegative() {
+			t.Fatalf("negative usage/util: %v %v", obs.Usage, obs.Utilisation)
+		}
+		if obs.OfferedLoad < 0 || obs.Throughput < 0 {
+			t.Fatalf("negative rates: %v %v", obs.OfferedLoad, obs.Throughput)
+		}
+	}
+	if total != 20*15*time.Second {
+		t.Errorf("intervals sum to %v", total)
+	}
+}

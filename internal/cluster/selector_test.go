@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"evolve/internal/resource"
+	"evolve/internal/sim"
+)
+
+// newPooledCluster builds a cluster with two labeled pools: 2 "pool=svc"
+// nodes and 2 "pool=hpc" nodes.
+func newPooledCluster(t *testing.T) *Cluster {
+	t.Helper()
+	eng := sim.NewEngine(5)
+	cfg := DefaultConfig()
+	cfg.MeasurementNoise = 0
+	c := New(eng, cfg)
+	shape := resource.New(16000, 64<<30, 1e9, 2e9)
+	for i := 0; i < 2; i++ {
+		if err := c.AddLabeledNode(nodeName("svc", i), shape, map[string]string{"pool": "svc"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddLabeledNode(nodeName("hpc", i), shape, map[string]string{"pool": "hpc"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func nodeName(pool string, i int) string {
+	return pool + "-node-" + string(rune('0'+i))
+}
+
+func TestServiceNodeSelectorConfinesReplicas(t *testing.T) {
+	c := newPooledCluster(t)
+	spec := testService("web")
+	spec.NodeSelector = map[string]string{"pool": "svc"}
+	spec.InitialReplicas = 4
+	if err := c.CreateService(spec); err != nil {
+		t.Fatal(err)
+	}
+	c.SchedulePendingNow()
+	for _, p := range c.appPods("web") {
+		if p.Phase != Running {
+			t.Fatalf("pod %s not placed", p.Name)
+		}
+		if c.nodes[p.Node].Meta.Labels["pool"] != "svc" {
+			t.Errorf("pod %s landed on %s outside the svc pool", p.Name, p.Node)
+		}
+	}
+}
+
+func TestTaskSelectorUnschedulableWhenPoolFull(t *testing.T) {
+	c := newPooledCluster(t)
+	// Fill the hpc pool completely.
+	for i := 0; i < 2; i++ {
+		task := testTask("filler-"+string(rune('a'+i)), 15000, 1e9)
+		task.NodeSelector = map[string]string{"pool": "hpc"}
+		if err := c.SubmitTask(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SchedulePendingNow()
+	// A further hpc-bound task must stay pending even though the svc
+	// pool has room.
+	task := testTask("stuck", 8000, 1e9)
+	task.NodeSelector = map[string]string{"pool": "hpc"}
+	if err := c.SubmitTask(task); err != nil {
+		t.Fatal(err)
+	}
+	c.SchedulePendingNow()
+	p := c.pods["stuck"]
+	if p.Phase != Pending {
+		t.Errorf("selector-bound task placed on %s despite full pool", p.Node)
+	}
+}
+
+func TestGangSelectorSpansOnlyPool(t *testing.T) {
+	c := newPooledCluster(t)
+	var gang []TaskSpec
+	for i := 0; i < 2; i++ {
+		ts := testTask("rank-"+string(rune('0'+i)), 7000, 140000)
+		ts.NodeSelector = map[string]string{"pool": "hpc"}
+		gang = append(gang, ts)
+	}
+	if err := c.SubmitGang(gang); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"rank-0", "rank-1"} {
+		p := c.pods[name]
+		if c.nodes[p.Node].Meta.Labels["pool"] != "hpc" {
+			t.Errorf("rank %s on %s outside the hpc pool", name, p.Node)
+		}
+	}
+	// A 5-rank gang cannot fit in the 2-node pool (2 ranks/node max at
+	// 7000m): all-or-nothing must refuse it even though svc nodes idle.
+	var big []TaskSpec
+	for i := 0; i < 5; i++ {
+		ts := testTask("big-"+string(rune('0'+i)), 7000, 140000)
+		ts.NodeSelector = map[string]string{"pool": "hpc"}
+		big = append(big, ts)
+	}
+	if err := c.SubmitGang(big); err == nil {
+		t.Error("oversized pool-bound gang should fail")
+	}
+}
+
+func TestSelectorEventAndRetryAfterPoolGrows(t *testing.T) {
+	c := newPooledCluster(t)
+	task := testTask("waiting", 8000, 50000)
+	task.NodeSelector = map[string]string{"pool": "gpu"} // no such pool yet
+	if err := c.SubmitTask(task); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.Engine().Run(20 * time.Second)
+	if c.pods["waiting"].Phase != Pending {
+		t.Fatal("task should wait for a matching node")
+	}
+	// The pool appears; the pending task gets placed on the next tick.
+	if err := c.AddLabeledNode("gpu-node-0", resource.New(16000, 64<<30, 1e9, 2e9), map[string]string{"pool": "gpu"}); err != nil {
+		t.Fatal(err)
+	}
+	c.Engine().Run(40 * time.Second)
+	p, ok := c.pods["waiting"]
+	if ok && p.Phase == Pending {
+		t.Error("task not placed after the pool appeared")
+	}
+}

@@ -1,0 +1,326 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"evolve/internal/control"
+	"evolve/internal/plo"
+	"evolve/internal/registry"
+	"evolve/internal/resource"
+)
+
+// CreateService deploys a replicated service. Its replicas start pending
+// and are placed on the next tick (or immediately via SchedulePendingNow).
+func (c *Cluster) CreateService(spec ServiceSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if _, ok := c.apps[spec.Name]; ok {
+		return fmt.Errorf("cluster: service %s already exists", spec.Name)
+	}
+	obj := &AppObject{
+		Meta:            registry.Meta{Kind: KindApp, Name: spec.Name},
+		Spec:            spec,
+		DesiredReplicas: spec.InitialReplicas,
+		Alloc:           spec.InitialAlloc,
+	}
+	if err := c.store.Create(obj); err != nil {
+		return err
+	}
+	st := &appState{
+		obj:     obj,
+		tracker: plo.NewTracker(spec.PLO),
+		loadFn:  func(time.Duration) float64 { return 0 },
+	}
+	c.apps[spec.Name] = st
+	for i := 0; i < spec.InitialReplicas; i++ {
+		c.addReplica(st)
+	}
+	return nil
+}
+
+// SetLoadFunc installs the offered-load function (ops/second over virtual
+// time) for a service.
+func (c *Cluster) SetLoadFunc(app string, fn func(now time.Duration) float64) error {
+	st, ok := c.apps[app]
+	if !ok {
+		return fmt.Errorf("cluster: unknown service %s", app)
+	}
+	if fn == nil {
+		return fmt.Errorf("cluster: nil load function for %s", app)
+	}
+	st.loadFn = fn
+	return nil
+}
+
+// Apps returns the names of all services, sorted.
+func (c *Cluster) Apps() []string {
+	names := make([]string, 0, len(c.apps))
+	for n := range c.apps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// App returns the registry object for a service.
+func (c *Cluster) App(name string) (*AppObject, error) {
+	st, ok := c.apps[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown service %s", name)
+	}
+	return st.obj, nil
+}
+
+func (c *Cluster) addReplica(st *appState) *PodObject {
+	spec := st.obj.Spec
+	p := &PodObject{
+		Meta:         registry.Meta{Kind: KindPod, Name: c.nextPodName(spec.Name)},
+		App:          spec.Name,
+		Phase:        Pending,
+		Requests:     st.obj.Alloc,
+		Priority:     spec.Priority,
+		NodeSelector: spec.NodeSelector,
+		CreatedAt:    c.now(),
+	}
+	if err := c.store.Create(p); err != nil {
+		panic(fmt.Sprintf("cluster: replica create: %v", err))
+	}
+	c.pods[p.Name] = p
+	return p
+}
+
+// appPods returns the live pods of a service, newest last.
+func (c *Cluster) appPods(app string) []*PodObject {
+	var out []*PodObject
+	for _, n := range c.sortedPodNames() {
+		p := c.pods[n]
+		if p.App == app && !p.IsTask() && (p.Phase == Pending || p.Phase == Running) {
+			out = append(out, p)
+		}
+	}
+	sortPodsByCreation(out)
+	return out
+}
+
+// ApplyDecision actuates a controller decision: horizontal scale to
+// d.Replicas and vertical resize of every replica towards d.Alloc.
+// Vertical grants are limited by node headroom; a replica that stays
+// badly throttled is migrated (delete + recreate pending) so the
+// scheduler can find it a roomier node.
+func (c *Cluster) ApplyDecision(app string, d control.Decision) error {
+	st, ok := c.apps[app]
+	if !ok {
+		return fmt.Errorf("cluster: unknown service %s", app)
+	}
+	if d.Replicas < 1 {
+		d.Replicas = 1
+	}
+	if !d.Alloc.NonNegative() || d.Alloc.IsZero() {
+		return fmt.Errorf("cluster: invalid allocation %v for %s", d.Alloc, app)
+	}
+	// A per-replica allocation larger than the biggest ready node can
+	// host would create permanently unschedulable pods; clamp it, the
+	// way an admission LimitRange would.
+	if biggest, ok := c.largestNodeAllocatable(); ok {
+		capped := d.Alloc.Min(biggest)
+		if capped != d.Alloc {
+			c.met.Counter("resize/node-capped").Inc()
+			d.Alloc = capped
+		}
+	}
+	st.obj.DesiredReplicas = d.Replicas
+	st.obj.Alloc = d.Alloc
+	c.mustUpdate(st.obj)
+
+	pods := c.appPods(app)
+	// Horizontal: add or remove replicas (newest first on the way down).
+	for len(pods) < d.Replicas {
+		pods = append(pods, c.addReplica(st))
+	}
+	for len(pods) > d.Replicas {
+		last := pods[len(pods)-1]
+		c.deletePod(last)
+		c.met.Counter("scale/down-deletes").Inc()
+		pods = pods[:len(pods)-1]
+	}
+
+	// Vertical: in-place resize where headroom allows.
+	throttled := false
+	for _, p := range pods {
+		if p.Phase == Pending {
+			p.Requests = d.Alloc
+			c.mustUpdate(p)
+			continue
+		}
+		granted := c.resizeInPlace(p, d.Alloc)
+		if !granted {
+			throttled = true
+		}
+	}
+	if throttled {
+		st.migrateDebt++
+		c.met.Counter("resize/throttled").Inc()
+	} else {
+		st.migrateDebt = 0
+	}
+	// Persistent throttling: migrate the most-throttled replica.
+	if st.migrateDebt >= 2 {
+		c.migrateWorstReplica(st, d.Alloc)
+		st.migrateDebt = 0
+	}
+	return nil
+}
+
+// resizeInPlace grants as much of the desired allocation as the node's
+// headroom allows. Returns true when fully granted on all dimensions.
+func (c *Cluster) resizeInPlace(p *PodObject, desired resource.Vector) bool {
+	n, ok := c.nodes[p.Node]
+	if !ok {
+		return false
+	}
+	headroom := n.Free().Add(p.Requests) // room available to this pod
+	granted := desired.Min(headroom)
+	// Never shrink below what the pod already uses minus a safety margin
+	// is the controller's job; the substrate just applies the grant.
+	n.Allocated = snapDust(n.Allocated.Sub(p.Requests).Add(granted).ClampMin(0))
+	p.Requests = granted
+	c.mustUpdate(p)
+	c.mustUpdate(n)
+	full := true
+	for _, k := range resource.Kinds() {
+		if granted[k] < desired[k]*0.999 {
+			full = false
+		}
+	}
+	return full
+}
+
+// migrateWorstReplica deletes the replica whose grant is furthest from
+// desired and recreates it pending, letting the scheduler relocate it.
+func (c *Cluster) migrateWorstReplica(st *appState, desired resource.Vector) {
+	pods := c.appPods(st.obj.Name)
+	var worst *PodObject
+	worstGap := 0.0
+	for _, p := range pods {
+		if p.Phase != Running {
+			continue
+		}
+		gap, _ := desired.Sub(p.Requests).ClampMin(0).DominantShare(desired.ClampMin(1))
+		if gap > worstGap {
+			worst, worstGap = p, gap
+		}
+	}
+	if worst == nil || worstGap < 0.05 {
+		return
+	}
+	c.deletePod(worst)
+	c.addReplica(st)
+	c.met.Counter("resize/migrations").Inc()
+	c.recordEvent("pod-migrated", worst.Name, "replica of %s re-queued for a roomier node", st.obj.Name)
+}
+
+// SchedulePendingNow runs one placement round outside the tick; tests and
+// setup code use it to avoid waiting a metrics interval.
+func (c *Cluster) SchedulePendingNow() { c.schedulePending() }
+
+// Observe aggregates the service's telemetry since the previous Observe
+// call into a controller observation.
+func (c *Cluster) Observe(app string) (control.Observation, error) {
+	st, ok := c.apps[app]
+	if !ok {
+		return control.Observation{}, fmt.Errorf("cluster: unknown service %s", app)
+	}
+	now := c.now()
+	spec := st.obj.Spec
+	pods := c.appPods(app)
+	ready := 0
+	for _, p := range pods {
+		if p.Phase == Running && p.ReadyAt <= now {
+			ready++
+		}
+	}
+	obs := control.Observation{
+		App:           app,
+		Now:           now,
+		Interval:      now - st.lastObserve,
+		PLO:           spec.PLO,
+		Replicas:      st.obj.DesiredReplicas,
+		ReadyReplicas: ready,
+		Alloc:         st.obj.Alloc,
+		Limits: control.Limits{
+			MinAlloc:    spec.MinAlloc,
+			MaxAlloc:    orVector(spec.MaxAlloc, st.obj.Alloc.Scale(1000)),
+			MinReplicas: 1,
+			MaxReplicas: spec.MaxReplicas,
+		},
+	}
+	obs.SLI = meanOf(st.winSLI)
+	obs.MeanLatency = meanOf(st.winMean)
+	obs.P99Latency = meanOf(st.winP99)
+	obs.Throughput = meanOf(st.winThroughput)
+	obs.OfferedLoad = meanOf(st.winOffered)
+	obs.Usage = meanVec(st.winUsage)
+	obs.Utilisation = meanVec(st.winUtil)
+	obs.Saturated = st.winSaturated
+
+	st.winSLI = st.winSLI[:0]
+	st.winMean = st.winMean[:0]
+	st.winP99 = st.winP99[:0]
+	st.winThroughput = st.winThroughput[:0]
+	st.winOffered = st.winOffered[:0]
+	st.winUsage = st.winUsage[:0]
+	st.winUtil = st.winUtil[:0]
+	st.winSaturated = false
+	st.lastObserve = now
+	return obs, nil
+}
+
+// Tracker returns the PLO violation tracker for a service.
+func (c *Cluster) Tracker(app string) (*plo.Tracker, error) {
+	st, ok := c.apps[app]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown service %s", app)
+	}
+	return st.tracker, nil
+}
+
+func meanOf(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+func meanVec(vs []resource.Vector) resource.Vector {
+	var out resource.Vector
+	if len(vs) == 0 {
+		return out
+	}
+	for _, v := range vs {
+		out = out.Add(v)
+	}
+	return out.Scale(1 / float64(len(vs)))
+}
+
+func orVector(v, fallback resource.Vector) resource.Vector {
+	if v.IsZero() {
+		return fallback
+	}
+	return v
+}
+
+func sortPodsByCreation(pods []*PodObject) {
+	sort.SliceStable(pods, func(i, j int) bool {
+		if pods[i].CreatedAt != pods[j].CreatedAt {
+			return pods[i].CreatedAt < pods[j].CreatedAt
+		}
+		return pods[i].Name < pods[j].Name
+	})
+}

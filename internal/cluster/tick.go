@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"time"
+
+	"evolve/internal/perf"
+	"evolve/internal/plo"
+	"evolve/internal/resource"
+)
+
+// tick is the cluster's heartbeat: place pending pods, evaluate every
+// service against its offered load, refresh usage accounting and record
+// the telemetry the controllers and experiments consume.
+func (c *Cluster) tick() {
+	c.schedulePending()
+
+	// Node interference from last tick's usage (telemetry lag).
+	slowdownByNode := make(map[string]float64, len(c.nodes))
+	for name, n := range c.nodes {
+		s := 1.0
+		if c.cfg.Interference && n.Ready {
+			pressure, _ := n.Usage.DominantShare(n.Allocatable)
+			s = perf.InterferenceSlowdown(pressure)
+		}
+		slowdownByNode[name] = s
+	}
+
+	now := c.now()
+	for _, appName := range c.Apps() {
+		st := c.apps[appName]
+		spec := st.obj.Spec
+		lambda := st.loadFn(now)
+		if lambda < 0 {
+			lambda = 0
+		}
+
+		pods := c.appPods(appName)
+		var running []*PodObject
+		for _, p := range pods {
+			// A replica serves only once it has finished starting up.
+			if p.Phase == Running && p.ReadyAt <= now {
+				running = append(running, p)
+			}
+		}
+
+		var result perf.Result
+		if len(running) == 0 {
+			// No capacity at all: total outage, modelled as the latency
+			// cap and zero throughput.
+			result = perf.Result{
+				MeanLatency: spec.Model.MaxLatency,
+				P99Latency:  spec.Model.MaxLatency,
+				Throughput:  0,
+				Saturated:   lambda > 0,
+			}
+		} else {
+			// Effective per-replica allocation: the mean grant; mean
+			// slowdown across hosting nodes.
+			var alloc resource.Vector
+			var slow float64
+			for _, p := range running {
+				alloc = alloc.Add(p.Requests)
+				slow += slowdownByNode[p.Node]
+			}
+			alloc = alloc.Scale(1 / float64(len(running)))
+			slow /= float64(len(running))
+			result = spec.Model.Evaluate(lambda, len(running), alloc, slow)
+			// Push per-pod usage for next tick's interference.
+			for _, p := range running {
+				p.Usage = result.Usage
+				c.mustUpdate(p)
+			}
+		}
+
+		// Measurement noise on the SLIs.
+		noise := 1.0
+		if c.cfg.MeasurementNoise > 0 {
+			noise = c.rng.Jitter(1, c.cfg.MeasurementNoise)
+		}
+		meanLat := result.MeanLatency.Seconds() * noise
+		p99Lat := result.P99Latency.Seconds() * noise
+		throughput := result.Throughput * noise
+
+		sli := meanLat
+		switch spec.PLO.Metric {
+		case plo.P99Latency:
+			sli = p99Lat
+		case plo.Throughput:
+			sli = throughput
+		}
+		st.tracker.Observe(sli)
+
+		st.winSLI = append(st.winSLI, sli)
+		st.winMean = append(st.winMean, meanLat)
+		st.winP99 = append(st.winP99, p99Lat)
+		st.winThroughput = append(st.winThroughput, throughput)
+		st.winOffered = append(st.winOffered, lambda)
+		st.winUsage = append(st.winUsage, result.Usage)
+		st.winUtil = append(st.winUtil, result.Utilisation)
+		if result.Saturated {
+			st.winSaturated = true
+		}
+
+		pfx := "app/" + appName + "/"
+		c.met.Series(pfx+"latency-mean").Add(now, meanLat)
+		c.met.Series(pfx+"latency-p99").Add(now, p99Lat)
+		c.met.Series(pfx+"throughput").Add(now, throughput)
+		c.met.Series(pfx+"offered").Add(now, lambda)
+		c.met.Series(pfx+"replicas").Add(now, float64(st.obj.DesiredReplicas))
+		c.met.Series(pfx+"ready").Add(now, float64(len(running)))
+		for _, k := range resource.Kinds() {
+			c.met.Series(pfx+"alloc/"+k.String()).Add(now, st.obj.Alloc[k])
+			c.met.Series(pfx+"usage/"+k.String()).Add(now, result.Usage[k])
+		}
+		violated := 0.0
+		if st.tracker.PLO().Violated(sli) {
+			c.met.Counter("plo/" + appName + "/violations").Inc()
+			violated = 1
+		}
+		c.met.Series(pfx+"sli").Add(now, sli)
+		c.met.Series(pfx+"violation").Add(now, violated)
+		if sli > 0 {
+			c.met.Histogram(pfx+"sli-hist", 1e-4, 1e3, 10).Observe(sli)
+		}
+	}
+
+	// Refresh node usage sums and cluster-level series.
+	var capTotal, allocTotal, usageTotal resource.Vector
+	emptyNodes := 0
+	for _, n := range c.Nodes() {
+		var usage resource.Vector
+		running := 0
+		for _, p := range c.podsOnNode(n.Name) {
+			if p.Phase == Running {
+				usage = usage.Add(p.Usage)
+				running++
+			}
+		}
+		n.Usage = usage
+		c.mustUpdate(n)
+		if !n.Ready {
+			continue
+		}
+		if running == 0 {
+			emptyNodes++
+		}
+		capTotal = capTotal.Add(n.Allocatable)
+		allocTotal = allocTotal.Add(n.Allocated)
+		usageTotal = usageTotal.Add(usage)
+	}
+	allocFrac := allocTotal.Div(capTotal)
+	usageFrac := usageTotal.Div(capTotal)
+	for _, k := range resource.Kinds() {
+		c.met.Series("cluster/allocated/"+k.String()).Add(now, allocFrac[k])
+		c.met.Series("cluster/usage/"+k.String()).Add(now, usageFrac[k])
+	}
+	c.met.Series("cluster/pods").Add(now, float64(len(c.pods)))
+	c.met.Series("cluster/pending").Add(now, float64(len(c.PendingPods())))
+	// Consolidation signal: ready nodes hosting nothing could be
+	// suspended; the energy model (internal/cost) consumes this.
+	c.met.Series("cluster/empty-nodes").Add(now, float64(emptyNodes))
+}
+
+// UtilisationSummary returns the time-weighted mean cluster allocation
+// and usage fractions (of allocatable capacity, per resource) over
+// (from, to] — the headline utilisation numbers of the Table 1
+// comparison.
+func (c *Cluster) UtilisationSummary(from, to time.Duration) (allocFrac, usageFrac resource.Vector) {
+	for _, k := range resource.Kinds() {
+		allocFrac[k] = c.met.Series("cluster/allocated/"+k.String()).TimeWeightedMean(from, to)
+		usageFrac[k] = c.met.Series("cluster/usage/"+k.String()).TimeWeightedMean(from, to)
+	}
+	return allocFrac, usageFrac
+}

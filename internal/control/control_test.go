@@ -1,0 +1,55 @@
+package control
+
+import (
+	"testing"
+	"time"
+
+	"evolve/internal/plo"
+	"evolve/internal/resource"
+)
+
+func TestLimitsClamp(t *testing.T) {
+	l := Limits{
+		MinAlloc:    resource.New(100, 64<<20, 1e6, 1e6),
+		MaxAlloc:    resource.New(4000, 8<<30, 500e6, 500e6),
+		MinReplicas: 1,
+		MaxReplicas: 10,
+	}
+	d := l.Clamp(Decision{Replicas: 0, Alloc: resource.New(10, 1<<40, 2e6, 2e6)})
+	if d.Replicas != 1 {
+		t.Errorf("Replicas = %d, want 1", d.Replicas)
+	}
+	if d.Alloc[resource.CPU] != 100 {
+		t.Errorf("cpu = %v, want floor 100", d.Alloc[resource.CPU])
+	}
+	if d.Alloc[resource.Memory] != float64(8<<30) {
+		t.Errorf("memory = %v, want ceiling 8Gi", d.Alloc[resource.Memory])
+	}
+	d = l.Clamp(Decision{Replicas: 99, Alloc: resource.New(200, 1<<30, 2e6, 2e6)})
+	if d.Replicas != 10 {
+		t.Errorf("Replicas = %d, want cap 10", d.Replicas)
+	}
+	// Zero MaxReplicas means unbounded.
+	unbounded := Limits{MinReplicas: 1}
+	if got := unbounded.Clamp(Decision{Replicas: 1000}); got.Replicas != 1000 {
+		t.Errorf("unbounded Replicas clamped to %d", got.Replicas)
+	}
+}
+
+func TestObservationPerfError(t *testing.T) {
+	o := Observation{
+		PLO: plo.Latency(100 * time.Millisecond),
+		SLI: 0.2,
+	}
+	if e := o.PerfError(); e != 1 {
+		t.Errorf("PerfError = %v, want 1", e)
+	}
+}
+
+func TestHold(t *testing.T) {
+	o := Observation{Replicas: 3, Alloc: resource.New(500, 1<<30, 1e6, 1e6)}
+	d := Hold(o)
+	if d.Replicas != 3 || d.Alloc != o.Alloc {
+		t.Errorf("Hold = %+v", d)
+	}
+}

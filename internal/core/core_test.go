@@ -1,0 +1,433 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"evolve/internal/cluster"
+	"evolve/internal/control"
+	"evolve/internal/metrics"
+	"evolve/internal/plo"
+	"evolve/internal/resource"
+	"evolve/internal/sim"
+	"evolve/internal/workload"
+)
+
+// newRig builds a cluster with one archetype service under a load pattern
+// and wires the given controller into a 15s control loop.
+func newRig(t *testing.T, a workload.Archetype, baseRate float64, pattern workload.Pattern, ctrl control.Controller) *cluster.Cluster {
+	t.Helper()
+	eng := sim.NewEngine(101)
+	cfg := cluster.DefaultConfig()
+	cfg.MeasurementNoise = 0.02
+	c := cluster.New(eng, cfg)
+	if err := c.AddNodes("n", 6, resource.New(32000, 128<<30, 2e9, 4e9)); err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.Service(a, "svc", baseRate, 2)
+	if err := c.CreateService(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetLoadFunc("svc", pattern.Rate); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	eng.Every(15*time.Second, func() {
+		obs, err := c.Observe("svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ApplyDecision("svc", ctrl.Decide(obs)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return c
+}
+
+func TestDemandModelLearnsPerOpCosts(t *testing.T) {
+	m := NewDemandModel(0.3)
+	if m.Ready() {
+		t.Error("fresh model should not be ready")
+	}
+	obs := control.Observation{
+		ReadyReplicas: 2,
+		Throughput:    200, // 100 op/s per replica
+		Usage:         resource.New(1000, 512<<20, 2e6, 5e6),
+	}
+	for i := 0; i < 5; i++ {
+		m.Observe(obs)
+	}
+	if !m.Ready() {
+		t.Fatal("model should be ready after 5 samples")
+	}
+	// Per-op CPU = 1000 mc / 100 op/s = 10 mc·s.
+	if got := m.PerOp()[resource.CPU]; math.Abs(got-10) > 0.5 {
+		t.Errorf("per-op cpu = %v, want ≈10", got)
+	}
+	if got := m.Mem(); math.Abs(got-float64(512<<20)) > 1e6 {
+		t.Errorf("mem = %v, want ≈512Mi", got)
+	}
+	// Floor at 400 op/s over 2 replicas, util 0.7: cpu = 10*200/0.7.
+	floor := m.Floor(400, 2, 0.7)
+	if math.Abs(floor[resource.CPU]-10*200/0.7) > 10 {
+		t.Errorf("floor cpu = %v", floor[resource.CPU])
+	}
+	// Zero-replica and unready guards.
+	if !(NewDemandModel(0.3).Floor(100, 1, 0.7)).IsZero() {
+		t.Error("unready model floor should be zero")
+	}
+}
+
+func TestDemandModelIgnoresGarbage(t *testing.T) {
+	m := NewDemandModel(0.3)
+	m.Observe(control.Observation{ReadyReplicas: 0, Throughput: 100})
+	if m.Samples() != 0 {
+		t.Error("zero replicas should be skipped")
+	}
+	m.Observe(control.Observation{ReadyReplicas: 1, Throughput: 0, Usage: resource.New(1, 1, 1, 1)})
+	// Throughput 0: rate kinds skipped, memory still absorbed.
+	if m.Samples() != 1 || m.PerOp()[resource.CPU] != 0 {
+		t.Errorf("samples=%d perOp=%v", m.Samples(), m.PerOp())
+	}
+}
+
+func TestDemandModelReplicasFor(t *testing.T) {
+	m := NewDemandModel(0.3)
+	for i := 0; i < 5; i++ {
+		m.Observe(control.Observation{
+			ReadyReplicas: 1,
+			Throughput:    100,
+			Usage:         resource.New(1000, 1<<30, 0, 0), // 10 mc·s/op
+		})
+	}
+	maxAlloc := resource.New(2000, 8<<30, 1e9, 1e9)
+	// Capacity per replica = 2000*0.7/10 = 140 op/s.
+	if n := m.ReplicasFor(100, maxAlloc, 0.7); n != 1 {
+		t.Errorf("ReplicasFor(100) = %d, want 1", n)
+	}
+	if n := m.ReplicasFor(500, maxAlloc, 0.7); n != 4 {
+		t.Errorf("ReplicasFor(500) = %d, want 4", n)
+	}
+	if n := NewDemandModel(0.3).ReplicasFor(500, maxAlloc, 0.7); n != 1 {
+		t.Errorf("unready model should say 1, got %d", n)
+	}
+}
+
+func TestDecideHoldsOnZeroInterval(t *testing.T) {
+	a := New("svc", DefaultConfig())
+	obs := control.Observation{Replicas: 3, Alloc: resource.New(500, 1<<30, 1e6, 1e6)}
+	d := a.Decide(obs)
+	if d.Replicas != 3 || d.Alloc != obs.Alloc {
+		t.Errorf("zero-interval decision = %+v", d)
+	}
+	if a.Name() != "evolve" {
+		t.Error("name wrong")
+	}
+}
+
+func TestDecideGrowsUnderPLOViolation(t *testing.T) {
+	a := New("svc", DefaultConfig())
+	obs := control.Observation{
+		App:      "svc",
+		Interval: 15 * time.Second,
+		PLO:      plo.Latency(100 * time.Millisecond),
+		SLI:      0.4, // 4x over target
+		Replicas: 2, ReadyReplicas: 2,
+		Alloc:       resource.New(1000, 1<<30, 50e6, 50e6),
+		Usage:       resource.New(950, 900<<20, 10e6, 10e6),
+		Utilisation: resource.New(0.95, 0.88, 0.2, 0.2),
+		OfferedLoad: 300,
+		Throughput:  200,
+		Limits:      control.Limits{MinReplicas: 1, MaxReplicas: 10, MinAlloc: resource.New(50, 64<<20, 1e6, 1e6), MaxAlloc: resource.New(16000, 64<<30, 1e9, 1e9)},
+	}
+	d := a.Decide(obs)
+	if d.Alloc[resource.CPU] <= obs.Alloc[resource.CPU] {
+		t.Errorf("cpu should grow: %v -> %v", obs.Alloc[resource.CPU], d.Alloc[resource.CPU])
+	}
+	// CPU (util 0.95) must grow proportionally more than disk (util 0.2).
+	cpuGrow := d.Alloc[resource.CPU] / obs.Alloc[resource.CPU]
+	diskGrow := d.Alloc[resource.DiskIO] / obs.Alloc[resource.DiskIO]
+	if cpuGrow <= diskGrow {
+		t.Errorf("bottleneck cpu grew %vx vs disk %vx", cpuGrow, diskGrow)
+	}
+}
+
+func TestClosedLoopMeetsPLOUnderRamp(t *testing.T) {
+	ctrl := New("svc", DefaultConfig())
+	// Load triples over 20 minutes.
+	pattern := workload.Ramp{From: 200, To: 600, Start: 10 * time.Minute, Length: 20 * time.Minute}
+	c := newRig(t, workload.Web, 200, pattern, ctrl)
+	c.Engine().Run(45 * time.Minute)
+
+	tr, err := c.Tracker("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := tr.ViolationFraction(); f > 0.10 {
+		t.Errorf("violation fraction = %.3f, want <= 0.10 under a 3x ramp", f)
+	}
+	// Allocation must have followed the load up.
+	alloc := c.Metrics().Series("app/svc/alloc/cpu")
+	first := alloc.Samples()[0].Value
+	last, _ := alloc.Last()
+	app, _ := c.App("svc")
+	grown := last.Value*float64(app.DesiredReplicas) > first*1.5
+	if !grown {
+		t.Errorf("total cpu did not track the ramp: %v x1 -> %v x%d", first, last.Value, app.DesiredReplicas)
+	}
+}
+
+func TestClosedLoopReclaimsSlackAfterPeak(t *testing.T) {
+	ctrl := New("svc", DefaultConfig())
+	// Load spikes then returns to a low plateau.
+	pattern := workload.Func(func(at time.Duration) float64 {
+		switch {
+		case at < 10*time.Minute:
+			return 500
+		default:
+			return 100
+		}
+	})
+	c := newRig(t, workload.Web, 500, pattern, ctrl)
+	c.Engine().Run(60 * time.Minute)
+
+	// In the final stretch the controller must have shrunk total CPU
+	// well below the peak-era allocation.
+	allocSeries := c.Metrics().Series("app/svc/alloc/cpu")
+	repSeries := c.Metrics().Series("app/svc/replicas")
+	peakTotal := 0.0
+	for _, s := range allocSeries.Window(0, 10*time.Minute) {
+		// replicas at same timestamp
+		r := valueAt(repSeries, s.At)
+		if tot := s.Value * r; tot > peakTotal {
+			peakTotal = tot
+		}
+	}
+	endAlloc, _ := allocSeries.Last()
+	endRep, _ := repSeries.Last()
+	endTotal := endAlloc.Value * endRep.Value
+	if endTotal > peakTotal*0.55 {
+		t.Errorf("slack not reclaimed: end total cpu %v vs peak %v", endTotal, peakTotal)
+	}
+	// And the PLO must still hold at the end.
+	tr, _ := c.Tracker("svc")
+	if f := tr.ViolationFraction(); f > 0.12 {
+		t.Errorf("violations = %.3f", f)
+	}
+}
+
+func valueAt(s *metrics.Series, at time.Duration) float64 {
+	w := s.Window(at-time.Second, at)
+	if len(w) == 0 {
+		return 1
+	}
+	return w[len(w)-1].Value
+}
+
+func TestScaleOutWhenCeilingSaturated(t *testing.T) {
+	cfg := DefaultConfig()
+	a := New("svc", cfg)
+	// Train the model: 10 mc·s/op.
+	for i := 0; i < 5; i++ {
+		a.model.Observe(control.Observation{
+			ReadyReplicas: 2, Throughput: 300,
+			Usage: resource.New(1500, 1<<30, 1e6, 1e6),
+		})
+	}
+	obs := control.Observation{
+		Interval: 15 * time.Second,
+		PLO:      plo.Latency(100 * time.Millisecond),
+		SLI:      0.5,
+		Replicas: 2, ReadyReplicas: 2,
+		Alloc:       resource.New(1950, 1<<30, 50e6, 50e6), // at ceiling
+		Usage:       resource.New(1900, 800<<20, 1e6, 1e6),
+		Utilisation: resource.New(0.97, 0.8, 0.02, 0.02),
+		OfferedLoad: 800,
+		Throughput:  350,
+		Limits: control.Limits{
+			MinReplicas: 1, MaxReplicas: 20,
+			MinAlloc: resource.New(50, 64<<20, 1e6, 1e6),
+			MaxAlloc: resource.New(2000, 8<<30, 1e9, 1e9),
+		},
+	}
+	d := a.Decide(obs)
+	if d.Replicas <= 2 {
+		t.Errorf("replicas = %d, want scale-out beyond 2", d.Replicas)
+	}
+	// Model-guided: 800 op/s * 10 mc·s / (2000*0.7) ≈ 5.7 → 6 replicas.
+	if d.Replicas < 5 {
+		t.Errorf("replicas = %d, want model-guided jump to ≈6", d.Replicas)
+	}
+}
+
+func TestScaleInRequiresConsecutiveEligibility(t *testing.T) {
+	cfg := DefaultConfig()
+	a := New("svc", cfg)
+	for i := 0; i < 5; i++ {
+		a.model.Observe(control.Observation{
+			ReadyReplicas: 4, Throughput: 100,
+			Usage: resource.New(250, 1<<30, 1e6, 1e6), // 10 mc·s/op
+		})
+	}
+	obs := control.Observation{
+		Interval: 15 * time.Second,
+		PLO:      plo.Latency(100 * time.Millisecond),
+		SLI:      0.02, // comfortably met
+		Replicas: 4, ReadyReplicas: 4,
+		Alloc:       resource.New(1000, 1<<30, 50e6, 50e6),
+		Usage:       resource.New(100, 500<<20, 1e6, 1e6),
+		Utilisation: resource.New(0.1, 0.5, 0.02, 0.02),
+		OfferedLoad: 40,
+		Throughput:  40,
+		Limits: control.Limits{
+			MinReplicas: 1, MaxReplicas: 20,
+			MinAlloc: resource.New(50, 64<<20, 1e6, 1e6),
+			MaxAlloc: resource.New(2000, 8<<30, 1e9, 1e9),
+		},
+	}
+	reps := []int{}
+	for i := 0; i < cfg.ScaleInHold; i++ {
+		d := a.Decide(obs)
+		reps = append(reps, d.Replicas)
+	}
+	for i := 0; i < cfg.ScaleInHold-1; i++ {
+		if reps[i] != 4 {
+			t.Errorf("decision %d scaled in too early: %d", i, reps[i])
+		}
+	}
+	// The ScaleInHold-th consecutive eligible decision scales in.
+	if last := reps[cfg.ScaleInHold-1]; last >= 4 {
+		t.Errorf("never scaled in: %v", reps)
+	}
+}
+
+func TestSingleResourceOnlyTouchesCPU(t *testing.T) {
+	s := NewSingleResource("svc")
+	if s.Name() != "pid-cpu-only" {
+		t.Error("name wrong")
+	}
+	obs := control.Observation{
+		Interval: 15 * time.Second,
+		PLO:      plo.Latency(100 * time.Millisecond),
+		SLI:      0.3,
+		Replicas: 2, ReadyReplicas: 2,
+		Alloc:       resource.New(1000, 1<<30, 50e6, 50e6),
+		Utilisation: resource.New(0.5, 0.99, 0.99, 0.99),
+		Limits: control.Limits{
+			MinReplicas: 1,
+			MinAlloc:    resource.New(50, 64<<20, 1e6, 1e6),
+			MaxAlloc:    resource.New(16000, 64<<30, 1e9, 1e9),
+		},
+	}
+	d := s.Decide(obs)
+	if d.Alloc[resource.CPU] <= obs.Alloc[resource.CPU] {
+		t.Error("cpu should grow under violation")
+	}
+	for _, k := range []resource.Kind{resource.Memory, resource.DiskIO, resource.NetIO} {
+		if d.Alloc[k] != obs.Alloc[k] {
+			t.Errorf("%v changed: %v -> %v", k, obs.Alloc[k], d.Alloc[k])
+		}
+	}
+	if d2 := s.Decide(control.Observation{Replicas: 1, Alloc: obs.Alloc}); d2.Replicas != 1 {
+		t.Error("zero interval should hold")
+	}
+}
+
+func TestRationaleNarratesDecisions(t *testing.T) {
+	a := New("svc", DefaultConfig())
+	if a.Rationale() != "" {
+		t.Error("rationale should be empty before the first decision")
+	}
+	obs := control.Observation{
+		Interval: 15 * time.Second,
+		PLO:      plo.Latency(100 * time.Millisecond),
+		SLI:      0.05,
+		Replicas: 2, ReadyReplicas: 2,
+		Alloc:       resource.New(1000, 1<<30, 50e6, 50e6),
+		Usage:       resource.New(700, 700<<20, 10e6, 10e6),
+		Utilisation: resource.New(0.7, 0.68, 0.2, 0.2),
+		OfferedLoad: 200, Throughput: 200,
+		Limits: control.Limits{MinReplicas: 1, MaxReplicas: 10,
+			MinAlloc: resource.New(50, 64<<20, 1e6, 1e6),
+			MaxAlloc: resource.New(8000, 32<<30, 500e6, 1e9)},
+	}
+	a.Decide(obs)
+	if a.Rationale() == "" {
+		t.Error("rationale should be set after Decide")
+	}
+	// Drive a violation: rationale should mention growth or the floor.
+	obs.SLI = 0.4
+	obs.Utilisation = resource.New(0.95, 0.6, 0.2, 0.2)
+	a.Decide(obs)
+	r := a.Rationale()
+	if r == "" {
+		t.Fatal("empty rationale under violation")
+	}
+}
+
+func TestAIMDBacksOffUtilTargetUnderViolations(t *testing.T) {
+	a := New("svc", DefaultConfig())
+	obs := control.Observation{
+		Interval: 15 * time.Second,
+		PLO:      plo.Latency(100 * time.Millisecond),
+		SLI:      0.15, // persistently violating
+		Replicas: 2, ReadyReplicas: 2,
+		Alloc:       resource.New(1000, 1<<30, 50e6, 50e6),
+		Usage:       resource.New(700, 700<<20, 10e6, 10e6),
+		Utilisation: resource.New(0.7, 0.68, 0.2, 0.2),
+		OfferedLoad: 200, Throughput: 200,
+		Limits: control.Limits{MinReplicas: 1, MaxReplicas: 10,
+			MinAlloc: resource.New(50, 64<<20, 1e6, 1e6),
+			MaxAlloc: resource.New(8000, 32<<30, 500e6, 1e9)},
+	}
+	start := a.effUtil
+	for i := 0; i < 10; i++ {
+		a.Decide(obs)
+	}
+	if a.effUtil >= start {
+		t.Errorf("effUtil = %v, should back off from %v under persistent violations", a.effUtil, start)
+	}
+	if a.effUtil < 0.3 {
+		t.Errorf("effUtil = %v fell below the floor", a.effUtil)
+	}
+	// Comfortable PLO: creeps back up, bounded by the configured target.
+	obs.SLI = 0.02
+	for i := 0; i < 500; i++ {
+		a.Decide(obs)
+	}
+	if a.effUtil > a.cfg.UtilTarget+1e-9 {
+		t.Errorf("effUtil = %v exceeded the configured target %v", a.effUtil, a.cfg.UtilTarget)
+	}
+	if a.effUtil < 0.5 {
+		t.Errorf("effUtil = %v did not recover", a.effUtil)
+	}
+}
+
+func TestNewClampsBadConfig(t *testing.T) {
+	a := New("svc", Config{UtilTarget: 7, ScaleInMargin: 0.1})
+	if a.cfg.UtilTarget != DefaultConfig().UtilTarget {
+		t.Errorf("UtilTarget = %v", a.cfg.UtilTarget)
+	}
+	if a.cfg.ScaleInMargin != DefaultConfig().ScaleInMargin {
+		t.Errorf("ScaleInMargin = %v", a.cfg.ScaleInMargin)
+	}
+	if a.cfg.ScaleInHold <= 0 || a.cfg.ScaleOutErr <= 0 {
+		t.Error("holds not defaulted")
+	}
+}
+
+func TestFactoryProducesIndependentControllers(t *testing.T) {
+	f := Factory(DefaultConfig())
+	a, b := f("a"), f("b")
+	if a == b {
+		t.Error("factory must build fresh controllers")
+	}
+	if a.Name() != "evolve" {
+		t.Error("factory controller name")
+	}
+	sf := SingleResourceFactory()
+	if sf("x").Name() != "pid-cpu-only" {
+		t.Error("single-resource factory name")
+	}
+}

@@ -1,0 +1,127 @@
+// Package core implements the EVOLVE resource controller — the paper's
+// primary contribution: a per-application, multi-resource, adaptive PID
+// autoscaler that maps a performance-level objective (PLO) to CPU, memory,
+// disk-I/O and network allocations, building a demand model on the fly and
+// combining in-place vertical resizing with horizontal replica scaling.
+package core
+
+import (
+	"math"
+
+	"evolve/internal/control"
+	"evolve/internal/resource"
+)
+
+// DemandModel learns, online, how much of each resource one operation of
+// the application consumes, plus the per-replica memory working set. It
+// is the "model built on the fly" that turns the controller from purely
+// reactive into predictive: when the offered load swings, the model
+// provides an allocation floor before the PID loop has even seen the
+// resulting latency.
+type DemandModel struct {
+	alpha float64 // EWMA smoothing factor
+
+	perOp   resource.Vector // per-op usage of rate resources (CPU mc·s, bytes)
+	mem     float64         // per-replica working set estimate (bytes)
+	samples int
+}
+
+// NewDemandModel returns a model with the given smoothing factor
+// (0 < alpha <= 1; typical 0.25).
+func NewDemandModel(alpha float64) *DemandModel {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.25
+	}
+	return &DemandModel{alpha: alpha}
+}
+
+// Samples returns how many observations the model has absorbed.
+func (m *DemandModel) Samples() int { return m.samples }
+
+// PerOp returns the current per-operation demand estimate (Memory
+// component is zero; see Mem).
+func (m *DemandModel) PerOp() resource.Vector { return m.perOp }
+
+// Mem returns the per-replica working-set estimate in bytes.
+func (m *DemandModel) Mem() float64 { return m.mem }
+
+// Observe absorbs one control-period observation. Only meaningful when
+// the application actually served load during the period; saturated
+// periods are skipped entirely, because a saturated replica pegs its CPU
+// and inflates its queue working set — learning per-op costs from that
+// state would corrupt the model exactly when it matters most.
+func (m *DemandModel) Observe(obs control.Observation) {
+	if obs.ReadyReplicas <= 0 || obs.Saturated {
+		return
+	}
+	perReplicaRate := obs.Throughput / float64(obs.ReadyReplicas)
+	if perReplicaRate > 1e-9 {
+		for _, k := range []resource.Kind{resource.CPU, resource.DiskIO, resource.NetIO} {
+			sample := obs.Usage[k] / perReplicaRate
+			if sample < 0 || math.IsNaN(sample) || math.IsInf(sample, 0) {
+				continue
+			}
+			if m.samples == 0 {
+				m.perOp[k] = sample
+			} else {
+				m.perOp[k] += m.alpha * (sample - m.perOp[k])
+			}
+		}
+	}
+	if ws := obs.Usage[resource.Memory]; ws > 0 {
+		if m.samples == 0 {
+			m.mem = ws
+		} else {
+			m.mem += m.alpha * (ws - m.mem)
+		}
+	}
+	m.samples++
+}
+
+// Ready reports whether the model has seen enough data to be trusted.
+func (m *DemandModel) Ready() bool { return m.samples >= 3 }
+
+// Floor predicts the per-replica allocation needed to serve the offered
+// load over the given replica count at the target utilisation. Returns
+// the zero vector until the model is Ready.
+func (m *DemandModel) Floor(offered float64, replicas int, utilTarget float64) resource.Vector {
+	if !m.Ready() || replicas < 1 {
+		return resource.Vector{}
+	}
+	if utilTarget <= 0 || utilTarget > 1 {
+		utilTarget = 0.7
+	}
+	perReplica := offered / float64(replicas)
+	var floor resource.Vector
+	for _, k := range []resource.Kind{resource.CPU, resource.DiskIO, resource.NetIO} {
+		floor[k] = m.perOp[k] * perReplica / utilTarget
+	}
+	floor[resource.Memory] = m.mem / utilTarget
+	return floor
+}
+
+// ReplicasFor returns the minimum replica count able to serve the
+// offered load with each replica staying within maxAlloc at the target
+// utilisation. Returns 1 until the model is Ready.
+func (m *DemandModel) ReplicasFor(offered float64, maxAlloc resource.Vector, utilTarget float64) int {
+	if !m.Ready() || offered <= 0 {
+		return 1
+	}
+	if utilTarget <= 0 || utilTarget > 1 {
+		utilTarget = 0.7
+	}
+	need := 1.0
+	for _, k := range []resource.Kind{resource.CPU, resource.DiskIO, resource.NetIO} {
+		if maxAlloc[k] <= 0 || m.perOp[k] <= 0 {
+			continue
+		}
+		capacityPerReplica := maxAlloc[k] * utilTarget / m.perOp[k] // ops/s
+		if capacityPerReplica <= 0 {
+			continue
+		}
+		if n := offered / capacityPerReplica; n > need {
+			need = n
+		}
+	}
+	return int(math.Ceil(need - 1e-9))
+}

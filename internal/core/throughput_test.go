@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"evolve/internal/cluster"
+	"evolve/internal/plo"
+	"evolve/internal/resource"
+	"evolve/internal/sim"
+	"evolve/internal/workload"
+)
+
+// TestThroughputPLOClosedLoop verifies the controller handles
+// throughput-floor objectives end-to-end: a streaming-style service whose
+// PLO is "deliver at least the offered rate" must be grown out of an
+// under-provisioned start until it stops shedding load, and must not be
+// shrunk back into violation afterwards.
+func TestThroughputPLOClosedLoop(t *testing.T) {
+	eng := sim.NewEngine(77)
+	cfg := cluster.DefaultConfig()
+	cfg.MeasurementNoise = 0.02
+	c := cluster.New(eng, cfg)
+	if err := c.AddNodes("n", 4, resource.New(32000, 128<<30, 2e9, 4e9)); err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.Service(workload.Web, "stream", 500, 2)
+	// Throughput floor at the offered rate; start with capacity for only
+	// ~40% of it so the loop must grow.
+	spec.PLO = plo.MinThroughput(500)
+	spec.InitialAlloc = spec.Model.DemandFor(200, 2, 0.7).Max(spec.MinAlloc)
+	if err := c.CreateService(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetLoadFunc("stream", workload.Constant(500).Rate); err != nil {
+		t.Fatal(err)
+	}
+	ctrl := New("stream", DefaultConfig())
+	c.Start()
+	eng.Every(15*time.Second, func() {
+		obs, err := c.Observe("stream")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ApplyDecision("stream", ctrl.Decide(obs)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	eng.Run(40 * time.Minute)
+
+	// Steady state: delivered throughput at the floor.
+	thr := c.Metrics().Series("app/stream/throughput")
+	tail := thr.WindowStats(30*time.Minute, 40*time.Minute)
+	if tail.Mean < 500*0.95 {
+		t.Errorf("steady throughput = %v, want ≈500", tail.Mean)
+	}
+	// Violations confined to the initial under-provisioned stretch.
+	viol := c.Metrics().Series("app/stream/violation").TimeWeightedMean(10*time.Minute, 40*time.Minute)
+	if viol > 0.05 {
+		t.Errorf("violation fraction after convergence = %v", viol)
+	}
+}
+
+// TestThroughputPLODoesNotOverShrink: once the floor is met, slack
+// reclamation must stop above the floor rather than cutting back into
+// shedding.
+func TestThroughputPLODoesNotOverShrink(t *testing.T) {
+	eng := sim.NewEngine(78)
+	cfg := cluster.DefaultConfig()
+	cfg.MeasurementNoise = 0
+	c := cluster.New(eng, cfg)
+	if err := c.AddNodes("n", 4, resource.New(32000, 128<<30, 2e9, 4e9)); err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.Service(workload.Web, "stream", 300, 2)
+	spec.PLO = plo.MinThroughput(300)
+	// Start over-provisioned 4x.
+	spec.InitialAlloc = spec.Model.DemandFor(1200, 2, 0.7).Max(spec.MinAlloc)
+	if err := c.CreateService(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetLoadFunc("stream", workload.Constant(300).Rate); err != nil {
+		t.Fatal(err)
+	}
+	ctrl := New("stream", DefaultConfig())
+	c.Start()
+	eng.Every(15*time.Second, func() {
+		obs, err := c.Observe("stream")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ApplyDecision("stream", ctrl.Decide(obs)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	eng.Run(time.Hour)
+
+	// Allocation must have been reclaimed substantially…
+	alloc := c.Metrics().Series("app/stream/alloc/cpu")
+	first := alloc.Samples()[0].Value
+	last, _ := alloc.Last()
+	if last.Value > first*0.6 {
+		t.Errorf("slack not reclaimed: %v -> %v", first, last.Value)
+	}
+	// …without sustained shedding in the second half.
+	viol := c.Metrics().Series("app/stream/violation").TimeWeightedMean(30*time.Minute, time.Hour)
+	if viol > 0.05 {
+		t.Errorf("reclamation caused shedding: violation fraction %v", viol)
+	}
+}

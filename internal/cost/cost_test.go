@@ -1,0 +1,141 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"evolve/internal/metrics"
+	"evolve/internal/resource"
+)
+
+func TestPricingValidate(t *testing.T) {
+	if err := DefaultPricing().Validate(); err != nil {
+		t.Errorf("default pricing invalid: %v", err)
+	}
+	bad := DefaultPricing()
+	bad.CPUCoreHour = -1
+	if bad.Validate() == nil {
+		t.Error("negative rate should fail")
+	}
+}
+
+func TestHourlyRate(t *testing.T) {
+	p := Pricing{CPUCoreHour: 0.04, MemGiBHour: 0.005, DiskMBpsHour: 0.0008, NetMBpsHour: 0.0005}
+	// 4 cores, 8 GiB, 100 MB/s disk, 200 MB/s net.
+	alloc := resource.New(4000, 8<<30, 100e6, 200e6)
+	want := 4*0.04 + 8*0.005 + 100*0.0008 + 200*0.0005
+	if got := p.HourlyRate(alloc); math.Abs(got-want) > 1e-9 {
+		t.Errorf("rate = %v, want %v", got, want)
+	}
+	if p.HourlyRate(resource.Vector{}) != 0 {
+		t.Error("zero allocation should be free")
+	}
+}
+
+func fillRegistry(nodes int, allocFrac, usageFrac, emptyNodes float64, span time.Duration) *metrics.Registry {
+	met := metrics.NewRegistry()
+	for _, k := range resource.Kinds() {
+		met.Series("cluster/allocated/"+k.String()).Add(0, allocFrac)
+		met.Series("cluster/usage/"+k.String()).Add(0, usageFrac)
+	}
+	met.Series("cluster/empty-nodes").Add(0, emptyNodes)
+	// Close the step at the end of the span.
+	for _, k := range resource.Kinds() {
+		met.Series("cluster/allocated/"+k.String()).Add(span, allocFrac)
+		met.Series("cluster/usage/"+k.String()).Add(span, usageFrac)
+	}
+	met.Series("cluster/empty-nodes").Add(span, emptyNodes)
+	return met
+}
+
+func TestCostIntegratesAllocation(t *testing.T) {
+	capacity := resource.New(16000, 64<<30, 1e9, 2e9)
+	met := fillRegistry(1, 0.5, 0.3, 0, 2*time.Hour)
+	p := DefaultPricing()
+	got := p.Cost(met, capacity, 0, 2*time.Hour)
+	want := p.HourlyRate(capacity.Scale(0.5)) * 2
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+	if p.Cost(met, capacity, time.Hour, time.Hour) != 0 {
+		t.Error("empty window should be free")
+	}
+}
+
+func TestCostScalesWithAllocation(t *testing.T) {
+	capacity := resource.New(16000, 64<<30, 1e9, 2e9)
+	p := DefaultPricing()
+	lo := p.Cost(fillRegistry(1, 0.25, 0.2, 0, time.Hour), capacity, 0, time.Hour)
+	hi := p.Cost(fillRegistry(1, 0.75, 0.2, 0, time.Hour), capacity, 0, time.Hour)
+	if math.Abs(hi/lo-3) > 1e-9 {
+		t.Errorf("cost ratio = %v, want 3", hi/lo)
+	}
+}
+
+func TestNodePower(t *testing.T) {
+	m := DefaultPowerModel()
+	if got := m.NodePower(0, false); got != m.IdleWatts {
+		t.Errorf("idle power = %v", got)
+	}
+	if got := m.NodePower(1, false); got != m.IdleWatts+m.DynamicWatts {
+		t.Errorf("full power = %v", got)
+	}
+	if got := m.NodePower(0.5, false); got != m.IdleWatts+0.5*m.DynamicWatts {
+		t.Errorf("half power = %v", got)
+	}
+	if got := m.NodePower(0, true); got != m.SleepWatts {
+		t.Errorf("sleep power = %v", got)
+	}
+	// Clamping.
+	if m.NodePower(-1, false) != m.IdleWatts || m.NodePower(5, false) != m.IdleWatts+m.DynamicWatts {
+		t.Error("utilisation not clamped")
+	}
+}
+
+func TestEnergyAccountsConsolidation(t *testing.T) {
+	m := DefaultPowerModel()
+	// Same total usage, but one cluster has 2 of 4 nodes empty
+	// (consolidated): its energy must be lower.
+	spreadOut := m.Energy(fillRegistry(4, 0.5, 0.2, 0, time.Hour), 4, 0, time.Hour)
+	packed := m.Energy(fillRegistry(4, 0.5, 0.2, 2, time.Hour), 4, 0, time.Hour)
+	if packed >= spreadOut {
+		t.Errorf("consolidated energy %v >= spread %v", packed, spreadOut)
+	}
+	// Empty window and degenerate node count.
+	if m.Energy(fillRegistry(1, 0.5, 0.2, 0, time.Hour), 0, 0, time.Hour) != 0 {
+		t.Error("zero nodes should be zero energy")
+	}
+}
+
+func TestEnergyMagnitude(t *testing.T) {
+	m := DefaultPowerModel()
+	// 4 busy nodes at 50% for one hour: 4 × (110 + 80) = 760 Wh.
+	got := m.Energy(fillRegistry(4, 0.8, 0.5, 0, time.Hour), 4, 0, time.Hour)
+	if math.Abs(got-760) > 1 {
+		t.Errorf("energy = %v Wh, want ≈760", got)
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	capacity := resource.New(16000, 64<<30, 1e9, 2e9)
+	met := fillRegistry(4, 0.5, 0.3, 1, time.Hour)
+	s := Summarise(met, capacity, 4, 0, time.Hour, DefaultPricing(), DefaultPowerModel())
+	if s.Dollars <= 0 || s.WattHour <= 0 {
+		t.Errorf("summary: %+v", s)
+	}
+}
+
+// Property: cost is monotone in every rate and in the allocation.
+func TestHourlyRateMonotoneProperty(t *testing.T) {
+	p := DefaultPricing()
+	prop := func(a, b uint16) bool {
+		lo := resource.New(float64(a%1000), float64(a%1000)*1e6, float64(a%1000)*1e3, float64(a%1000)*1e3)
+		hi := lo.Add(resource.New(float64(b%1000), float64(b%1000)*1e6, float64(b%1000)*1e3, float64(b%1000)*1e3))
+		return p.HourlyRate(hi) >= p.HourlyRate(lo)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

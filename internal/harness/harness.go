@@ -1,0 +1,339 @@
+// Package harness wires the full stack together for the evaluation: it
+// builds a scenario (cluster topology, service mix, load patterns, batch
+// and HPC job streams), runs it once per resource-management policy, and
+// summarises the outcomes into the tables and figures of EXPERIMENTS.md.
+// Every run is deterministic in the scenario seed.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"evolve/internal/batch"
+	"evolve/internal/cluster"
+	"evolve/internal/control"
+	"evolve/internal/cost"
+	"evolve/internal/hpc"
+	"evolve/internal/metrics"
+	"evolve/internal/resource"
+	"evolve/internal/sched"
+	"evolve/internal/sim"
+	"evolve/internal/workload"
+)
+
+// AppLoad pairs a service spec with its offered-load pattern.
+type AppLoad struct {
+	Spec    cluster.ServiceSpec
+	Pattern workload.Pattern
+}
+
+// TimedBatch schedules a DAG job submission at a virtual time.
+type TimedBatch struct {
+	At  time.Duration
+	Job batch.JobSpec
+}
+
+// TimedHPC schedules an HPC job submission at a virtual time.
+type TimedHPC struct {
+	At  time.Duration
+	Job hpc.JobSpec
+}
+
+// NodePool declares a labeled group of identical nodes.
+type NodePool struct {
+	Name   string
+	Count  int
+	Labels map[string]string
+}
+
+// Scenario describes one complete experiment environment.
+type Scenario struct {
+	Name         string
+	Seed         int64
+	Nodes        int
+	NodeCapacity resource.Vector
+	// Pools, when set, replaces the flat Nodes topology with labeled
+	// pools (Nodes is then ignored except for validation and must equal
+	// the pool total).
+	Pools           []NodePool
+	Duration        time.Duration
+	Warmup          time.Duration // excluded from summary statistics
+	ControlInterval time.Duration
+	SchedulerPolicy sched.Policy
+	Apps            []AppLoad
+	BatchJobs       []TimedBatch
+	HPCJobs         []TimedHPC
+	HPCPolicy       hpc.Policy
+	// MeasurementNoise overrides the cluster default when > 0.
+	MeasurementNoise float64
+}
+
+// Validate reports scenario construction errors.
+func (s Scenario) Validate() error {
+	if len(s.Pools) > 0 {
+		total := 0
+		for _, p := range s.Pools {
+			if p.Count <= 0 || p.Name == "" {
+				return fmt.Errorf("harness: scenario %s has an invalid pool", s.Name)
+			}
+			total += p.Count
+		}
+		if s.Nodes != 0 && s.Nodes != total {
+			return fmt.Errorf("harness: scenario %s: Nodes (%d) disagrees with pool total (%d)", s.Name, s.Nodes, total)
+		}
+	} else if s.Nodes <= 0 {
+		return fmt.Errorf("harness: scenario %s needs nodes", s.Name)
+	}
+	if s.NodeCapacity.IsZero() {
+		return fmt.Errorf("harness: scenario %s needs node capacity", s.Name)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("harness: scenario %s needs a duration", s.Name)
+	}
+	if s.Warmup >= s.Duration {
+		return fmt.Errorf("harness: scenario %s warmup >= duration", s.Name)
+	}
+	if len(s.Apps) == 0 && len(s.BatchJobs) == 0 && len(s.HPCJobs) == 0 {
+		return fmt.Errorf("harness: scenario %s has no workload", s.Name)
+	}
+	for _, a := range s.Apps {
+		if err := a.Spec.Validate(); err != nil {
+			return err
+		}
+		if err := workload.Validate(a.Pattern, s.Duration); err != nil {
+			return fmt.Errorf("harness: app %s: %w", a.Spec.Name, err)
+		}
+	}
+	return nil
+}
+
+// Policy names a controller family under evaluation.
+type Policy struct {
+	Name    string
+	Factory control.Factory
+	// Overprovision multiplies each app's initial allocation before
+	// deployment — how a static-requests user buys safety margin.
+	Overprovision float64
+}
+
+// AppResult summarises one application under one policy.
+type AppResult struct {
+	App               string
+	ViolationFraction float64
+	MeanSLI           float64
+	P99SLI            float64
+	MeanReplicas      float64
+	// MeanAlloc is the time-weighted mean of total allocation
+	// (per-replica alloc × desired replicas) for the app, per resource.
+	MeanAlloc resource.Vector
+}
+
+// Result is one full scenario run under one policy.
+type Result struct {
+	Scenario string
+	Policy   string
+	Apps     []AppResult
+
+	// Cluster-level time-weighted means over the measurement window.
+	AllocFraction resource.Vector // allocated / allocatable
+	UsageFraction resource.Vector // used / allocatable
+	// UsageOfAlloc is usage/allocated on the CPU dimension — the
+	// headline "utilisation of what you paid for".
+	UsageOfAlloc float64
+
+	// Counters of interest.
+	Binds, Preemptions, Migrations, Unschedulable uint64
+	Evictions                                     uint64
+
+	// HPC/batch outcomes (zero when the scenario has none).
+	HPCMeanWait    time.Duration
+	HPCMeanRuntime time.Duration
+	HPCCompleted   int
+	BatchMakespan  time.Duration
+	BatchCompleted int
+
+	// Economics over the measurement window (internal/cost defaults):
+	// the allocation bill in dollars and the energy draw in watt-hours.
+	Dollars  float64
+	WattHour float64
+
+	// The full cluster for figure extraction.
+	Cluster *cluster.Cluster
+}
+
+// OverallViolation returns the mean violation fraction across apps.
+func (r *Result) OverallViolation() float64 {
+	if len(r.Apps) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, a := range r.Apps {
+		s += a.ViolationFraction
+	}
+	return s / float64(len(r.Apps))
+}
+
+// Hook runs arbitrary cluster surgery (failure injection, topology
+// changes) at a virtual time during a scenario run.
+type Hook struct {
+	At time.Duration
+	Do func(*cluster.Cluster)
+}
+
+// Run executes the scenario under the policy and summarises it.
+func Run(sc Scenario, pol Policy) (*Result, error) {
+	return RunWithHooks(sc, pol, nil)
+}
+
+// RunWithHooks is Run with injection hooks scheduled into the timeline.
+func RunWithHooks(sc Scenario, pol Policy, hooks []Hook) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.ControlInterval <= 0 {
+		sc.ControlInterval = 15 * time.Second
+	}
+	eng := sim.NewEngine(sc.Seed)
+	ccfg := cluster.DefaultConfig()
+	ccfg.SchedulerPolicy = sc.SchedulerPolicy
+	if sc.MeasurementNoise > 0 {
+		ccfg.MeasurementNoise = sc.MeasurementNoise
+	}
+	c := cluster.New(eng, ccfg)
+	if len(sc.Pools) > 0 {
+		for _, pool := range sc.Pools {
+			for i := 0; i < pool.Count; i++ {
+				name := fmt.Sprintf("%s-%d", pool.Name, i)
+				if err := c.AddLabeledNode(name, sc.NodeCapacity, pool.Labels); err != nil {
+					return nil, err
+				}
+			}
+		}
+	} else if err := c.AddNodes("node", sc.Nodes, sc.NodeCapacity); err != nil {
+		return nil, err
+	}
+
+	controllers := make(map[string]control.Controller, len(sc.Apps))
+	for _, a := range sc.Apps {
+		spec := a.Spec
+		if pol.Overprovision > 0 && pol.Overprovision != 1 {
+			spec.InitialAlloc = spec.InitialAlloc.Scale(pol.Overprovision).Min(spec.MaxAlloc)
+		}
+		if err := c.CreateService(spec); err != nil {
+			return nil, err
+		}
+		if err := c.SetLoadFunc(spec.Name, a.Pattern.Rate); err != nil {
+			return nil, err
+		}
+		controllers[spec.Name] = pol.Factory(spec.Name)
+	}
+
+	// Batch and HPC streams.
+	runner := batch.NewRunner(c)
+	for _, tb := range sc.BatchJobs {
+		job := tb.Job
+		eng.At(tb.At, func() {
+			if err := runner.Submit(job); err != nil {
+				panic(fmt.Sprintf("harness: batch submit %s: %v", job.Name, err))
+			}
+		})
+	}
+	var queue *hpc.Queue
+	if len(sc.HPCJobs) > 0 {
+		queue = hpc.NewQueue(c, sc.HPCPolicy)
+		for _, th := range sc.HPCJobs {
+			job := th.Job
+			eng.At(th.At, func() {
+				if err := queue.Submit(job); err != nil {
+					panic(fmt.Sprintf("harness: hpc submit %s: %v", job.Name, err))
+				}
+			})
+		}
+	}
+
+	for _, h := range hooks {
+		do := h.Do
+		eng.At(h.At, func() { do(c) })
+	}
+
+	c.Start()
+	// Control loop.
+	eng.Every(sc.ControlInterval, func() {
+		for _, name := range c.Apps() {
+			obs, err := c.Observe(name)
+			if err != nil {
+				panic(err)
+			}
+			d := controllers[name].Decide(obs)
+			if err := c.ApplyDecision(name, d); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	eng.Run(sc.Duration)
+	return summarise(sc, pol, c, runner, queue), nil
+}
+
+func summarise(sc Scenario, pol Policy, c *cluster.Cluster, runner *batch.Runner, queue *hpc.Queue) *Result {
+	from, to := sc.Warmup, sc.Duration
+	met := c.Metrics()
+	res := &Result{Scenario: sc.Name, Policy: pol.Name, Cluster: c}
+
+	for _, name := range c.Apps() {
+		pfx := "app/" + name + "/"
+		ar := AppResult{App: name}
+		ar.ViolationFraction = met.Series(pfx+"violation").TimeWeightedMean(from, to)
+		ar.MeanSLI = met.Series(pfx+"sli").WindowStats(from, to).Mean
+		ar.P99SLI = met.Series(pfx+"sli").Percentile(from, to, 99)
+		ar.MeanReplicas = met.Series(pfx+"replicas").TimeWeightedMean(from, to)
+		for _, k := range resource.Kinds() {
+			// Total app allocation ≈ per-replica alloc × replicas; use
+			// sample-wise product via the two step series.
+			ar.MeanAlloc[k] = productMean(met, pfx+"alloc/"+k.String(), pfx+"replicas", from, to)
+		}
+		res.Apps = append(res.Apps, ar)
+	}
+
+	res.AllocFraction, res.UsageFraction = c.UtilisationSummary(from, to)
+	if res.AllocFraction[resource.CPU] > 0 {
+		res.UsageOfAlloc = res.UsageFraction[resource.CPU] / res.AllocFraction[resource.CPU]
+	}
+	res.Binds = met.Counter("sched/binds").Value()
+	res.Preemptions = met.Counter("sched/preemptions").Value()
+	res.Migrations = met.Counter("resize/migrations").Value()
+	res.Unschedulable = met.Counter("sched/unschedulable").Value()
+	res.Evictions = met.Counter("evictions/preempted").Value() + met.Counter("evictions/node-failure").Value() + met.Counter("evictions/killed").Value()
+
+	if queue != nil {
+		res.HPCMeanWait, res.HPCMeanRuntime, res.HPCCompleted = queue.Stats()
+	}
+	if runner != nil {
+		st := met.Series("batch/makespan").AllStats()
+		res.BatchCompleted = st.Count
+		res.BatchMakespan = time.Duration(st.Mean * float64(time.Second))
+	}
+	bill := cost.Summarise(met, sc.NodeCapacity.Scale(0.94), sc.Nodes, from, to,
+		cost.DefaultPricing(), cost.DefaultPowerModel())
+	res.Dollars, res.WattHour = bill.Dollars, bill.WattHour
+	return res
+}
+
+// productMean computes the mean of the product of two series that are
+// sampled at identical tick timestamps (as all cluster app series are).
+func productMean(met *metrics.Registry, a, b string, from, to time.Duration) float64 {
+	wa := met.Series(a).Window(from, to)
+	wb := met.Series(b).Window(from, to)
+	n := len(wa)
+	if len(wb) < n {
+		n = len(wb)
+	}
+	if n == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += wa[i].Value * wb[i].Value
+	}
+	return s / float64(n)
+}

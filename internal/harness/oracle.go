@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"math"
+
+	"evolve/internal/cluster"
+	"evolve/internal/control"
+	"evolve/internal/resource"
+)
+
+// oracle is the clairvoyant upper-bound policy: it reads the true
+// performance model of its application (which no real controller has) and
+// computes the analytically right-sized allocation for the currently
+// offered load each period. It cannot see the future, but it never has to
+// learn, probe or converge — the gap between it and EVOLVE is the price
+// of operating from observations alone.
+type oracle struct {
+	spec   cluster.ServiceSpec
+	target float64
+}
+
+// OracleFactory builds clairvoyant controllers for the scenario's apps.
+// Apps not found in the list hold their state (no oracle knowledge).
+func OracleFactory(apps []AppLoad, utilTarget float64) control.Factory {
+	if utilTarget <= 0 || utilTarget >= 1 {
+		utilTarget = 0.7
+	}
+	specs := make(map[string]cluster.ServiceSpec, len(apps))
+	for _, a := range apps {
+		specs[a.Spec.Name] = a.Spec
+	}
+	return func(app string) control.Controller {
+		spec, ok := specs[app]
+		if !ok {
+			return control.NoopController{}
+		}
+		return &oracle{spec: spec, target: utilTarget}
+	}
+}
+
+// Name implements control.Controller.
+func (o *oracle) Name() string { return "oracle" }
+
+// Decide implements control.Controller: analytic right-sizing from the
+// true model at the observed offered load, with a replica count chosen so
+// the per-replica allocation fits the ceiling.
+func (o *oracle) Decide(obs control.Observation) control.Decision {
+	if obs.Interval <= 0 || obs.OfferedLoad <= 0 {
+		return control.Hold(obs)
+	}
+	// Small safety margin over the instantaneous load: even clairvoyance
+	// needs headroom against sampling noise within the control period.
+	lambda := obs.OfferedLoad * 1.1
+
+	replicas := obs.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	// Find the smallest replica count whose right-size fits MaxAlloc.
+	max := obs.Limits.MaxAlloc
+	for n := 1; ; n++ {
+		alloc := o.spec.Model.DemandFor(lambda, n, o.target)
+		if alloc.Fits(max) || (obs.Limits.MaxReplicas > 0 && n >= obs.Limits.MaxReplicas) {
+			replicas = n
+			break
+		}
+		if n > 1024 {
+			replicas = n
+			break
+		}
+	}
+	alloc := o.spec.Model.DemandFor(lambda, replicas, o.target).Max(o.spec.MinAlloc)
+	// Memory right-size can round below the fixed working set under very
+	// low load; keep a floor at the model's zero-load working set.
+	ws := o.spec.Model.MemFixed / o.target
+	if alloc[resource.Memory] < ws {
+		alloc[resource.Memory] = ws
+	}
+	if math.IsNaN(alloc.Sum()) {
+		return control.Hold(obs)
+	}
+	return obs.Limits.Clamp(control.Decision{Replicas: replicas, Alloc: alloc})
+}

@@ -1,0 +1,320 @@
+package hpc
+
+import (
+	"testing"
+	"time"
+
+	"evolve/internal/cluster"
+	"evolve/internal/perf"
+	"evolve/internal/resource"
+	"evolve/internal/sim"
+)
+
+func newCluster(t *testing.T, nodes int) *cluster.Cluster {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cfg := cluster.DefaultConfig()
+	cfg.MeasurementNoise = 0
+	c := cluster.New(eng, cfg)
+	if err := c.AddNodes("n", nodes, resource.New(16000, 64<<30, 1e9, 2e9)); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	return c
+}
+
+// job with ranks x 8000m, each running 20s.
+func testJob(name string, ranks int) JobSpec {
+	return JobSpec{
+		Name:    name,
+		Ranks:   ranks,
+		PerRank: resource.New(7000, 8<<30, 10e6, 50e6),
+		Model:   perf.TaskModel{Work: resource.New(140000, 0, 0, 0), MemSet: 4 << 30},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (JobSpec{}).Validate(); err == nil {
+		t.Error("empty spec should fail")
+	}
+	if err := (JobSpec{Name: "x"}).Validate(); err == nil {
+		t.Error("zero ranks should fail")
+	}
+	if err := (JobSpec{Name: "x", Ranks: 2}).Validate(); err == nil {
+		t.Error("zero requests should fail")
+	}
+	if err := testJob("ok", 2).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestGangJobRunsAndCompletes(t *testing.T) {
+	c := newCluster(t, 2)
+	q := NewQueue(c, FCFS)
+	var gotWait, gotRun time.Duration
+	doneJob := ""
+	q.OnJobDone(func(job string, wait, runtime time.Duration) {
+		doneJob, gotWait, gotRun = job, wait, runtime
+	})
+	if err := q.Submit(testJob("mpi-1", 4)); err != nil { // 4 ranks x 7000m fit 2x15040m
+		t.Fatal(err)
+	}
+	if err := q.Submit(testJob("mpi-1", 1)); err == nil {
+		t.Error("duplicate job should fail")
+	}
+	if s, _ := q.Status("mpi-1"); s != "queued" && s != "running" {
+		t.Errorf("status = %s", s)
+	}
+	c.Engine().Run(2 * time.Minute)
+	if doneJob != "mpi-1" {
+		t.Fatal("job did not complete")
+	}
+	if gotRun < 19*time.Second {
+		t.Errorf("runtime = %v, want ≈20s+", gotRun)
+	}
+	if gotWait < 0 {
+		t.Errorf("wait = %v", gotWait)
+	}
+	if s, _ := q.Status("mpi-1"); s != "done" {
+		t.Errorf("status = %s", s)
+	}
+	if _, err := q.Status("nope"); err == nil {
+		t.Error("unknown job status should fail")
+	}
+}
+
+func TestFCFSHeadOfLineBlocking(t *testing.T) {
+	c := newCluster(t, 2)
+	q := NewQueue(c, FCFS)
+	// Each node fits two 7000m ranks, so the cluster holds 4 ranks; the
+	// 5-rank head cannot start. The 1-rank job behind it fits, but FCFS
+	// must not start it while the head waits.
+	if err := q.Submit(testJob("big", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(testJob("small", 1)); err != nil {
+		t.Fatal(err)
+	}
+	c.Engine().Run(time.Minute)
+	if s, _ := q.Status("big"); s != "queued" {
+		t.Errorf("big = %s, want queued (does not fit)", s)
+	}
+	if s, _ := q.Status("small"); s != "queued" {
+		t.Errorf("small = %s; FCFS must block behind the head", s)
+	}
+	if q.QueueLength() != 2 {
+		t.Errorf("queue length = %d", q.QueueLength())
+	}
+}
+
+func TestBackfillSkipsBlockedHead(t *testing.T) {
+	c := newCluster(t, 2)
+	q := NewQueue(c, Backfill)
+	if err := q.Submit(testJob("big", 5)); err != nil { // cannot fit: 5 ranks > 4 slots
+		t.Fatal(err)
+	}
+	if err := q.Submit(testJob("small", 1)); err != nil {
+		t.Fatal(err)
+	}
+	c.Engine().Run(time.Minute)
+	if s, _ := q.Status("small"); s != "done" && s != "running" {
+		t.Errorf("small = %s; backfill should have started it", s)
+	}
+	if s, _ := q.Status("big"); s != "queued" {
+		t.Errorf("big = %s", s)
+	}
+}
+
+func TestTwoNodeGangSpansNodes(t *testing.T) {
+	c := newCluster(t, 2)
+	q := NewQueue(c, FCFS)
+	// 2 ranks of 7000m: spread policy puts one per node.
+	if err := q.Submit(testJob("span", 2)); err != nil {
+		t.Fatal(err)
+	}
+	c.Engine().Run(10 * time.Second)
+	nodes := map[string]bool{}
+	for _, p := range c.Pods() {
+		if p.Phase == cluster.Running {
+			nodes[p.Node] = true
+		}
+	}
+	if len(nodes) != 2 {
+		t.Errorf("gang spans %d nodes, want 2", len(nodes))
+	}
+}
+
+func TestRigidJobRestartsAfterRankFailure(t *testing.T) {
+	c := newCluster(t, 2)
+	q := NewQueue(c, FCFS)
+	if err := q.Submit(testJob("frag", 2)); err != nil {
+		t.Fatal(err)
+	}
+	c.Engine().Run(10 * time.Second) // running
+	if s, _ := q.Status("frag"); s != "running" {
+		t.Fatalf("status = %s", s)
+	}
+	// Fail one node: the rank dies, the sibling must be torn down and the
+	// job restarted from the queue.
+	if err := c.FailNode("n-0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestoreNode("n-0"); err != nil {
+		t.Fatal(err)
+	}
+	c.Engine().Run(3 * time.Minute)
+	if s, _ := q.Status("frag"); s != "done" {
+		t.Errorf("status = %s, want done after restart", s)
+	}
+	if c.Metrics().Counter("hpc/rank-failures").Value() == 0 {
+		t.Error("rank failure not counted")
+	}
+	if c.Metrics().Counter("hpc/jobs-completed").Value() != 1 {
+		t.Error("exactly one completion expected")
+	}
+}
+
+func TestJobFailsAfterMaxRestarts(t *testing.T) {
+	c := newCluster(t, 1)
+	q := NewQueue(c, FCFS)
+	spec := testJob("doomed", 1)
+	spec.MaxRestarts = 1
+	if err := q.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		c.Engine().Run(c.Engine().Now() + 7*time.Second)
+		if err := c.FailNode("n-0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RestoreNode("n-0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Engine().Run(c.Engine().Now() + time.Minute)
+	if s, _ := q.Status("doomed"); s != "failed" {
+		t.Errorf("status = %s, want failed", s)
+	}
+	if c.Metrics().Counter("hpc/jobs-failed").Value() != 1 {
+		t.Error("failure not counted")
+	}
+}
+
+// longJob is a 1-rank job running for runtime seconds at 7000m.
+func longJob(name string, ranks int, runtime float64) JobSpec {
+	return JobSpec{
+		Name:    name,
+		Ranks:   ranks,
+		PerRank: resource.New(7000, 8<<30, 10e6, 50e6),
+		Model:   perf.TaskModel{Work: resource.New(7000*runtime, 0, 0, 0), MemSet: 4 << 30},
+	}
+}
+
+// TestEASYReservationPreventsHeadStarvation: a blocked wide head must not
+// be pushed back by a long narrow job that plain backfill would happily
+// start.
+func TestEASYReservationPreventsHeadStarvation(t *testing.T) {
+	run := func(policy Policy) (headStart time.Duration, smallStarted bool) {
+		c := newCluster(t, 2)
+		q := NewQueue(c, policy)
+		// Fillers: one 7000m rank per node, finishing at t≈60s; they
+		// leave ~8040m free per node.
+		if err := q.Submit(longJob("filler", 2, 60)); err != nil {
+			t.Fatal(err)
+		}
+		c.Engine().Run(time.Second)
+		// Wide head: 4 ranks of 7000m — needs both nodes empty.
+		if err := q.Submit(longJob("head", 4, 60)); err != nil {
+			t.Fatal(err)
+		}
+		// Narrow long job: fits right now, but runs 600s.
+		if err := q.Submit(longJob("narrow", 1, 600)); err != nil {
+			t.Fatal(err)
+		}
+		var started time.Duration = -1
+		q.OnJobDone(func(job string, wait, runtime time.Duration) {
+			if job == "head" && started < 0 {
+				started = c.Engine().Now() - runtime
+			}
+		})
+		c.Engine().Run(30 * time.Minute)
+		s, err := q.Status("narrow")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if started < 0 {
+			t.Fatalf("%v: head never finished", policy)
+		}
+		return started, s == "done" || s == "running"
+	}
+
+	easyStart, _ := run(EASY)
+	backfillStart, backfillSmall := run(Backfill)
+
+	// EASY: head starts right after the fillers drain (~60-70s).
+	if easyStart > 2*time.Minute {
+		t.Errorf("EASY head started at %v, want ≈1min (reservation)", easyStart)
+	}
+	// Plain backfill starts the narrow job and delays the head behind it.
+	if !backfillSmall {
+		t.Error("plain backfill should have started the narrow job")
+	}
+	if backfillStart <= easyStart {
+		t.Errorf("backfill head at %v should start later than EASY head at %v", backfillStart, easyStart)
+	}
+	if EASY.String() != "easy" {
+		t.Error("policy string")
+	}
+}
+
+// TestEASYStillBackfillsShortJobs: jobs that finish before the shadow
+// time must be allowed through.
+func TestEASYStillBackfillsShortJobs(t *testing.T) {
+	c := newCluster(t, 2)
+	q := NewQueue(c, EASY)
+	if err := q.Submit(longJob("filler", 2, 300)); err != nil { // drains at t≈300s
+		t.Fatal(err)
+	}
+	c.Engine().Run(time.Second)
+	if err := q.Submit(longJob("head", 4, 60)); err != nil { // blocked until 300s
+		t.Fatal(err)
+	}
+	if err := q.Submit(longJob("quick", 1, 30)); err != nil { // done by 40s < shadow
+		t.Fatal(err)
+	}
+	c.Engine().Run(2 * time.Minute)
+	if s, _ := q.Status("quick"); s != "done" {
+		t.Errorf("quick job should have backfilled under the reservation: %s", s)
+	}
+	if s, _ := q.Status("head"); s != "queued" {
+		t.Errorf("head should still be waiting on the fillers: %s", s)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := newCluster(t, 2)
+	q := NewQueue(c, FCFS)
+	if err := q.Submit(testJob("a", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(testJob("b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	c.Engine().Run(5 * time.Minute)
+	wait, run, completed := q.Stats()
+	if completed != 2 {
+		t.Fatalf("completed = %d", completed)
+	}
+	if run < 19*time.Second {
+		t.Errorf("mean runtime = %v", run)
+	}
+	if wait < 0 {
+		t.Errorf("mean wait = %v", wait)
+	}
+	if p := FCFS.String(); p != "fcfs" {
+		t.Errorf("policy string = %s", p)
+	}
+	if p := Backfill.String(); p != "backfill" {
+		t.Errorf("policy string = %s", p)
+	}
+}

@@ -1,0 +1,282 @@
+// Package perf provides the application performance models that close the
+// loop between resource allocations and the service-level indicators the
+// autoscaler observes. The models are deliberately queueing-theoretic
+// rather than trace-driven: an M/G/1-PS latency curve over a multi-resource
+// bottleneck service rate, a working-set memory penalty, and a colocation
+// interference factor. Together they give the controller a realistic,
+// nonlinear plant — latency explodes near saturation and the binding
+// resource shifts as allocations change — which is exactly the dynamics a
+// PID autoscaler must cope with on a real cluster.
+package perf
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"evolve/internal/resource"
+)
+
+// ServiceModel describes how one replicated service transforms an offered
+// load and a per-replica allocation into latency and throughput.
+type ServiceModel struct {
+	// BaseLatency is the load-independent floor (network RTT, fixed
+	// per-request work).
+	BaseLatency time.Duration
+
+	// DemandPerOp is the work one operation consumes from each rate
+	// resource: CPU in millicore·seconds/op, DiskIO and NetIO in
+	// bytes/op. The Memory component is ignored here (see MemFixed and
+	// MemPerConcurrent): memory is a space resource, not a rate.
+	DemandPerOp resource.Vector
+
+	// MemFixed is the resident working set in bytes independent of load.
+	MemFixed float64
+	// MemPerConcurrent is additional working set per in-flight operation.
+	MemPerConcurrent float64
+
+	// MaxLatency caps the modelled latency in overload; queues in real
+	// systems are bounded by timeouts, and an unbounded model value
+	// would swamp the controller's error clamp anyway.
+	MaxLatency time.Duration
+
+	// MaxConcurrency bounds the in-flight operations per replica when
+	// estimating the working set (servers bound their connection pools);
+	// zero means the default of 64.
+	MaxConcurrency float64
+}
+
+// Validate reports model configuration errors.
+func (m ServiceModel) Validate() error {
+	if m.DemandPerOp[resource.CPU] <= 0 {
+		return fmt.Errorf("perf: DemandPerOp CPU must be positive, got %v", m.DemandPerOp[resource.CPU])
+	}
+	if !m.DemandPerOp.NonNegative() {
+		return fmt.Errorf("perf: negative per-op demand %v", m.DemandPerOp)
+	}
+	if m.MemFixed < 0 || m.MemPerConcurrent < 0 {
+		return fmt.Errorf("perf: negative memory parameters")
+	}
+	if m.MaxLatency <= 0 {
+		return fmt.Errorf("perf: MaxLatency must be positive")
+	}
+	return nil
+}
+
+// Result is the modelled steady-state behaviour of a service over one
+// control interval.
+type Result struct {
+	MeanLatency time.Duration
+	P99Latency  time.Duration
+	// Throughput is delivered operations/second (≤ offered load).
+	Throughput float64
+	// Utilisation is the per-resource usage fraction of the per-replica
+	// allocation (memory: working set over allocation). May exceed 1 in
+	// overload.
+	Utilisation resource.Vector
+	// Usage is the absolute per-replica resource usage.
+	Usage resource.Vector
+	// Saturated reports whether offered load exceeded capacity.
+	Saturated bool
+	// BottleneckKind is the resource limiting the service rate.
+	Bottleneck resource.Kind
+}
+
+// maxRho is the utilisation beyond which the queueing formulas are
+// replaced by the overload branch.
+const maxRho = 0.995
+
+// Evaluate models the service under offered load lambda (ops/second)
+// spread over replicas, each holding alloc. slowdown is an external
+// multiplicative service-time inflation (≥1) from node-level interference;
+// pass 1 when isolated.
+func (m ServiceModel) Evaluate(lambda float64, replicas int, alloc resource.Vector, slowdown float64) Result {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if slowdown < 1 {
+		slowdown = 1
+	}
+	lr := lambda / float64(replicas) // per-replica offered load
+
+	// Service rate from each rate resource: alloc_k / demand_k op/s.
+	mu := math.Inf(1)
+	bottleneck := resource.CPU
+	for _, k := range []resource.Kind{resource.CPU, resource.DiskIO, resource.NetIO} {
+		d := m.DemandPerOp[k]
+		if d <= 0 {
+			continue
+		}
+		rate := alloc[k] / d
+		if rate < mu {
+			mu, bottleneck = rate, k
+		}
+	}
+	mu /= slowdown
+
+	// Memory: estimate concurrency via Little's law with one fixed-point
+	// refinement, derive the working set, and penalise the service rate
+	// quadratically when the allocation cannot hold it (paging).
+	maxConc := m.MaxConcurrency
+	if maxConc <= 0 {
+		maxConc = 64
+	}
+	var ws float64
+	latencyGuess := m.BaseLatency.Seconds() + safeInv(mu)
+	for i := 0; i < 2; i++ {
+		concurrency := math.Min(lr*latencyGuess, maxConc)
+		ws = m.MemFixed + m.MemPerConcurrent*concurrency
+		if alloc[resource.Memory] > 0 && ws > alloc[resource.Memory] {
+			over := ws / alloc[resource.Memory]
+			mu2 := mu / (over * over)
+			if mu2 < mu {
+				mu = mu2
+				bottleneck = resource.Memory
+			}
+		}
+		latencyGuess = m.BaseLatency.Seconds() + queueLatency(safeInv(mu), lr/mu)
+	}
+
+	res := Result{Bottleneck: bottleneck}
+	if mu <= 0 || math.IsInf(mu, 1) {
+		mu = math.Max(mu, 1e-9)
+	}
+	rho := lr / mu
+	s := safeInv(mu) // mean service time at this allocation
+
+	switch {
+	case rho >= maxRho:
+		res.Saturated = true
+		res.MeanLatency = m.MaxLatency
+		res.P99Latency = m.MaxLatency
+		res.Throughput = mu * float64(replicas) * maxRho
+	default:
+		mean := m.BaseLatency.Seconds() + queueLatency(s, rho)
+		// M/M/1 tail: p99 ≈ base + S·ln(100)/(1-ρ).
+		p99 := m.BaseLatency.Seconds() + s*math.Log(100)/(1-rho)
+		res.MeanLatency = capDuration(mean, m.MaxLatency)
+		res.P99Latency = capDuration(p99, m.MaxLatency)
+		res.Throughput = lambda
+	}
+
+	// Absolute usage: delivered per-replica rate times per-op demand.
+	delivered := res.Throughput / float64(replicas)
+	res.Usage = resource.New(
+		delivered*m.DemandPerOp[resource.CPU]*slowdown,
+		ws,
+		delivered*m.DemandPerOp[resource.DiskIO]*slowdown,
+		delivered*m.DemandPerOp[resource.NetIO]*slowdown,
+	)
+	// A replica saturated on CPU or thrashing on memory burns its whole
+	// CPU grant (busy loops, GC, paging system time); without this, an
+	// overloaded server would paradoxically look idle to utilisation-
+	// based controllers.
+	if res.Saturated && (bottleneck == resource.CPU || bottleneck == resource.Memory) {
+		if pegged := 0.98 * alloc[resource.CPU]; pegged > res.Usage[resource.CPU] {
+			res.Usage[resource.CPU] = pegged
+		}
+	}
+	res.Utilisation = res.Usage.Div(alloc)
+	return res
+}
+
+// queueLatency is the M/G/1-PS sojourn time S/(1-ρ) for ρ<1.
+func queueLatency(s, rho float64) float64 {
+	if rho >= maxRho {
+		rho = maxRho
+	}
+	if rho < 0 {
+		rho = 0
+	}
+	return s / (1 - rho)
+}
+
+func safeInv(v float64) float64 {
+	if v <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / v
+}
+
+func capDuration(seconds float64, max time.Duration) time.Duration {
+	d := time.Duration(seconds * float64(time.Second))
+	if d > max || d < 0 {
+		return max
+	}
+	return d
+}
+
+// DemandFor returns the steady-state per-replica resource usage needed to
+// serve lambda ops/second over the given replica count at target
+// utilisation targetUtil — the analytic "right-size" answer, used by
+// oracle baselines and tests.
+func (m ServiceModel) DemandFor(lambda float64, replicas int, targetUtil float64) resource.Vector {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if targetUtil <= 0 || targetUtil > 1 {
+		targetUtil = 0.7
+	}
+	lr := lambda / float64(replicas)
+	v := resource.New(
+		lr*m.DemandPerOp[resource.CPU]/targetUtil,
+		0,
+		lr*m.DemandPerOp[resource.DiskIO]/targetUtil,
+		lr*m.DemandPerOp[resource.NetIO]/targetUtil,
+	)
+	// Memory: working set at the latency implied by the target
+	// utilisation, plus the same headroom factor.
+	s := m.DemandPerOp[resource.CPU] / v[resource.CPU] // ≈ targetUtil/lr
+	lat := m.BaseLatency.Seconds() + queueLatency(s, targetUtil)
+	ws := m.MemFixed + m.MemPerConcurrent*lr*lat
+	return v.With(resource.Memory, ws/targetUtil)
+}
+
+// TaskModel describes a batch/HPC task as a fixed amount of work per
+// resource: CPU in millicore·seconds, DiskIO/NetIO in bytes, Memory as a
+// required resident set.
+type TaskModel struct {
+	Work   resource.Vector // total work (Memory component ignored)
+	MemSet float64         // bytes that must be resident while running
+}
+
+// Duration returns how long the task runs with the given allocation and
+// interference slowdown: the bottleneck resource dictates progress, and an
+// allocation below the resident set inflates it further (paging).
+func (t TaskModel) Duration(alloc resource.Vector, slowdown float64) time.Duration {
+	if slowdown < 1 {
+		slowdown = 1
+	}
+	longest := 0.0
+	for _, k := range []resource.Kind{resource.CPU, resource.DiskIO, resource.NetIO} {
+		w := t.Work[k]
+		if w <= 0 {
+			continue
+		}
+		if alloc[k] <= 0 {
+			return time.Duration(math.MaxInt64)
+		}
+		if d := w / alloc[k]; d > longest {
+			longest = d
+		}
+	}
+	if t.MemSet > 0 && alloc[resource.Memory] > 0 && t.MemSet > alloc[resource.Memory] {
+		over := t.MemSet / alloc[resource.Memory]
+		longest *= over * over
+	}
+	return time.Duration(longest * slowdown * float64(time.Second))
+}
+
+// InterferenceSlowdown models node-level contention: when the sum of
+// colocated usage exceeds a node capacity fraction, every tenant's service
+// time inflates. pressure is total usage over capacity for the node's
+// dominant resource; the curve is flat below the knee and quadratic above
+// it, a standard shape for shared-cache/membw contention.
+func InterferenceSlowdown(pressure float64) float64 {
+	const knee = 0.75
+	if pressure <= knee {
+		return 1
+	}
+	over := (pressure - knee) / (1 - knee)
+	return 1 + 0.5*over*over
+}

@@ -1,0 +1,285 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"evolve/internal/resource"
+)
+
+// webModel is a CPU-bound service: 10ms of CPU per op at 1000m, small I/O.
+func webModel() ServiceModel {
+	return ServiceModel{
+		BaseLatency:      2 * time.Millisecond,
+		DemandPerOp:      resource.New(10, 0, 20e3, 50e3), // 10 mc·s, 20kB disk, 50kB net
+		MemFixed:         256 << 20,
+		MemPerConcurrent: 4 << 20,
+		MaxLatency:       30 * time.Second,
+	}
+}
+
+func ampleAlloc() resource.Vector {
+	return resource.New(2000, 2<<30, 50e6, 100e6)
+}
+
+func TestValidate(t *testing.T) {
+	m := webModel()
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := m
+	bad.DemandPerOp[resource.CPU] = 0
+	if bad.Validate() == nil {
+		t.Error("zero CPU demand should fail")
+	}
+	bad = m
+	bad.MemFixed = -1
+	if bad.Validate() == nil {
+		t.Error("negative memory should fail")
+	}
+	bad = m
+	bad.MaxLatency = 0
+	if bad.Validate() == nil {
+		t.Error("zero MaxLatency should fail")
+	}
+	bad = m
+	bad.DemandPerOp[resource.NetIO] = -5
+	if bad.Validate() == nil {
+		t.Error("negative demand should fail")
+	}
+}
+
+func TestLatencyIncreasesWithLoad(t *testing.T) {
+	m := webModel()
+	alloc := ampleAlloc()
+	var prev time.Duration
+	// CPU capacity: 2000m / 10 mc·s = 200 op/s per replica.
+	for _, lambda := range []float64{10, 50, 100, 150, 180, 195} {
+		r := m.Evaluate(lambda, 1, alloc, 1)
+		if r.MeanLatency <= prev {
+			t.Errorf("latency %v at λ=%v not increasing (prev %v)", r.MeanLatency, lambda, prev)
+		}
+		if r.Saturated {
+			t.Errorf("λ=%v should not saturate", lambda)
+		}
+		if r.Throughput != lambda {
+			t.Errorf("unsaturated throughput %v != offered %v", r.Throughput, lambda)
+		}
+		prev = r.MeanLatency
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	m := webModel()
+	r := m.Evaluate(500, 1, ampleAlloc(), 1) // far beyond 200 op/s capacity
+	if !r.Saturated {
+		t.Fatal("overload should saturate")
+	}
+	if r.MeanLatency != m.MaxLatency {
+		t.Errorf("saturated latency = %v, want cap %v", r.MeanLatency, m.MaxLatency)
+	}
+	if r.Throughput >= 500 || r.Throughput < 150 {
+		t.Errorf("saturated throughput = %v, want ≈ capacity 200", r.Throughput)
+	}
+}
+
+func TestMoreReplicasLowerLatency(t *testing.T) {
+	m := webModel()
+	alloc := ampleAlloc()
+	one := m.Evaluate(180, 1, alloc, 1)
+	four := m.Evaluate(180, 4, alloc, 1)
+	if four.MeanLatency >= one.MeanLatency {
+		t.Errorf("4 replicas latency %v >= 1 replica %v", four.MeanLatency, one.MeanLatency)
+	}
+}
+
+func TestMoreCPULowerLatencyForCPUBound(t *testing.T) {
+	m := webModel()
+	small := m.Evaluate(150, 1, ampleAlloc(), 1)
+	big := m.Evaluate(150, 1, ampleAlloc().With(resource.CPU, 8000), 1)
+	if big.MeanLatency >= small.MeanLatency {
+		t.Errorf("more CPU latency %v >= less CPU %v", big.MeanLatency, small.MeanLatency)
+	}
+}
+
+func TestBottleneckIdentification(t *testing.T) {
+	m := webModel()
+	// Starve the network: 50kB/op at 100 op/s = 5MB/s needed.
+	alloc := ampleAlloc().With(resource.NetIO, 1e6)
+	r := m.Evaluate(100, 1, alloc, 1)
+	if r.Bottleneck != resource.NetIO {
+		t.Errorf("bottleneck = %v, want netio", r.Bottleneck)
+	}
+	if !r.Saturated {
+		t.Error("starved network should saturate at 20 op/s")
+	}
+}
+
+func TestMemoryPressurePenalty(t *testing.T) {
+	m := webModel()
+	ample := m.Evaluate(100, 1, ampleAlloc(), 1)
+	starved := m.Evaluate(100, 1, ampleAlloc().With(resource.Memory, 64<<20), 1)
+	if starved.MeanLatency <= ample.MeanLatency {
+		t.Errorf("memory starvation latency %v <= ample %v", starved.MeanLatency, ample.MeanLatency)
+	}
+	if starved.Bottleneck != resource.Memory {
+		t.Errorf("bottleneck = %v, want memory", starved.Bottleneck)
+	}
+}
+
+func TestInterferenceSlowdownRaisesLatency(t *testing.T) {
+	m := webModel()
+	clean := m.Evaluate(150, 1, ampleAlloc(), 1)
+	noisy := m.Evaluate(150, 1, ampleAlloc(), 1.4)
+	if noisy.MeanLatency <= clean.MeanLatency {
+		t.Errorf("interference latency %v <= clean %v", noisy.MeanLatency, clean.MeanLatency)
+	}
+}
+
+func TestUtilisationReflectsLoad(t *testing.T) {
+	m := webModel()
+	r := m.Evaluate(100, 1, ampleAlloc(), 1)
+	// CPU usage = 100 op/s * 10 mc·s/op = 1000m of 2000m = 0.5.
+	if math.Abs(r.Utilisation[resource.CPU]-0.5) > 0.02 {
+		t.Errorf("cpu utilisation = %v, want ≈0.5", r.Utilisation[resource.CPU])
+	}
+	if math.Abs(r.Usage[resource.CPU]-1000) > 20 {
+		t.Errorf("cpu usage = %v, want ≈1000", r.Usage[resource.CPU])
+	}
+	// Memory usage ≈ working set.
+	if r.Usage[resource.Memory] < float64(256<<20) {
+		t.Errorf("memory usage %v below fixed working set", r.Usage[resource.Memory])
+	}
+	// Net usage = 100 * 50e3 = 5e6 of 100e6.
+	if math.Abs(r.Utilisation[resource.NetIO]-0.05) > 0.01 {
+		t.Errorf("net utilisation = %v, want ≈0.05", r.Utilisation[resource.NetIO])
+	}
+}
+
+func TestP99AboveMean(t *testing.T) {
+	m := webModel()
+	for _, lambda := range []float64{10, 100, 190} {
+		r := m.Evaluate(lambda, 1, ampleAlloc(), 1)
+		if r.P99Latency < r.MeanLatency {
+			t.Errorf("p99 %v < mean %v at λ=%v", r.P99Latency, r.MeanLatency, lambda)
+		}
+	}
+}
+
+func TestZeroReplicasClamped(t *testing.T) {
+	m := webModel()
+	r := m.Evaluate(50, 0, ampleAlloc(), 1)
+	if r.Throughput != 50 {
+		t.Errorf("0 replicas should clamp to 1: %+v", r)
+	}
+}
+
+func TestDemandForMeetsLoad(t *testing.T) {
+	m := webModel()
+	lambda := 300.0
+	alloc := m.DemandFor(lambda, 2, 0.7)
+	r := m.Evaluate(lambda, 2, alloc, 1)
+	if r.Saturated {
+		t.Fatalf("DemandFor allocation saturates: %+v alloc=%v", r, alloc)
+	}
+	// Should run near the target utilisation on CPU.
+	if r.Utilisation[resource.CPU] < 0.5 || r.Utilisation[resource.CPU] > 0.85 {
+		t.Errorf("cpu utilisation %v not near 0.7", r.Utilisation[resource.CPU])
+	}
+	// Bad targetUtil inputs fall back to 0.7.
+	alloc2 := m.DemandFor(lambda, 2, -1)
+	if alloc2[resource.CPU] != alloc[resource.CPU] {
+		t.Error("invalid targetUtil should default to 0.7")
+	}
+}
+
+func TestTaskDurationBottleneck(t *testing.T) {
+	task := TaskModel{
+		Work:   resource.New(60000, 0, 600e6, 0), // 60000 mc·s CPU, 600MB disk
+		MemSet: 1 << 30,
+	}
+	// 2000m CPU -> 30s; 100MB/s disk -> 6s. CPU binds.
+	alloc := resource.New(2000, 2<<30, 100e6, 10e6)
+	d := task.Duration(alloc, 1)
+	if math.Abs(d.Seconds()-30) > 0.01 {
+		t.Errorf("duration = %v, want 30s", d)
+	}
+	// Starve disk to 10MB/s -> 60s > CPU's 30s.
+	d = task.Duration(alloc.With(resource.DiskIO, 10e6), 1)
+	if math.Abs(d.Seconds()-60) > 0.01 {
+		t.Errorf("disk-bound duration = %v, want 60s", d)
+	}
+}
+
+func TestTaskDurationMemoryPenaltyAndSlowdown(t *testing.T) {
+	task := TaskModel{Work: resource.New(10000, 0, 0, 0), MemSet: 2 << 30}
+	alloc := resource.New(1000, 1<<30, 0, 0) // half the resident set
+	d := task.Duration(alloc, 1)
+	if math.Abs(d.Seconds()-40) > 0.01 { // 10s * (2)^2
+		t.Errorf("paging duration = %v, want 40s", d)
+	}
+	d2 := task.Duration(alloc, 1.5)
+	if math.Abs(d2.Seconds()-60) > 0.01 {
+		t.Errorf("slowdown duration = %v, want 60s", d2)
+	}
+}
+
+func TestTaskDurationZeroAlloc(t *testing.T) {
+	task := TaskModel{Work: resource.New(1000, 0, 0, 0)}
+	d := task.Duration(resource.Vector{}, 1)
+	if d != time.Duration(math.MaxInt64) {
+		t.Errorf("zero alloc should be effectively infinite, got %v", d)
+	}
+}
+
+func TestInterferenceSlowdownShape(t *testing.T) {
+	if s := InterferenceSlowdown(0.5); s != 1 {
+		t.Errorf("below knee slowdown = %v, want 1", s)
+	}
+	if s := InterferenceSlowdown(0.75); s != 1 {
+		t.Errorf("at knee slowdown = %v, want 1", s)
+	}
+	s1 := InterferenceSlowdown(0.85)
+	s2 := InterferenceSlowdown(1.0)
+	if !(s1 > 1 && s2 > s1) {
+		t.Errorf("slowdown not increasing above knee: %v, %v", s1, s2)
+	}
+	if s2 != 1.5 {
+		t.Errorf("full-pressure slowdown = %v, want 1.5", s2)
+	}
+}
+
+// Property: latency is monotone non-decreasing in offered load below
+// saturation.
+func TestLatencyMonotoneProperty(t *testing.T) {
+	m := webModel()
+	alloc := ampleAlloc()
+	prop := func(a, b uint8) bool {
+		l1, l2 := float64(a%190)+1, float64(b%190)+1
+		if l1 > l2 {
+			l1, l2 = l2, l1
+		}
+		r1 := m.Evaluate(l1, 1, alloc, 1)
+		r2 := m.Evaluate(l2, 1, alloc, 1)
+		return r1.MeanLatency <= r2.MeanLatency
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: throughput never exceeds offered load.
+func TestThroughputBoundedProperty(t *testing.T) {
+	m := webModel()
+	alloc := ampleAlloc()
+	prop := func(raw uint16) bool {
+		lambda := float64(raw%1000) + 1
+		r := m.Evaluate(lambda, 2, alloc, 1)
+		return r.Throughput <= lambda+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

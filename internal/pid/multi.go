@@ -1,0 +1,223 @@
+package pid
+
+import (
+	"math"
+	"time"
+
+	"evolve/internal/resource"
+)
+
+// MultiConfig parameterises a Multi controller.
+type MultiConfig struct {
+	// Controller is the per-dimension PID template.
+	Controller Config
+	// Gamma is the bottleneck-emphasis exponent: per-resource corrective
+	// weight is utilisation^Gamma (normalised). Higher values focus the
+	// correction more sharply on the bottleneck resource.
+	Gamma float64
+	// Adaptive enables per-dimension online gain tuning.
+	Adaptive bool
+	// Tuner configures the adaptive tuner when Adaptive is set.
+	Tuner TunerConfig
+
+	// UtilTarget is the per-resource utilisation the controller steers
+	// towards once the performance objective is met; allocation beyond
+	// demand/UtilTarget is treated as reclaimable slack.
+	UtilTarget float64
+	// SlackBeta is the gain on the slack-reclamation term. Zero disables
+	// reclamation (useful for ablations).
+	SlackBeta float64
+	// SlackThreshold: slack reclamation is only active while the
+	// normalised performance error is at or below this value, so a
+	// struggling application is never shrunk.
+	SlackThreshold float64
+}
+
+// DefaultMultiConfig returns the configuration the EVOLVE core uses.
+func DefaultMultiConfig() MultiConfig {
+	return MultiConfig{
+		Controller:     DefaultConfig(),
+		Gamma:          2,
+		Adaptive:       true,
+		Tuner:          DefaultTunerConfig(),
+		UtilTarget:     0.7,
+		SlackBeta:      0.25,
+		SlackThreshold: 0.1,
+	}
+}
+
+// Multi extends the classical one-dimensional PID to all resource kinds:
+// a single performance-level error drives one controller per resource,
+// with the corrective effort distributed according to which resources are
+// the bottleneck (when growing) or the most over-provisioned (when
+// shrinking). This is the paper's "multi-resource adaptive PID" novelty.
+type Multi struct {
+	cfg    MultiConfig
+	ctrls  [resource.NumKinds]*Controller
+	tuners [resource.NumKinds]*Tuner
+}
+
+// NewMulti builds a Multi from cfg.
+func NewMulti(cfg MultiConfig) (*Multi, error) {
+	if cfg.Gamma <= 0 {
+		cfg.Gamma = 2
+	}
+	if cfg.UtilTarget <= 0 || cfg.UtilTarget > 1 {
+		cfg.UtilTarget = 0.7
+	}
+	m := &Multi{cfg: cfg}
+	for k := range m.ctrls {
+		c, err := NewController(cfg.Controller)
+		if err != nil {
+			return nil, err
+		}
+		m.ctrls[k] = c
+		if cfg.Adaptive {
+			m.tuners[k] = NewTuner(c, cfg.Tuner)
+		}
+	}
+	return m, nil
+}
+
+// MustMulti is NewMulti that panics on error.
+func MustMulti(cfg MultiConfig) *Multi {
+	m, err := NewMulti(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Controller returns the per-kind controller, for inspection in tests and
+// ablations.
+func (m *Multi) Controller(k resource.Kind) *Controller { return m.ctrls[k] }
+
+// SetUtilTarget retargets the utilisation the slack/headroom terms steer
+// towards; the EVOLVE core adapts this online per application. Values
+// outside (0, 1) are ignored.
+func (m *Multi) SetUtilTarget(v float64) {
+	if v > 0 && v < 1 {
+		m.cfg.UtilTarget = v
+	}
+}
+
+// UtilTarget returns the current utilisation target.
+func (m *Multi) UtilTarget() float64 { return m.cfg.UtilTarget }
+
+// Reset clears all per-dimension controller state.
+func (m *Multi) Reset() {
+	for _, c := range m.ctrls {
+		c.Reset()
+	}
+}
+
+// Adaptations returns the total number of gain adjustments across all
+// dimensions (0 when not adaptive).
+func (m *Multi) Adaptations() int {
+	n := 0
+	for _, t := range m.tuners {
+		if t != nil {
+			n += t.Adaptations()
+		}
+	}
+	return n
+}
+
+// GrowWeights returns the normalised bottleneck weights used when the
+// application needs more resources: w_k ∝ util_k^Gamma. Utilisations are
+// clamped to [0.01, 10] so a zero-utilisation dimension still receives a
+// sliver of correction (the demand estimate may simply lag).
+func (m *Multi) GrowWeights(util resource.Vector) resource.Vector {
+	var w resource.Vector
+	var sum float64
+	for k := range w {
+		u := math.Min(math.Max(util[k], 0.01), 10)
+		w[k] = math.Pow(u, m.cfg.Gamma)
+		sum += w[k]
+	}
+	return w.Scale(1 / sum)
+}
+
+// ShrinkWeights returns the weights used when resources can be reclaimed:
+// the slack (1-util) of each dimension, normalised, so the most
+// over-provisioned resource shrinks fastest and the bottleneck is barely
+// touched.
+func (m *Multi) ShrinkWeights(util resource.Vector) resource.Vector {
+	var w resource.Vector
+	var sum float64
+	for k := range w {
+		slack := 1 - util[k]
+		if slack < 0.01 {
+			slack = 0.01
+		}
+		w[k] = math.Pow(slack, m.cfg.Gamma)
+		sum += w[k]
+	}
+	return w.Scale(1 / sum)
+}
+
+// Update advances every dimension by dt. perfErr is the normalised
+// performance error: positive when the application is missing its PLO
+// (needs more resources), negative when it over-performs (resources can
+// be reclaimed). util is the per-resource utilisation of the current
+// allocation. The result is a per-resource fractional adjustment, each
+// component within the controller's output limits; callers apply
+// alloc_k *= 1 + out_k.
+//
+// Two pressures combine per dimension: the shared performance error,
+// distributed by bottleneck (grow) or slack (shrink) weights, and — once
+// the PLO is essentially met — a slack-reclamation term that pulls each
+// dimension's utilisation up to UtilTarget. The second term is what keeps
+// non-bottleneck dimensions from riding the bottleneck's corrections and
+// drains their integrators when the shared error settles at zero.
+func (m *Multi) Update(perfErr float64, util resource.Vector, dt time.Duration) resource.Vector {
+	var weights resource.Vector
+	if perfErr >= 0 {
+		weights = m.GrowWeights(util)
+	} else {
+		weights = m.ShrinkWeights(util)
+	}
+	// Scale weights so the dominant dimension gets the full error and
+	// others proportionally less; this keeps the loop gain of the
+	// bottleneck dimension independent of how many dimensions exist.
+	maxW, _ := weights.MaxComponent()
+	if maxW > 0 {
+		weights = weights.Scale(1 / maxW)
+	}
+
+	reclaim := m.cfg.SlackBeta > 0 && perfErr <= m.cfg.SlackThreshold
+
+	var out resource.Vector
+	for k, c := range m.ctrls {
+		e := perfErr * weights[k]
+		// Over-performance must never starve an efficiently-used
+		// dimension: a latency target sits near the saturation knee of
+		// the service curve, and "shrink until the PLO error is zero"
+		// walks straight off that cliff. Once a dimension is at or above
+		// the utilisation target, only the headroom term below may move
+		// it, and the loop regulates utilisation instead of latency.
+		if perfErr < 0 && util[k] >= m.cfg.UtilTarget {
+			e = 0
+		}
+		if dev := util[k] - m.cfg.UtilTarget; m.cfg.SlackBeta > 0 {
+			switch {
+			case dev > 0:
+				// Dimension running hot: maintain headroom regardless of
+				// the PLO state — running a resource at 95% is how paging
+				// and throttling collapses start.
+				e += m.cfg.SlackBeta * dev
+			case reclaim:
+				// Dimension idle and the PLO is met: reclaim the slack.
+				e += m.cfg.SlackBeta * dev
+			}
+		}
+		// Drive the controller as a regulator at setpoint 0 with the
+		// (negated) error as the measurement, so the derivative term acts
+		// on error changes without setpoint kick.
+		out[k] = c.Update(0, -e, dt)
+		if t := m.tuners[k]; t != nil {
+			t.Observe(e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package pid
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"evolve/internal/resource"
+)
+
+func TestNewMultiValidation(t *testing.T) {
+	if _, err := NewMulti(MultiConfig{Controller: Config{OutMin: 1, OutMax: 0}}); err == nil {
+		t.Error("bad controller config should fail")
+	}
+	m, err := NewMulti(DefaultMultiConfig())
+	if err != nil || m == nil {
+		t.Fatalf("default config failed: %v", err)
+	}
+	for _, k := range resource.Kinds() {
+		if m.Controller(k) == nil {
+			t.Errorf("missing controller for %v", k)
+		}
+	}
+}
+
+func TestMustMultiPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMulti should panic")
+		}
+	}()
+	MustMulti(MultiConfig{Controller: Config{OutMin: 1, OutMax: 0}})
+}
+
+func TestGrowWeightsFocusOnBottleneck(t *testing.T) {
+	m := MustMulti(DefaultMultiConfig())
+	util := resource.New(0.95, 0.30, 0.10, 0.10) // CPU-bound
+	w := m.GrowWeights(util)
+	maxW, k := w.MaxComponent()
+	if k != resource.CPU {
+		t.Errorf("dominant grow weight on %v, want cpu (weights %v)", k, w)
+	}
+	if maxW < 0.5 {
+		t.Errorf("bottleneck weight %v too diffuse", maxW)
+	}
+	if s := w.Sum(); math.Abs(s-1) > 1e-9 {
+		t.Errorf("weights sum %v, want 1", s)
+	}
+}
+
+func TestShrinkWeightsFocusOnSlack(t *testing.T) {
+	m := MustMulti(DefaultMultiConfig())
+	util := resource.New(0.95, 0.10, 0.50, 0.50)
+	w := m.ShrinkWeights(util)
+	_, k := w.MaxComponent()
+	if k != resource.Memory {
+		t.Errorf("dominant shrink weight on %v, want memory (weights %v)", k, w)
+	}
+	if w[resource.CPU] >= w[resource.Memory] {
+		t.Error("bottleneck should shrink slower than slack dimension")
+	}
+	if s := w.Sum(); math.Abs(s-1) > 1e-9 {
+		t.Errorf("weights sum %v, want 1", s)
+	}
+}
+
+func TestWeightsHandleExtremes(t *testing.T) {
+	m := MustMulti(DefaultMultiConfig())
+	// Zero utilisation everywhere must not divide by zero.
+	w := m.GrowWeights(resource.Vector{})
+	if s := w.Sum(); math.Abs(s-1) > 1e-9 {
+		t.Errorf("zero-util grow weights sum %v", s)
+	}
+	// Over-saturated utilisation (>1) also fine.
+	w = m.ShrinkWeights(resource.New(3, 2, 1.5, 1.1))
+	if s := w.Sum(); math.Abs(s-1) > 1e-9 {
+		t.Errorf("oversaturated shrink weights sum %v", s)
+	}
+}
+
+func TestMultiUpdateGrowsBottleneckMost(t *testing.T) {
+	cfg := DefaultMultiConfig()
+	cfg.Adaptive = false
+	m := MustMulti(cfg)
+	util := resource.New(0.9, 0.2, 0.2, 0.2)
+	var out resource.Vector
+	for i := 0; i < 5; i++ {
+		out = m.Update(0.5, util, time.Second) // missing PLO by 50%
+	}
+	if out[resource.CPU] <= 0 {
+		t.Errorf("bottleneck adjustment %v should be positive", out[resource.CPU])
+	}
+	for _, k := range []resource.Kind{resource.Memory, resource.DiskIO, resource.NetIO} {
+		if out[k] >= out[resource.CPU] {
+			t.Errorf("non-bottleneck %v adjustment %v >= bottleneck %v", k, out[k], out[resource.CPU])
+		}
+	}
+}
+
+func TestMultiUpdateShrinksSlackMost(t *testing.T) {
+	cfg := DefaultMultiConfig()
+	cfg.Adaptive = false
+	m := MustMulti(cfg)
+	util := resource.New(0.9, 0.1, 0.5, 0.5)
+	var out resource.Vector
+	for i := 0; i < 5; i++ {
+		out = m.Update(-0.4, util, time.Second) // over-performing
+	}
+	if out[resource.Memory] >= 0 {
+		t.Errorf("slack dimension adjustment %v should be negative", out[resource.Memory])
+	}
+	if out[resource.Memory] >= out[resource.CPU] {
+		t.Errorf("slack memory %v should shrink more than bottleneck cpu %v", out[resource.Memory], out[resource.CPU])
+	}
+}
+
+func TestMultiOutputsWithinLimits(t *testing.T) {
+	cfg := DefaultMultiConfig()
+	cfg.Controller.OutMin, cfg.Controller.OutMax = -0.5, 1.0
+	m := MustMulti(cfg)
+	for i := 0; i < 100; i++ {
+		out := m.Update(5, resource.New(1, 1, 1, 1), time.Second)
+		for _, k := range resource.Kinds() {
+			if out[k] < -0.5-1e-12 || out[k] > 1.0+1e-12 {
+				t.Fatalf("output %v for %v outside limits", out[k], k)
+			}
+		}
+	}
+}
+
+func TestMultiReset(t *testing.T) {
+	m := MustMulti(DefaultMultiConfig())
+	m.Update(1, resource.New(0.9, 0.5, 0.5, 0.5), time.Second)
+	m.Reset()
+	for _, k := range resource.Kinds() {
+		if m.Controller(k).Output() != 0 {
+			t.Errorf("controller %v not reset", k)
+		}
+	}
+}
+
+func TestMultiAdaptiveCountsAdaptations(t *testing.T) {
+	m := MustMulti(DefaultMultiConfig())
+	// Strong persistent error: at least the dominant dimension's tuner
+	// must eventually adapt.
+	util := resource.New(0.9, 0.9, 0.9, 0.9)
+	for i := 0; i < 200; i++ {
+		m.Update(0.8, util, time.Second)
+	}
+	if m.Adaptations() == 0 {
+		t.Error("adaptive Multi recorded no adaptations under persistent error")
+	}
+}
+
+func TestMultiSlackReclamationDrainsIdleDimensions(t *testing.T) {
+	cfg := DefaultMultiConfig()
+	cfg.Adaptive = false
+	m := MustMulti(cfg)
+	// PLO met exactly (err 0) but memory/disk/net nearly idle: the
+	// reclamation term must emit negative adjustments for the idle
+	// dimensions while leaving the well-utilised one alone.
+	util := resource.New(0.7, 0.05, 0.05, 0.05)
+	var out resource.Vector
+	for i := 0; i < 10; i++ {
+		out = m.Update(0, util, time.Second)
+	}
+	if out[resource.CPU] < -1e-6 {
+		t.Errorf("on-target cpu dimension shrank: %v", out[resource.CPU])
+	}
+	for _, k := range []resource.Kind{resource.Memory, resource.DiskIO, resource.NetIO} {
+		if out[k] >= 0 {
+			t.Errorf("idle %v not reclaimed: %v", k, out[k])
+		}
+	}
+}
+
+func TestMultiNoReclamationWhileStruggling(t *testing.T) {
+	cfg := DefaultMultiConfig()
+	cfg.Adaptive = false
+	m := MustMulti(cfg)
+	// Badly missing the PLO: even idle dimensions must not shrink.
+	util := resource.New(1.5, 0.05, 0.05, 0.05)
+	out := m.Update(0.8, util, time.Second)
+	for _, k := range resource.Kinds() {
+		if out[k] < 0 {
+			t.Errorf("dimension %v shrank (%v) while PLO badly missed", k, out[k])
+		}
+	}
+}
+
+// Closed-loop test: a 4-resource plant whose service capacity is the
+// bottleneck minimum; the Multi controller must find the allocation that
+// meets the performance target on the binding dimension without inflating
+// the others proportionally.
+func TestMultiClosedLoopBottleneckPlant(t *testing.T) {
+	cfg := DefaultMultiConfig()
+	cfg.Controller.OutMin, cfg.Controller.OutMax = -0.3, 0.5
+	m := MustMulti(cfg)
+
+	demand := resource.New(2000, 4<<30, 400e6, 50e6) // true per-replica demand
+	alloc := resource.New(500, 1<<30, 100e6, 100e6)  // badly under CPU/mem/disk
+	minAlloc := resource.New(50, 64<<20, 1e6, 1e6)
+
+	perf := func(a resource.Vector) float64 {
+		// Delivered performance fraction = min_k alloc_k/demand_k, capped at ~1.2.
+		frac := math.Inf(1)
+		for _, k := range resource.Kinds() {
+			frac = math.Min(frac, a.Get(k)/demand.Get(k))
+		}
+		return math.Min(frac, 1.2)
+	}
+
+	for i := 0; i < 400; i++ {
+		p := perf(alloc)
+		err := 1.0 - p // want performance fraction 1.0
+		util := demand.Mul(resource.New(1, 1, 1, 1)).Div(alloc).Min(resource.New(2, 2, 2, 2))
+		out := m.Update(err, util, time.Second)
+		for _, k := range resource.Kinds() {
+			alloc = alloc.With(k, alloc.Get(k)*(1+out.Get(k)))
+		}
+		alloc = alloc.Max(minAlloc)
+	}
+
+	if p := perf(alloc); p < 0.95 {
+		t.Errorf("closed loop delivered %v of target performance", p)
+	}
+	// The initially over-provisioned dimension (netio) must not have been
+	// inflated along with the rest: it should stay within 4x of demand.
+	if alloc[resource.NetIO] > 4*demand[resource.NetIO] {
+		t.Errorf("non-bottleneck netio inflated to %v (demand %v)", alloc[resource.NetIO], demand[resource.NetIO])
+	}
+}

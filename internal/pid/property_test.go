@@ -1,0 +1,86 @@
+package pid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"evolve/internal/resource"
+)
+
+// Property: whatever sequence of (setpoint, measurement) pairs is fed in,
+// the controller output never leaves [OutMin, OutMax] and never becomes
+// NaN or Inf.
+func TestControllerOutputAlwaysBounded(t *testing.T) {
+	prop := func(raw []int16) bool {
+		c := MustController(Config{
+			Gains:  Gains{Kp: 1.5, Ki: 0.4, Kd: 0.2},
+			OutMin: -2, OutMax: 3,
+			DerivativeTau: 3 * time.Second,
+		})
+		for i := 0; i+1 < len(raw); i += 2 {
+			set := float64(raw[i]) / 100
+			meas := float64(raw[i+1]) / 100
+			out := c.Update(set, meas, time.Second)
+			if math.IsNaN(out) || math.IsInf(out, 0) || out < -2-1e-12 || out > 3+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the tuner never drives gains negative or outside its bounds,
+// no matter what error sequence it observes.
+func TestTunerGainsAlwaysWithinBounds(t *testing.T) {
+	cfg := DefaultTunerConfig()
+	prop := func(raw []int8) bool {
+		c := MustController(Config{Gains: Gains{Kp: 1, Ki: 0.2, Kd: 0.1}, OutMin: -5, OutMax: 5})
+		tn := NewTuner(c, cfg)
+		for _, r := range raw {
+			tn.Observe(float64(r) / 64)
+			g := c.Gains()
+			if g.Kp < cfg.MinKp-1e-12 || g.Kp > cfg.MaxKp+1e-12 || g.Ki < 0 || g.Kd < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Multi outputs stay within controller limits for arbitrary
+// error/utilisation inputs.
+func TestMultiOutputAlwaysBounded(t *testing.T) {
+	prop := func(raw []int16) bool {
+		cfg := DefaultMultiConfig()
+		cfg.Controller.OutMin, cfg.Controller.OutMax = -0.5, 1.5
+		m := MustMulti(cfg)
+		for i := 0; i+4 < len(raw); i += 5 {
+			perfErr := float64(raw[i]) / 1000
+			util := resource.New(
+				math.Abs(float64(raw[i+1]))/5000,
+				math.Abs(float64(raw[i+2]))/5000,
+				math.Abs(float64(raw[i+3]))/5000,
+				math.Abs(float64(raw[i+4]))/5000,
+			)
+			out := m.Update(perfErr, util, time.Second)
+			for _, k := range resource.Kinds() {
+				v := out.Get(k)
+				if math.IsNaN(v) || v < -0.5-1e-12 || v > 1.5+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

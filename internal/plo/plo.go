@@ -1,0 +1,177 @@
+// Package plo defines performance-level objectives (PLOs) — the user-facing
+// contract the EVOLVE autoscaler enforces — plus the violation accounting
+// used throughout the evaluation. A PLO expresses "what performance the
+// application needs" (a latency bound or a throughput floor) so the user is
+// removed from the resource-allocation loop entirely.
+package plo
+
+import (
+	"fmt"
+	"time"
+)
+
+// Metric identifies which service-level indicator a PLO constrains.
+type Metric int
+
+const (
+	// MeanLatency bounds the mean request latency from above.
+	MeanLatency Metric = iota
+	// P99Latency bounds the 99th-percentile request latency from above.
+	P99Latency
+	// Throughput bounds delivered operations per second from below.
+	Throughput
+)
+
+// String returns the canonical metric name.
+func (m Metric) String() string {
+	switch m {
+	case MeanLatency:
+		return "mean-latency"
+	case P99Latency:
+		return "p99-latency"
+	case Throughput:
+		return "throughput"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// PLO is one performance-level objective.
+type PLO struct {
+	Metric Metric
+	// Target is the bound: seconds for latency metrics, ops/second for
+	// throughput.
+	Target float64
+	// Margin widens the violation boundary: a sample only counts as a
+	// violation beyond Target*(1+Margin) for latency or below
+	// Target*(1-Margin) for throughput. Typical values 0.05–0.2.
+	Margin float64
+}
+
+// Latency returns a mean-latency PLO with the given bound.
+func Latency(bound time.Duration) PLO {
+	return PLO{Metric: MeanLatency, Target: bound.Seconds(), Margin: 0.1}
+}
+
+// TailLatency returns a p99-latency PLO with the given bound.
+func TailLatency(bound time.Duration) PLO {
+	return PLO{Metric: P99Latency, Target: bound.Seconds(), Margin: 0.1}
+}
+
+// MinThroughput returns a throughput-floor PLO in ops/second.
+func MinThroughput(opsPerSec float64) PLO {
+	return PLO{Metric: Throughput, Target: opsPerSec, Margin: 0.1}
+}
+
+// Validate reports configuration errors.
+func (p PLO) Validate() error {
+	if p.Target <= 0 {
+		return fmt.Errorf("plo: non-positive target %v for %v", p.Target, p.Metric)
+	}
+	if p.Margin < 0 || p.Margin >= 1 {
+		return fmt.Errorf("plo: margin %v outside [0,1)", p.Margin)
+	}
+	return nil
+}
+
+// Error returns the normalised control error for a measured SLI value:
+// positive when the application is missing the objective (needs more
+// resources), negative when it over-performs. For latency the error is
+// (measured-target)/target; for throughput it is (target-measured)/target.
+// The result is clamped to [-1, 4] so pathological samples cannot slam the
+// controller.
+func (p PLO) Error(measured float64) float64 {
+	var e float64
+	switch p.Metric {
+	case Throughput:
+		e = (p.Target - measured) / p.Target
+	default:
+		e = (measured - p.Target) / p.Target
+	}
+	if e > 4 {
+		e = 4
+	}
+	if e < -1 {
+		e = -1
+	}
+	return e
+}
+
+// Violated reports whether a measured SLI value breaches the objective
+// beyond its margin.
+func (p PLO) Violated(measured float64) bool {
+	switch p.Metric {
+	case Throughput:
+		return measured < p.Target*(1-p.Margin)
+	default:
+		return measured > p.Target*(1+p.Margin)
+	}
+}
+
+// String renders the PLO for logs and tables.
+func (p PLO) String() string {
+	switch p.Metric {
+	case Throughput:
+		return fmt.Sprintf("%s>=%.1fop/s", p.Metric, p.Target)
+	default:
+		return fmt.Sprintf("%s<=%.0fms", p.Metric, p.Target*1000)
+	}
+}
+
+// Tracker accumulates violation statistics for one application.
+type Tracker struct {
+	plo        PLO
+	samples    int
+	violations int
+	// consecutive violation run-length tracking: long runs hurt users
+	// more than scattered blips.
+	curRun, worstRun int
+	totalErr         float64
+}
+
+// NewTracker returns a tracker for the given objective.
+func NewTracker(p PLO) *Tracker { return &Tracker{plo: p} }
+
+// PLO returns the tracked objective.
+func (t *Tracker) PLO() PLO { return t.plo }
+
+// Observe records one SLI sample and returns whether it violated.
+func (t *Tracker) Observe(measured float64) bool {
+	t.samples++
+	t.totalErr += t.plo.Error(measured)
+	if t.plo.Violated(measured) {
+		t.violations++
+		t.curRun++
+		if t.curRun > t.worstRun {
+			t.worstRun = t.curRun
+		}
+		return true
+	}
+	t.curRun = 0
+	return false
+}
+
+// Samples returns the number of observations.
+func (t *Tracker) Samples() int { return t.samples }
+
+// Violations returns the number of violating observations.
+func (t *Tracker) Violations() int { return t.violations }
+
+// ViolationFraction returns violations/samples (0 when empty).
+func (t *Tracker) ViolationFraction() float64 {
+	if t.samples == 0 {
+		return 0
+	}
+	return float64(t.violations) / float64(t.samples)
+}
+
+// WorstRun returns the longest streak of consecutive violations.
+func (t *Tracker) WorstRun() int { return t.worstRun }
+
+// MeanError returns the average normalised PLO error over all samples.
+func (t *Tracker) MeanError() float64 {
+	if t.samples == 0 {
+		return 0
+	}
+	return t.totalErr / float64(t.samples)
+}

@@ -1,0 +1,178 @@
+package plo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConstructors(t *testing.T) {
+	l := Latency(200 * time.Millisecond)
+	if l.Metric != MeanLatency || math.Abs(l.Target-0.2) > 1e-12 {
+		t.Errorf("Latency = %+v", l)
+	}
+	p := TailLatency(time.Second)
+	if p.Metric != P99Latency || p.Target != 1 {
+		t.Errorf("TailLatency = %+v", p)
+	}
+	th := MinThroughput(500)
+	if th.Metric != Throughput || th.Target != 500 {
+		t.Errorf("MinThroughput = %+v", th)
+	}
+	for _, o := range []PLO{l, p, th} {
+		if err := o.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v", o, err)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (PLO{Metric: MeanLatency, Target: 0}).Validate(); err == nil {
+		t.Error("zero target should fail")
+	}
+	if err := (PLO{Metric: MeanLatency, Target: 1, Margin: -0.1}).Validate(); err == nil {
+		t.Error("negative margin should fail")
+	}
+	if err := (PLO{Metric: MeanLatency, Target: 1, Margin: 1}).Validate(); err == nil {
+		t.Error("margin >= 1 should fail")
+	}
+}
+
+func TestLatencyError(t *testing.T) {
+	p := Latency(100 * time.Millisecond)
+	if e := p.Error(0.1); math.Abs(e) > 1e-12 {
+		t.Errorf("on-target error = %v", e)
+	}
+	if e := p.Error(0.2); math.Abs(e-1) > 1e-12 {
+		t.Errorf("2x latency error = %v, want 1", e)
+	}
+	if e := p.Error(0.05); math.Abs(e+0.5) > 1e-12 {
+		t.Errorf("half latency error = %v, want -0.5", e)
+	}
+	// Clamping.
+	if e := p.Error(1000); e != 4 {
+		t.Errorf("huge latency error = %v, want clamp 4", e)
+	}
+	if e := p.Error(-100); e != -1 {
+		t.Errorf("negative measurement error = %v, want clamp -1", e)
+	}
+}
+
+func TestThroughputError(t *testing.T) {
+	p := MinThroughput(1000)
+	if e := p.Error(1000); e != 0 {
+		t.Errorf("on-target = %v", e)
+	}
+	if e := p.Error(500); math.Abs(e-0.5) > 1e-12 {
+		t.Errorf("half throughput = %v, want +0.5 (needs more)", e)
+	}
+	if e := p.Error(2000); math.Abs(e+1) > 1e-12 {
+		t.Errorf("double throughput = %v, want -1", e)
+	}
+}
+
+func TestViolatedMargins(t *testing.T) {
+	p := PLO{Metric: MeanLatency, Target: 0.1, Margin: 0.1}
+	if p.Violated(0.105) {
+		t.Error("within margin should not violate")
+	}
+	if !p.Violated(0.12) {
+		t.Error("beyond margin should violate")
+	}
+	th := PLO{Metric: Throughput, Target: 100, Margin: 0.1}
+	if th.Violated(95) {
+		t.Error("within margin should not violate")
+	}
+	if !th.Violated(80) {
+		t.Error("below margin should violate")
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	for m, want := range map[Metric]string{MeanLatency: "mean-latency", P99Latency: "p99-latency", Throughput: "throughput"} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", m, m.String())
+		}
+	}
+	if Metric(9).String() != "metric(9)" {
+		t.Error("unknown metric string")
+	}
+	if s := Latency(time.Second).String(); s != "mean-latency<=1000ms" {
+		t.Errorf("PLO string = %q", s)
+	}
+	if s := MinThroughput(42).String(); s != "throughput>=42.0op/s" {
+		t.Errorf("PLO string = %q", s)
+	}
+}
+
+func TestTracker(t *testing.T) {
+	tr := NewTracker(PLO{Metric: MeanLatency, Target: 0.1, Margin: 0})
+	seq := []float64{0.05, 0.2, 0.3, 0.05, 0.2, 0.2, 0.2, 0.05}
+	for _, v := range seq {
+		tr.Observe(v)
+	}
+	if tr.Samples() != 8 {
+		t.Errorf("Samples = %d", tr.Samples())
+	}
+	if tr.Violations() != 5 {
+		t.Errorf("Violations = %d, want 5", tr.Violations())
+	}
+	if f := tr.ViolationFraction(); math.Abs(f-0.625) > 1e-12 {
+		t.Errorf("fraction = %v", f)
+	}
+	if tr.WorstRun() != 3 {
+		t.Errorf("WorstRun = %d, want 3", tr.WorstRun())
+	}
+	if tr.PLO().Target != 0.1 {
+		t.Error("PLO accessor wrong")
+	}
+}
+
+func TestTrackerEmpty(t *testing.T) {
+	tr := NewTracker(Latency(time.Second))
+	if tr.ViolationFraction() != 0 || tr.MeanError() != 0 {
+		t.Error("empty tracker should report zeros")
+	}
+}
+
+func TestTrackerMeanError(t *testing.T) {
+	tr := NewTracker(PLO{Metric: MeanLatency, Target: 1, Margin: 0})
+	tr.Observe(2) // err +1
+	tr.Observe(0) // err -1
+	if e := tr.MeanError(); math.Abs(e) > 1e-12 {
+		t.Errorf("MeanError = %v, want 0", e)
+	}
+}
+
+// Property: error sign agrees with violation direction (beyond margin).
+func TestErrorSignProperty(t *testing.T) {
+	prop := func(rawTarget, rawMeasured uint16) bool {
+		target := float64(rawTarget%1000) + 1
+		measured := float64(rawMeasured % 4000)
+		p := PLO{Metric: MeanLatency, Target: target, Margin: 0.1}
+		if p.Violated(measured) && p.Error(measured) <= 0 {
+			return false
+		}
+		q := PLO{Metric: Throughput, Target: target, Margin: 0.1}
+		if q.Violated(measured) && q.Error(measured) <= 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: error is always within [-1, 4].
+func TestErrorClampProperty(t *testing.T) {
+	prop := func(rawTarget uint16, measured float64) bool {
+		p := PLO{Metric: MeanLatency, Target: float64(rawTarget%100) + 0.5}
+		e := p.Error(measured)
+		return e >= -1 && e <= 4
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

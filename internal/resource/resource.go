@@ -1,0 +1,409 @@
+// Package resource models the multi-dimensional resource vectors that the
+// EVOLVE stack allocates and accounts: CPU, memory, disk-I/O bandwidth and
+// network bandwidth. It provides a compact value type (Vector) with the
+// arithmetic, comparison and fairness helpers the scheduler and autoscaler
+// need, plus Kubernetes-style quantity parsing ("500m", "2Gi", "120M").
+package resource
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind identifies one resource dimension.
+type Kind int
+
+// The resource dimensions managed by the system. CPU is measured in
+// millicores, Memory in bytes, DiskIO and NetIO in bytes per second.
+const (
+	CPU Kind = iota
+	Memory
+	DiskIO
+	NetIO
+	NumKinds // number of dimensions; keep last
+)
+
+var kindNames = [NumKinds]string{"cpu", "memory", "diskio", "netio"}
+
+// String returns the lower-case canonical name of the kind.
+func (k Kind) String() string {
+	if k < 0 || k >= NumKinds {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// ParseKind maps a canonical name back to a Kind.
+func ParseKind(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == strings.ToLower(strings.TrimSpace(s)) {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("resource: unknown kind %q", s)
+}
+
+// Kinds returns all resource kinds in canonical order.
+func Kinds() []Kind {
+	ks := make([]Kind, NumKinds)
+	for i := range ks {
+		ks[i] = Kind(i)
+	}
+	return ks
+}
+
+// Vector is an allocation or capacity across all resource dimensions.
+// The zero value is the empty allocation. Vector is a value type: all
+// methods return new vectors and never mutate the receiver.
+type Vector [NumKinds]float64
+
+// New builds a vector from explicit components: cpu in millicores, mem in
+// bytes, diskio and netio in bytes/second.
+func New(cpuMilli, memBytes, diskBps, netBps float64) Vector {
+	return Vector{cpuMilli, memBytes, diskBps, netBps}
+}
+
+// Get returns the component for kind k.
+func (v Vector) Get(k Kind) float64 { return v[k] }
+
+// With returns a copy of v with component k replaced by val.
+func (v Vector) With(k Kind, val float64) Vector {
+	v[k] = val
+	return v
+}
+
+// Add returns v + o component-wise.
+func (v Vector) Add(o Vector) Vector {
+	for i := range v {
+		v[i] += o[i]
+	}
+	return v
+}
+
+// Sub returns v - o component-wise. Components may go negative; callers
+// that need non-negative headroom should use ClampMin(0).
+func (v Vector) Sub(o Vector) Vector {
+	for i := range v {
+		v[i] -= o[i]
+	}
+	return v
+}
+
+// Scale returns v scaled by f in every dimension.
+func (v Vector) Scale(f float64) Vector {
+	for i := range v {
+		v[i] *= f
+	}
+	return v
+}
+
+// Mul returns the component-wise product of v and o.
+func (v Vector) Mul(o Vector) Vector {
+	for i := range v {
+		v[i] *= o[i]
+	}
+	return v
+}
+
+// Max returns the component-wise maximum of v and o.
+func (v Vector) Max(o Vector) Vector {
+	for i := range v {
+		if o[i] > v[i] {
+			v[i] = o[i]
+		}
+	}
+	return v
+}
+
+// Min returns the component-wise minimum of v and o.
+func (v Vector) Min(o Vector) Vector {
+	for i := range v {
+		if o[i] < v[i] {
+			v[i] = o[i]
+		}
+	}
+	return v
+}
+
+// ClampMin returns v with every component raised to at least lo.
+func (v Vector) ClampMin(lo float64) Vector {
+	for i := range v {
+		if v[i] < lo {
+			v[i] = lo
+		}
+	}
+	return v
+}
+
+// Clamp returns v restricted component-wise to [lo, hi].
+func (v Vector) Clamp(lo, hi Vector) Vector {
+	for i := range v {
+		if v[i] < lo[i] {
+			v[i] = lo[i]
+		}
+		if v[i] > hi[i] {
+			v[i] = hi[i]
+		}
+	}
+	return v
+}
+
+// Fits reports whether v fits inside capacity c in every dimension.
+func (v Vector) Fits(c Vector) bool {
+	for i := range v {
+		if v[i] > c[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dominates reports whether every component of v is >= the matching
+// component of o.
+func (v Vector) Dominates(o Vector) bool {
+	for i := range v {
+		if v[i] < o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether every component is exactly zero.
+func (v Vector) IsZero() bool {
+	for i := range v {
+		if v[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NonNegative reports whether no component is negative.
+func (v Vector) NonNegative() bool {
+	for i := range v {
+		if v[i] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Div returns the component-wise ratio v/o. Dimensions where o is zero
+// yield 0 if v is also zero in that dimension, +Inf otherwise; this makes
+// utilisation computations against partial capacities well defined.
+func (v Vector) Div(o Vector) Vector {
+	for i := range v {
+		switch {
+		case o[i] != 0:
+			v[i] /= o[i]
+		case v[i] == 0:
+			// 0/0: no demand against no capacity is zero utilisation.
+		default:
+			v[i] = math.Inf(1)
+		}
+	}
+	return v
+}
+
+// DominantShare returns the maximum utilisation ratio of v against
+// capacity c (the DRF dominant share), and the kind where it occurs.
+func (v Vector) DominantShare(c Vector) (float64, Kind) {
+	r := v.Div(c)
+	best, kind := r[0], Kind(0)
+	for i := 1; i < int(NumKinds); i++ {
+		if r[i] > best {
+			best, kind = r[i], Kind(i)
+		}
+	}
+	return best, kind
+}
+
+// MaxComponent returns the largest component value and its kind.
+func (v Vector) MaxComponent() (float64, Kind) {
+	best, kind := v[0], Kind(0)
+	for i := 1; i < int(NumKinds); i++ {
+		if v[i] > best {
+			best, kind = v[i], Kind(i)
+		}
+	}
+	return best, kind
+}
+
+// Sum returns the sum of all components. Only meaningful for vectors in
+// homogeneous units (e.g. utilisation ratios).
+func (v Vector) Sum() float64 {
+	s := 0.0
+	for i := range v {
+		s += v[i]
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all components.
+func (v Vector) Mean() float64 { return v.Sum() / float64(NumKinds) }
+
+// String renders the vector in human units, e.g.
+// "cpu=1500m memory=2.0Gi diskio=100.0M/s netio=50.0M/s".
+func (v Vector) String() string {
+	var b strings.Builder
+	for i := 0; i < int(NumKinds); i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		k := Kind(i)
+		fmt.Fprintf(&b, "%s=%s", k, FormatQuantity(k, v[i]))
+	}
+	return b.String()
+}
+
+// binary and decimal byte multipliers for quantity parsing.
+var suffixes = map[string]float64{
+	"":   1,
+	"k":  1e3,
+	"M":  1e6,
+	"G":  1e9,
+	"T":  1e12,
+	"Ki": 1 << 10,
+	"Mi": 1 << 20,
+	"Gi": 1 << 30,
+	"Ti": 1 << 40,
+}
+
+// ParseQuantity parses a Kubernetes-style quantity for kind k.
+//
+//	CPU:      "250m" (millicores), "2" (cores ⇒ 2000 millicores)
+//	Memory:   "512Mi", "2Gi", "100M", plain bytes "1048576"
+//	Disk/Net: same byte suffixes, interpreted as bytes per second; an
+//	          optional "/s" suffix is accepted ("100Mi/s").
+func ParseQuantity(k Kind, s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("resource: empty quantity for %s", k)
+	}
+	if k == DiskIO || k == NetIO {
+		s = strings.TrimSuffix(s, "/s")
+	}
+	if k == CPU {
+		if strings.HasSuffix(s, "m") {
+			var milli float64
+			if _, err := fmt.Sscanf(strings.TrimSuffix(s, "m"), "%g", &milli); err != nil {
+				return 0, fmt.Errorf("resource: bad cpu quantity %q: %v", s, err)
+			}
+			if milli < 0 {
+				return 0, fmt.Errorf("resource: negative cpu quantity %q", s)
+			}
+			return milli, nil
+		}
+		var cores float64
+		if _, err := fmt.Sscanf(s, "%g", &cores); err != nil {
+			return 0, fmt.Errorf("resource: bad cpu quantity %q: %v", s, err)
+		}
+		if cores < 0 {
+			return 0, fmt.Errorf("resource: negative cpu quantity %q", s)
+		}
+		return cores * 1000, nil
+	}
+	// Byte-denominated kinds: split numeric prefix from suffix.
+	i := len(s)
+	for i > 0 {
+		c := s[i-1]
+		if c >= '0' && c <= '9' || c == '.' {
+			break
+		}
+		i--
+	}
+	num, suf := s[:i], s[i:]
+	mult, ok := suffixes[suf]
+	if !ok {
+		return 0, fmt.Errorf("resource: unknown suffix %q in %q", suf, s)
+	}
+	var val float64
+	if _, err := fmt.Sscanf(num, "%g", &val); err != nil {
+		return 0, fmt.Errorf("resource: bad quantity %q: %v", s, err)
+	}
+	if val < 0 {
+		return 0, fmt.Errorf("resource: negative quantity %q", s)
+	}
+	return val * mult, nil
+}
+
+// MustParse is ParseQuantity that panics on error; intended for
+// package-level literals in examples and tests.
+func MustParse(k Kind, s string) float64 {
+	v, err := ParseQuantity(k, s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// FormatQuantity renders a raw component value in the idiomatic unit for
+// its kind: millicores for CPU, binary bytes for memory, decimal
+// bytes-per-second for I/O and network.
+func FormatQuantity(k Kind, v float64) string {
+	switch k {
+	case CPU:
+		return fmt.Sprintf("%.0fm", v)
+	case Memory:
+		return formatBytes(v, true) // binary units: Ki/Mi/Gi
+	default:
+		return formatBytes(v, false) + "/s"
+	}
+}
+
+func formatBytes(v float64, binary bool) string {
+	type unit struct {
+		mult float64
+		name string
+	}
+	var units []unit
+	if binary {
+		units = []unit{{1 << 40, "Ti"}, {1 << 30, "Gi"}, {1 << 20, "Mi"}, {1 << 10, "Ki"}}
+	} else {
+		units = []unit{{1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"}}
+	}
+	for _, u := range units {
+		if math.Abs(v) >= u.mult {
+			return fmt.Sprintf("%.1f%s", v/u.mult, u.name)
+		}
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// ParseVector parses a space- or comma-separated list of key=value
+// quantities, e.g. "cpu=500m memory=1Gi diskio=50M netio=20M". Missing
+// kinds default to zero.
+func ParseVector(s string) (Vector, error) {
+	var v Vector
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ' ' || r == ',' })
+	for _, f := range fields {
+		if f == "" {
+			continue
+		}
+		kv := strings.SplitN(f, "=", 2)
+		if len(kv) != 2 {
+			return Vector{}, fmt.Errorf("resource: bad component %q (want key=value)", f)
+		}
+		k, err := ParseKind(kv[0])
+		if err != nil {
+			return Vector{}, err
+		}
+		q, err := ParseQuantity(k, kv[1])
+		if err != nil {
+			return Vector{}, err
+		}
+		v[k] = q
+	}
+	return v, nil
+}
+
+// MustParseVector is ParseVector that panics on error.
+func MustParseVector(s string) Vector {
+	v, err := ParseVector(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,298 @@
+package resource
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{CPU: "cpu", Memory: "memory", DiskIO: "diskio", NetIO: "netio"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "kind(99)" {
+		t.Errorf("out-of-range kind = %q", got)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if got, err := ParseKind(" CPU "); err != nil || got != CPU {
+		t.Errorf("ParseKind with spaces/case = %v, %v", got, err)
+	}
+	if _, err := ParseKind("gpu"); err == nil {
+		t.Error("ParseKind(gpu) should fail")
+	}
+}
+
+func TestVectorArithmetic(t *testing.T) {
+	a := New(1000, 1<<30, 100e6, 50e6)
+	b := New(500, 1<<29, 50e6, 25e6)
+
+	sum := a.Add(b)
+	if sum[CPU] != 1500 || sum[Memory] != 3<<29 {
+		t.Errorf("Add wrong: %v", sum)
+	}
+	diff := a.Sub(b)
+	if diff[CPU] != 500 || diff[DiskIO] != 50e6 {
+		t.Errorf("Sub wrong: %v", diff)
+	}
+	if s := a.Scale(2); s[NetIO] != 100e6 {
+		t.Errorf("Scale wrong: %v", s)
+	}
+	// Value semantics: a must be unchanged.
+	if a[CPU] != 1000 {
+		t.Errorf("receiver mutated: %v", a)
+	}
+}
+
+func TestVectorMinMaxClamp(t *testing.T) {
+	a := New(1000, 100, 10, 1)
+	b := New(500, 200, 10, 2)
+	mx := a.Max(b)
+	mn := a.Min(b)
+	want := New(1000, 200, 10, 2)
+	if mx != want {
+		t.Errorf("Max = %v, want %v", mx, want)
+	}
+	want = New(500, 100, 10, 1)
+	if mn != want {
+		t.Errorf("Min = %v, want %v", mn, want)
+	}
+	c := New(-5, 50, 5, 0).ClampMin(0)
+	if c[CPU] != 0 || c[Memory] != 50 {
+		t.Errorf("ClampMin = %v", c)
+	}
+	lo, hi := New(100, 100, 100, 100), New(200, 200, 200, 200)
+	cl := New(50, 150, 500, 200).Clamp(lo, hi)
+	if cl != New(100, 150, 200, 200) {
+		t.Errorf("Clamp = %v", cl)
+	}
+}
+
+func TestFitsAndDominates(t *testing.T) {
+	cap := New(4000, 8<<30, 500e6, 1e9)
+	small := New(1000, 1<<30, 100e6, 100e6)
+	if !small.Fits(cap) {
+		t.Error("small should fit cap")
+	}
+	if small.Fits(New(500, 8<<30, 500e6, 1e9)) {
+		t.Error("should not fit when one dim exceeds")
+	}
+	if !cap.Dominates(small) {
+		t.Error("cap should dominate small")
+	}
+	if small.Dominates(cap) {
+		t.Error("small should not dominate cap")
+	}
+}
+
+func TestDivAndDominantShare(t *testing.T) {
+	cap := New(1000, 1000, 1000, 1000)
+	use := New(500, 900, 100, 0)
+	r := use.Div(cap)
+	if !almostEqual(r[Memory], 0.9) {
+		t.Errorf("Div memory = %v", r[Memory])
+	}
+	share, kind := use.DominantShare(cap)
+	if !almostEqual(share, 0.9) || kind != Memory {
+		t.Errorf("DominantShare = %v, %v", share, kind)
+	}
+	// Zero capacity with zero use is 0, with non-zero use is +Inf.
+	r = New(0, 5, 0, 0).Div(New(0, 0, 1, 1))
+	if r[CPU] != 0 {
+		t.Errorf("0/0 = %v, want 0", r[CPU])
+	}
+	if !math.IsInf(r[Memory], 1) {
+		t.Errorf("5/0 = %v, want +Inf", r[Memory])
+	}
+}
+
+func TestZeroAndNegative(t *testing.T) {
+	var z Vector
+	if !z.IsZero() {
+		t.Error("zero vector should be IsZero")
+	}
+	if New(0, 1, 0, 0).IsZero() {
+		t.Error("non-zero vector reported zero")
+	}
+	if !New(1, 2, 3, 4).NonNegative() {
+		t.Error("positive vector should be NonNegative")
+	}
+	if New(1, -2, 3, 4).NonNegative() {
+		t.Error("negative component should fail NonNegative")
+	}
+}
+
+func TestSumMeanMaxComponent(t *testing.T) {
+	v := New(1, 2, 3, 4)
+	if v.Sum() != 10 {
+		t.Errorf("Sum = %v", v.Sum())
+	}
+	if v.Mean() != 2.5 {
+		t.Errorf("Mean = %v", v.Mean())
+	}
+	val, k := v.MaxComponent()
+	if val != 4 || k != NetIO {
+		t.Errorf("MaxComponent = %v, %v", val, k)
+	}
+}
+
+func TestParseQuantityCPU(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"250m", 250},
+		{"1500m", 1500},
+		{"2", 2000},
+		{"0.5", 500},
+		{" 1 ", 1000},
+	}
+	for _, c := range cases {
+		got, err := ParseQuantity(CPU, c.in)
+		if err != nil || !almostEqual(got, c.want) {
+			t.Errorf("ParseQuantity(CPU, %q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-1", "-100m"} {
+		if _, err := ParseQuantity(CPU, bad); err == nil {
+			t.Errorf("ParseQuantity(CPU, %q) should fail", bad)
+		}
+	}
+}
+
+func TestParseQuantityBytes(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		in   string
+		want float64
+	}{
+		{Memory, "1Ki", 1024},
+		{Memory, "2Gi", 2 << 30},
+		{Memory, "100M", 100e6},
+		{Memory, "1048576", 1048576},
+		{DiskIO, "100Mi/s", 100 << 20},
+		{NetIO, "1G", 1e9},
+		{NetIO, "10M/s", 10e6},
+	}
+	for _, c := range cases {
+		got, err := ParseQuantity(c.k, c.in)
+		if err != nil || !almostEqual(got, c.want) {
+			t.Errorf("ParseQuantity(%v, %q) = %v, %v; want %v", c.k, c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "1Qi", "x", "-5Mi"} {
+		if _, err := ParseQuantity(Memory, bad); err == nil {
+			t.Errorf("ParseQuantity(Memory, %q) should fail", bad)
+		}
+	}
+}
+
+func TestFormatQuantityRoundTrip(t *testing.T) {
+	if got := FormatQuantity(CPU, 1500); got != "1500m" {
+		t.Errorf("cpu format = %q", got)
+	}
+	if got := FormatQuantity(Memory, 2<<30); got != "2.0Gi" {
+		t.Errorf("mem format = %q", got)
+	}
+	if got := FormatQuantity(NetIO, 50e6); !strings.HasSuffix(got, "/s") {
+		t.Errorf("netio format %q should have /s suffix", got)
+	}
+}
+
+func TestParseVector(t *testing.T) {
+	v, err := ParseVector("cpu=500m, memory=1Gi diskio=50M netio=20M/s")
+	if err != nil {
+		t.Fatalf("ParseVector error: %v", err)
+	}
+	want := New(500, 1<<30, 50e6, 20e6)
+	for _, k := range Kinds() {
+		if !almostEqual(v[k], want[k]) {
+			t.Errorf("component %v = %v, want %v", k, v[k], want[k])
+		}
+	}
+	if _, err := ParseVector("cpu"); err == nil {
+		t.Error("missing = should fail")
+	}
+	if _, err := ParseVector("gpu=1"); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, err := ParseVector("cpu=zz"); err == nil {
+		t.Error("bad quantity should fail")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse(CPU, "not-a-quantity")
+}
+
+func TestMustParseVectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseVector should panic on bad input")
+		}
+	}()
+	MustParseVector("cpu")
+}
+
+// Property: Add is commutative and associative; Sub inverts Add.
+func TestVectorAddProperties(t *testing.T) {
+	comm := func(a, b Vector) bool { return a.Add(b) == b.Add(a) }
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error(err)
+	}
+	inv := func(a, b Vector) bool {
+		got := a.Add(b).Sub(b)
+		for i := range got {
+			if !almostEqual(got[i], a[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(inv, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Max dominates both inputs; Min is dominated by both inputs.
+func TestVectorMinMaxProperties(t *testing.T) {
+	prop := func(a, b Vector) bool {
+		mx, mn := a.Max(b), a.Min(b)
+		return mx.Dominates(a) && mx.Dominates(b) && a.Dominates(mn) && b.Dominates(mn)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clamp output is always within [lo, hi] when lo <= hi.
+func TestVectorClampProperty(t *testing.T) {
+	prop := func(v, a, b Vector) bool {
+		lo, hi := a.Min(b), a.Max(b)
+		c := v.Clamp(lo, hi)
+		return c.Dominates(lo) && hi.Dominates(c)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

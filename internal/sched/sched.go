@@ -1,0 +1,424 @@
+// Package sched implements the placement engine of the EVOLVE control
+// plane in the style of the Kubernetes scheduling framework: filter
+// plugins rule nodes out, score plugins rank the survivors, and a small
+// set of higher-level operations (gang scheduling for HPC jobs, priority
+// preemption for latency-critical services) build on the same primitives.
+// The package is a pure library over PodInfo/NodeInfo snapshots so it can
+// be tested and benchmarked in isolation from the cluster substrate.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"evolve/internal/resource"
+)
+
+// PodInfo is the scheduler's view of one pod.
+type PodInfo struct {
+	Name     string
+	App      string
+	Requests resource.Vector
+	// Priority orders preemption: higher-priority pods may evict lower
+	// ones. Services typically run at higher priority than batch tasks.
+	Priority int
+	// NodeSelector restricts placement to nodes carrying all of these
+	// labels (Kubernetes nodeSelector semantics). Empty means any node.
+	NodeSelector map[string]string
+}
+
+// NodeInfo is the scheduler's view of one node.
+type NodeInfo struct {
+	Name        string
+	Allocatable resource.Vector
+	Allocated   resource.Vector
+	Pods        []PodInfo
+	// Labels carry operator-assigned node attributes ("pool=hpc",
+	// "disk=nvme") matched against pod NodeSelectors.
+	Labels map[string]string
+}
+
+// Free returns the unallocated headroom.
+func (n NodeInfo) Free() resource.Vector {
+	return n.Allocatable.Sub(n.Allocated).ClampMin(0)
+}
+
+// withPod returns a copy of n with pod's requests committed.
+func (n NodeInfo) withPod(pod PodInfo) NodeInfo {
+	n.Allocated = n.Allocated.Add(pod.Requests)
+	n.Pods = append(append([]PodInfo(nil), n.Pods...), pod)
+	return n
+}
+
+// FilterPlugin rules a node in or out for a pod.
+type FilterPlugin interface {
+	Name() string
+	// Filter returns nil when the node can host the pod, or an error
+	// explaining why not.
+	Filter(pod PodInfo, node NodeInfo) error
+}
+
+// ScorePlugin ranks a feasible node for a pod; higher is better. Scores
+// should be normalised to [0, 1].
+type ScorePlugin interface {
+	Name() string
+	Score(pod PodInfo, node NodeInfo) float64
+	Weight() float64
+}
+
+// FitFilter rejects nodes without headroom for the pod's requests.
+type FitFilter struct{}
+
+// Name implements FilterPlugin.
+func (FitFilter) Name() string { return "fit" }
+
+// Filter implements FilterPlugin.
+func (FitFilter) Filter(pod PodInfo, node NodeInfo) error {
+	free := node.Free()
+	if pod.Requests.Fits(free) {
+		return nil
+	}
+	var short []string
+	for _, k := range resource.Kinds() {
+		if pod.Requests[k] > free[k] {
+			short = append(short, k.String())
+		}
+	}
+	return fmt.Errorf("insufficient %s", strings.Join(short, ","))
+}
+
+// SelectorFilter rejects nodes missing any label the pod selects on.
+type SelectorFilter struct{}
+
+// Name implements FilterPlugin.
+func (SelectorFilter) Name() string { return "selector" }
+
+// Filter implements FilterPlugin.
+func (SelectorFilter) Filter(pod PodInfo, node NodeInfo) error {
+	for k, v := range pod.NodeSelector {
+		if node.Labels[k] != v {
+			return fmt.Errorf("selector %s=%s unmatched", k, v)
+		}
+	}
+	return nil
+}
+
+// LeastAllocated favours nodes with the most free capacity, spreading
+// load — the Kubernetes default.
+type LeastAllocated struct{ W float64 }
+
+// Name implements ScorePlugin.
+func (LeastAllocated) Name() string { return "least-allocated" }
+
+// Weight implements ScorePlugin.
+func (p LeastAllocated) Weight() float64 { return orDefault(p.W) }
+
+// Score implements ScorePlugin.
+func (LeastAllocated) Score(pod PodInfo, node NodeInfo) float64 {
+	after := node.Allocated.Add(pod.Requests)
+	frac, _ := after.DominantShare(node.Allocatable)
+	return 1 - math.Min(frac, 1)
+}
+
+// MostAllocated favours nodes that are already busy, packing pods tightly
+// to keep whole nodes free for gangs and to allow power-down.
+type MostAllocated struct{ W float64 }
+
+// Name implements ScorePlugin.
+func (MostAllocated) Name() string { return "most-allocated" }
+
+// Weight implements ScorePlugin.
+func (p MostAllocated) Weight() float64 { return orDefault(p.W) }
+
+// Score implements ScorePlugin.
+func (MostAllocated) Score(pod PodInfo, node NodeInfo) float64 {
+	after := node.Allocated.Add(pod.Requests)
+	frac, _ := after.DominantShare(node.Allocatable)
+	return math.Min(frac, 1)
+}
+
+// BalancedAllocation favours placements that keep per-resource usage
+// fractions close to each other, avoiding nodes stranded with one
+// exhausted dimension.
+type BalancedAllocation struct{ W float64 }
+
+// Name implements ScorePlugin.
+func (BalancedAllocation) Name() string { return "balanced-allocation" }
+
+// Weight implements ScorePlugin.
+func (p BalancedAllocation) Weight() float64 { return orDefault(p.W) }
+
+// Score implements ScorePlugin.
+func (BalancedAllocation) Score(pod PodInfo, node NodeInfo) float64 {
+	after := node.Allocated.Add(pod.Requests).Div(node.Allocatable)
+	mean := after.Mean()
+	var variance float64
+	for _, k := range resource.Kinds() {
+		d := after[k] - mean
+		variance += d * d
+	}
+	variance /= float64(resource.NumKinds)
+	return 1 - math.Min(math.Sqrt(variance), 1)
+}
+
+// AppSpread favours nodes hosting fewer replicas of the same application,
+// for fault isolation.
+type AppSpread struct{ W float64 }
+
+// Name implements ScorePlugin.
+func (AppSpread) Name() string { return "app-spread" }
+
+// Weight implements ScorePlugin.
+func (p AppSpread) Weight() float64 { return orDefault(p.W) }
+
+// Score implements ScorePlugin.
+func (AppSpread) Score(pod PodInfo, node NodeInfo) float64 {
+	same := 0
+	for _, p := range node.Pods {
+		if p.App == pod.App {
+			same++
+		}
+	}
+	return 1 / (1 + float64(same))
+}
+
+func orDefault(w float64) float64 {
+	if w <= 0 {
+		return 1
+	}
+	return w
+}
+
+// Policy selects a pre-assembled plugin set.
+type Policy int
+
+const (
+	// PolicySpread is the Kubernetes-like default: least-allocated +
+	// balanced + app spread.
+	PolicySpread Policy = iota
+	// PolicyBinPack packs tightly: most-allocated + balanced.
+	PolicyBinPack
+)
+
+// Scheduler runs the framework. Configure with New or assemble plugins
+// directly.
+type Scheduler struct {
+	filters []FilterPlugin
+	scorers []ScorePlugin
+}
+
+// New returns a scheduler with the plugin set for the policy.
+func New(p Policy) *Scheduler {
+	s := &Scheduler{filters: []FilterPlugin{SelectorFilter{}, FitFilter{}}}
+	switch p {
+	case PolicyBinPack:
+		s.scorers = []ScorePlugin{MostAllocated{W: 2}, BalancedAllocation{W: 1}}
+	default:
+		s.scorers = []ScorePlugin{LeastAllocated{W: 2}, BalancedAllocation{W: 1}, AppSpread{W: 1}}
+	}
+	return s
+}
+
+// NewCustom returns a scheduler with explicit plugins; filters must
+// include at least one plugin (normally FitFilter).
+func NewCustom(filters []FilterPlugin, scorers []ScorePlugin) (*Scheduler, error) {
+	if len(filters) == 0 {
+		return nil, fmt.Errorf("sched: at least one filter plugin required")
+	}
+	return &Scheduler{filters: filters, scorers: scorers}, nil
+}
+
+// Unschedulable reports why no node could host a pod, with per-reason
+// node counts in the style of the Kubernetes event message.
+type Unschedulable struct {
+	Pod     string
+	Total   int
+	Reasons map[string]int
+}
+
+func (u *Unschedulable) Error() string {
+	if len(u.Reasons) == 0 {
+		return fmt.Sprintf("sched: pod %s unschedulable: no nodes", u.Pod)
+	}
+	keys := make([]string, 0, len(u.Reasons))
+	for k := range u.Reasons {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%d %s", u.Reasons[k], k)
+	}
+	return fmt.Sprintf("sched: 0/%d nodes available for %s: %s", u.Total, u.Pod, strings.Join(parts, "; "))
+}
+
+// Schedule picks the best node for the pod, or returns *Unschedulable.
+// Ties break lexicographically by node name for determinism.
+func (s *Scheduler) Schedule(pod PodInfo, nodes []NodeInfo) (string, error) {
+	bestName := ""
+	bestScore := math.Inf(-1)
+	reasons := make(map[string]int)
+	for _, node := range nodes {
+		if err := s.feasible(pod, node); err != nil {
+			reasons[err.Error()]++
+			continue
+		}
+		score := s.score(pod, node)
+		if score > bestScore || (score == bestScore && node.Name < bestName) {
+			bestScore, bestName = score, node.Name
+		}
+	}
+	if bestName == "" {
+		return "", &Unschedulable{Pod: pod.Name, Total: len(nodes), Reasons: reasons}
+	}
+	return bestName, nil
+}
+
+func (s *Scheduler) feasible(pod PodInfo, node NodeInfo) error {
+	for _, f := range s.filters {
+		if err := f.Filter(pod, node); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Scheduler) score(pod PodInfo, node NodeInfo) float64 {
+	var total, weight float64
+	for _, sc := range s.scorers {
+		total += sc.Weight() * sc.Score(pod, node)
+		weight += sc.Weight()
+	}
+	if weight == 0 {
+		return 0
+	}
+	return total / weight
+}
+
+// ScheduleGang places all pods or none (rigid HPC jobs). Placements are
+// committed virtually as the gang is walked so members see each other's
+// reservations; on failure nothing is returned. The result maps pod name
+// to node name.
+func (s *Scheduler) ScheduleGang(pods []PodInfo, nodes []NodeInfo) (map[string]string, error) {
+	// Work on a private copy of node state.
+	work := make([]NodeInfo, len(nodes))
+	copy(work, nodes)
+	idx := make(map[string]int, len(work))
+	for i, n := range work {
+		idx[n.Name] = i
+	}
+	// Place the largest members first: hardest to fit. Size is the
+	// dominant share against the component-wise max over the gang.
+	ref := resource.New(1, 1, 1, 1)
+	for _, p := range pods {
+		ref = ref.Max(p.Requests)
+	}
+	order := make([]PodInfo, len(pods))
+	copy(order, pods)
+	sort.SliceStable(order, func(i, j int) bool {
+		si, _ := order[i].Requests.DominantShare(ref)
+		sj, _ := order[j].Requests.DominantShare(ref)
+		if si != sj {
+			return si > sj
+		}
+		return order[i].Name < order[j].Name
+	})
+	assignment := make(map[string]string, len(pods))
+	for _, pod := range order {
+		name, err := s.Schedule(pod, work)
+		if err != nil {
+			return nil, fmt.Errorf("sched: gang of %d pods does not fit: %w", len(pods), err)
+		}
+		assignment[pod.Name] = name
+		i := idx[name]
+		work[i] = work[i].withPod(pod)
+	}
+	return assignment, nil
+}
+
+// Preemption describes a viable eviction plan for a pod.
+type Preemption struct {
+	Node    string
+	Victims []string // pod names to evict, lowest priority first
+}
+
+// Preempt finds the node where evicting the fewest, lowest-priority pods
+// (all strictly lower priority than the incoming pod) makes room. Returns
+// nil when no plan exists.
+func (s *Scheduler) Preempt(pod PodInfo, nodes []NodeInfo) *Preemption {
+	var best *Preemption
+	bestCost := math.Inf(1)
+	for _, node := range nodes {
+		victims, ok := planVictims(pod, node)
+		if !ok {
+			continue
+		}
+		// Cost: total victim priority first, then count, then name.
+		cost := 0.0
+		for _, v := range victims {
+			cost += float64(v.Priority)*1000 + 1
+		}
+		if cost < bestCost || (cost == bestCost && best != nil && node.Name < best.Node) {
+			names := make([]string, len(victims))
+			for i, v := range victims {
+				names[i] = v.Name
+			}
+			best = &Preemption{Node: node.Name, Victims: names}
+			bestCost = cost
+		}
+	}
+	return best
+}
+
+// planVictims greedily selects lowest-priority pods on the node until the
+// incoming pod fits. Only strictly lower-priority pods are candidates.
+func planVictims(pod PodInfo, node NodeInfo) ([]PodInfo, bool) {
+	candidates := make([]PodInfo, 0, len(node.Pods))
+	for _, p := range node.Pods {
+		if p.Priority < pod.Priority {
+			candidates = append(candidates, p)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Priority != candidates[j].Priority {
+			return candidates[i].Priority < candidates[j].Priority
+		}
+		return candidates[i].Name < candidates[j].Name
+	})
+	free := node.Free()
+	var victims []PodInfo
+	for _, v := range candidates {
+		if pod.Requests.Fits(free) {
+			break
+		}
+		free = free.Add(v.Requests)
+		victims = append(victims, v)
+	}
+	if !pod.Requests.Fits(free) {
+		return nil, false
+	}
+	// Trim victims that turned out unnecessary (greedy overshoot): try to
+	// spare each one, preferring to keep the higher-priority pods (the
+	// greedy pass added victims lowest-priority first, so walk backwards).
+	// kept must be fresh storage: appending into victims[:0] would
+	// overwrite entries the backwards walk has yet to read.
+	kept := make([]PodInfo, 0, len(victims))
+	for i := len(victims) - 1; i >= 0; i-- {
+		without := free.Sub(victims[i].Requests)
+		if pod.Requests.Fits(without) {
+			free = without
+			continue
+		}
+		kept = append(kept, victims[i])
+	}
+	// Restore lowest-priority-first order for a stable, readable plan.
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Priority != kept[j].Priority {
+			return kept[i].Priority < kept[j].Priority
+		}
+		return kept[i].Name < kept[j].Name
+	})
+	return kept, true
+}

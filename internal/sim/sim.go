@@ -1,0 +1,266 @@
+// Package sim provides the discrete-event simulation kernel underneath the
+// EVOLVE cluster substrate: a virtual clock, an event heap, periodic
+// processes and a deterministic random source. All randomness and all
+// notion of time in the repository flow through this package, which makes
+// every experiment exactly reproducible from its seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, measured as a duration since the start
+// of the simulation.
+type Time = time.Duration
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	fn   func()
+	dead bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; model code runs inside event callbacks on the engine's
+// goroutine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *RNG
+	nsteps uint64
+}
+
+// NewEngine returns an engine with virtual time 0 and a deterministic
+// random source derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random source.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Canceler cancels a scheduled event or periodic process.
+type Canceler func()
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: it indicates a model bug, not a recoverable condition.
+func (e *Engine) At(t Time, fn func()) Canceler {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return func() { ev.dead = true }
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d time.Duration, fn func()) Canceler {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Every schedules fn to run every interval, first firing after one
+// interval. The returned Canceler stops future firings.
+func (e *Engine) Every(interval time.Duration, fn func()) Canceler {
+	if interval <= 0 {
+		panic("sim: Every interval must be positive")
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			e.After(interval, tick)
+		}
+	}
+	e.After(interval, tick)
+	return func() { stopped = true }
+}
+
+// Run executes events until virtual time reaches until or the queue
+// drains. It returns the number of events executed by this call.
+func (e *Engine) Run(until Time) uint64 {
+	var n uint64
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.events)
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		next.fn()
+		n++
+		e.nsteps++
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return n
+}
+
+// RunAll executes events until the queue drains. It guards against
+// runaway self-scheduling with a generous step limit.
+func (e *Engine) RunAll() uint64 {
+	const maxSteps = 1 << 30
+	var n uint64
+	for len(e.events) > 0 {
+		if n >= maxSteps {
+			panic("sim: RunAll exceeded step limit; runaway event loop?")
+		}
+		next := heap.Pop(&e.events).(*event)
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		next.fn()
+		n++
+		e.nsteps++
+	}
+	return n
+}
+
+// RNG is a deterministic random source with the distribution helpers the
+// workload generators need. It wraps math/rand with an explicit seed so
+// simulations never touch global randomness.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a source seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent child source; use one child per model
+// component so adding a component does not perturb the streams of others.
+func (g *RNG) Fork() *RNG {
+	return NewRNG(g.r.Int63())
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform int in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Uniform returns a uniform value in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Normal returns a normal sample with the given mean and stddev.
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// Exp returns an exponential sample with the given mean (not rate).
+// A non-positive mean returns 0.
+func (g *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return g.r.ExpFloat64() * mean
+}
+
+// LogNormal returns a log-normal sample parameterised by the mean and
+// coefficient of variation of the resulting distribution.
+func (g *RNG) LogNormal(mean, cv float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	mu := math.Log(mean) - sigma2/2
+	return math.Exp(g.Normal(mu, math.Sqrt(sigma2)))
+}
+
+// Pareto returns a bounded Pareto sample with shape alpha and minimum
+// value xm; heavy-tailed service demands use this.
+func (g *RNG) Pareto(xm, alpha float64) float64 {
+	u := g.r.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Poisson returns a Poisson sample with the given mean, using inversion
+// for small means and normal approximation for large ones.
+func (g *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 500 {
+		v := g.Normal(mean, math.Sqrt(mean))
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= g.r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (g *RNG) Bernoulli(p float64) bool { return g.r.Float64() < p }
+
+// Jitter returns v multiplied by a uniform factor in [1-frac, 1+frac].
+func (g *RNG) Jitter(v, frac float64) float64 {
+	return v * g.Uniform(1-frac, 1+frac)
+}

@@ -1,0 +1,226 @@
+// Package workload generates the offered-load shapes and application
+// archetypes that drive the EVOLVE experiments: diurnal cycles, bursts,
+// flash crowds and Markov-modulated arrivals for services, plus the
+// canonical service archetypes (web, gateway, key-value store, inference)
+// whose bottleneck resources differ — the property the multi-resource
+// controller is built for. Traces can be sampled to CSV and read back.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"evolve/internal/sim"
+)
+
+// Pattern is an offered-load function over virtual time (ops/second).
+type Pattern interface {
+	Rate(at time.Duration) float64
+}
+
+// Func adapts a plain function to a Pattern.
+type Func func(at time.Duration) float64
+
+// Rate implements Pattern.
+func (f Func) Rate(at time.Duration) float64 { return f(at) }
+
+// Constant is a flat load.
+type Constant float64
+
+// Rate implements Pattern.
+func (c Constant) Rate(time.Duration) float64 { return float64(c) }
+
+// Diurnal is a day/night sinusoid: rate swings between Trough and Peak
+// with the given period, starting at the trough.
+type Diurnal struct {
+	Trough, Peak float64
+	Period       time.Duration
+}
+
+// Rate implements Pattern.
+func (d Diurnal) Rate(at time.Duration) float64 {
+	if d.Period <= 0 {
+		return d.Trough
+	}
+	phase := 2 * math.Pi * float64(at) / float64(d.Period)
+	mid := (d.Peak + d.Trough) / 2
+	amp := (d.Peak - d.Trough) / 2
+	return mid - amp*math.Cos(phase)
+}
+
+// Step jumps from Before to After at time At.
+type Step struct {
+	Before, After float64
+	At            time.Duration
+}
+
+// Rate implements Pattern.
+func (s Step) Rate(at time.Duration) float64 {
+	if at < s.At {
+		return s.Before
+	}
+	return s.After
+}
+
+// Ramp linearly interpolates From→To over [Start, Start+Length].
+type Ramp struct {
+	From, To float64
+	Start    time.Duration
+	Length   time.Duration
+}
+
+// Rate implements Pattern.
+func (r Ramp) Rate(at time.Duration) float64 {
+	if at <= r.Start || r.Length <= 0 {
+		return r.From
+	}
+	if at >= r.Start+r.Length {
+		return r.To
+	}
+	f := float64(at-r.Start) / float64(r.Length)
+	return r.From + f*(r.To-r.From)
+}
+
+// FlashCrowd is a baseline load with a sudden spike of the given
+// magnitude and length starting at Start (e.g. a news event).
+type FlashCrowd struct {
+	Base   float64
+	Spike  float64 // absolute rate during the spike
+	Start  time.Duration
+	Length time.Duration
+}
+
+// Rate implements Pattern.
+func (f FlashCrowd) Rate(at time.Duration) float64 {
+	if at >= f.Start && at < f.Start+f.Length {
+		return f.Spike
+	}
+	return f.Base
+}
+
+// Composite sums several patterns.
+type Composite []Pattern
+
+// Rate implements Pattern.
+func (c Composite) Rate(at time.Duration) float64 {
+	s := 0.0
+	for _, p := range c {
+		s += p.Rate(at)
+	}
+	return s
+}
+
+// Scaled multiplies an inner pattern by Factor.
+type Scaled struct {
+	Inner  Pattern
+	Factor float64
+}
+
+// Rate implements Pattern.
+func (s Scaled) Rate(at time.Duration) float64 { return s.Factor * s.Inner.Rate(at) }
+
+// Noisy wraps a pattern with deterministic multiplicative noise. The
+// noise depends only on the sample time (hashed with the seed), so the
+// pattern stays a pure function and replays identically regardless of
+// call order.
+type Noisy struct {
+	Inner Pattern
+	Frac  float64 // e.g. 0.1 for ±10%
+	Seed  int64
+}
+
+// Rate implements Pattern.
+func (n Noisy) Rate(at time.Duration) float64 {
+	v := n.Inner.Rate(at)
+	if n.Frac <= 0 {
+		return v
+	}
+	// splitmix64-style hash of (seed, time) to a uniform in [-1, 1).
+	x := uint64(n.Seed)*0x9E3779B97F4A7C15 + uint64(at)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	u := float64(x>>11)/(1<<53)*2 - 1
+	return v * (1 + n.Frac*u)
+}
+
+// MMPP is a two-state Markov-modulated Poisson process envelope: the rate
+// alternates between Low and High with exponentially distributed state
+// holding times. The switch schedule is generated lazily and
+// deterministically from the seed.
+type MMPP struct {
+	Low, High    float64
+	MeanLowHold  time.Duration
+	MeanHighHold time.Duration
+
+	rng      *sim.RNG
+	switches []time.Duration // times of state flips, starting in Low
+}
+
+// NewMMPP builds an MMPP pattern with its own deterministic stream.
+func NewMMPP(low, high float64, meanLow, meanHigh time.Duration, seed int64) *MMPP {
+	return &MMPP{
+		Low: low, High: high,
+		MeanLowHold: meanLow, MeanHighHold: meanHigh,
+		rng: sim.NewRNG(seed),
+	}
+}
+
+// Rate implements Pattern.
+func (m *MMPP) Rate(at time.Duration) float64 {
+	m.extendTo(at)
+	// State = number of switches at or before `at` (binary search not
+	// needed; switches are few and appended in order).
+	n := 0
+	for _, s := range m.switches {
+		if s > at {
+			break
+		}
+		n++
+	}
+	if n%2 == 0 {
+		return m.Low
+	}
+	return m.High
+}
+
+func (m *MMPP) extendTo(at time.Duration) {
+	last := time.Duration(0)
+	if len(m.switches) > 0 {
+		last = m.switches[len(m.switches)-1]
+	}
+	for last <= at {
+		mean := m.MeanLowHold
+		if len(m.switches)%2 == 1 {
+			mean = m.MeanHighHold
+		}
+		hold := time.Duration(m.rng.Exp(mean.Seconds()) * float64(time.Second))
+		if hold < time.Second {
+			hold = time.Second
+		}
+		last += hold
+		m.switches = append(m.switches, last)
+	}
+}
+
+// Validate sanity-checks a pattern over a horizon: rates must be finite
+// and non-negative at a coarse sampling.
+func Validate(p Pattern, horizon time.Duration) error {
+	if p == nil {
+		return fmt.Errorf("workload: nil pattern")
+	}
+	step := horizon / 100
+	if step <= 0 {
+		step = time.Second
+	}
+	for at := time.Duration(0); at <= horizon; at += step {
+		r := p.Rate(at)
+		if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+			return fmt.Errorf("workload: invalid rate %v at %v", r, at)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Point is one sample of a load trace.
+type Point struct {
+	At   time.Duration
+	Rate float64
+}
+
+// Trace is a sampled load shape that can round-trip through CSV and be
+// replayed as a Pattern (step interpolation).
+type Trace struct {
+	Points []Point
+}
+
+// Sample materialises a pattern into a trace at the given step.
+func Sample(p Pattern, horizon, step time.Duration) *Trace {
+	if step <= 0 {
+		step = time.Second
+	}
+	var tr Trace
+	for at := time.Duration(0); at <= horizon; at += step {
+		tr.Points = append(tr.Points, Point{at, p.Rate(at)})
+	}
+	return &tr
+}
+
+// Rate implements Pattern with step interpolation (the trace value holds
+// until the next sample). Before the first point the first value is used.
+func (t *Trace) Rate(at time.Duration) float64 {
+	if len(t.Points) == 0 {
+		return 0
+	}
+	i := sort.Search(len(t.Points), func(i int) bool { return t.Points[i].At > at })
+	if i == 0 {
+		return t.Points[0].Rate
+	}
+	return t.Points[i-1].Rate
+}
+
+// WriteCSV emits the trace as "seconds,rate" rows with a header.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seconds", "rate"}); err != nil {
+		return fmt.Errorf("workload: write header: %w", err)
+	}
+	for _, p := range t.Points {
+		rec := []string{
+			strconv.FormatFloat(p.At.Seconds(), 'f', 3, 64),
+			strconv.FormatFloat(p.Rate, 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("workload: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or any seconds,rate CSV
+// with a single header row). Rows must be time-ordered.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	var tr Trace
+	prev := time.Duration(-1)
+	for i, row := range rows[1:] {
+		if len(row) < 2 {
+			return nil, fmt.Errorf("workload: row %d: want 2 columns, got %d", i+2, len(row))
+		}
+		sec, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d seconds: %w", i+2, err)
+		}
+		rate, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d rate: %w", i+2, err)
+		}
+		if rate < 0 {
+			return nil, fmt.Errorf("workload: row %d: negative rate %v", i+2, rate)
+		}
+		at := time.Duration(sec * float64(time.Second))
+		if at <= prev {
+			return nil, fmt.Errorf("workload: row %d: non-increasing time", i+2)
+		}
+		prev = at
+		tr.Points = append(tr.Points, Point{at, rate})
+	}
+	if len(tr.Points) == 0 {
+		return nil, fmt.Errorf("workload: trace has no data rows")
+	}
+	return &tr, nil
+}
+
+// Peak returns the maximum rate in the trace.
+func (t *Trace) Peak() float64 {
+	peak := 0.0
+	for _, p := range t.Points {
+		if p.Rate > peak {
+			peak = p.Rate
+		}
+	}
+	return peak
+}
+
+// Mean returns the arithmetic mean rate of the trace samples.
+func (t *Trace) Mean() float64 {
+	if len(t.Points) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, p := range t.Points {
+		s += p.Rate
+	}
+	return s / float64(len(t.Points))
+}

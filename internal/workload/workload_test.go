@@ -1,0 +1,287 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"evolve/internal/plo"
+	"evolve/internal/resource"
+)
+
+func TestConstant(t *testing.T) {
+	p := Constant(42)
+	if p.Rate(0) != 42 || p.Rate(time.Hour) != 42 {
+		t.Error("constant should be constant")
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	d := Diurnal{Trough: 100, Peak: 500, Period: 24 * time.Hour}
+	if r := d.Rate(0); math.Abs(r-100) > 1e-9 {
+		t.Errorf("trough at t=0: %v", r)
+	}
+	if r := d.Rate(12 * time.Hour); math.Abs(r-500) > 1e-9 {
+		t.Errorf("peak at half period: %v", r)
+	}
+	if r := d.Rate(6 * time.Hour); math.Abs(r-300) > 1e-9 {
+		t.Errorf("midpoint: %v", r)
+	}
+	// Periodicity.
+	if math.Abs(d.Rate(3*time.Hour)-d.Rate(27*time.Hour)) > 1e-9 {
+		t.Error("not periodic")
+	}
+	// Degenerate period.
+	if (Diurnal{Trough: 5, Peak: 10}).Rate(time.Hour) != 5 {
+		t.Error("zero period should return trough")
+	}
+}
+
+func TestStepRampFlash(t *testing.T) {
+	s := Step{Before: 10, After: 30, At: time.Minute}
+	if s.Rate(59*time.Second) != 10 || s.Rate(time.Minute) != 30 {
+		t.Error("step wrong")
+	}
+	r := Ramp{From: 0, To: 100, Start: time.Minute, Length: time.Minute}
+	if r.Rate(0) != 0 || r.Rate(90*time.Second) != 50 || r.Rate(3*time.Minute) != 100 {
+		t.Errorf("ramp wrong: %v %v %v", r.Rate(0), r.Rate(90*time.Second), r.Rate(3*time.Minute))
+	}
+	if (Ramp{From: 7, To: 9}).Rate(time.Hour) != 7 {
+		t.Error("zero-length ramp should hold From")
+	}
+	f := FlashCrowd{Base: 50, Spike: 500, Start: time.Minute, Length: 30 * time.Second}
+	if f.Rate(0) != 50 || f.Rate(70*time.Second) != 500 || f.Rate(2*time.Minute) != 50 {
+		t.Error("flash crowd wrong")
+	}
+}
+
+func TestCompositeAndScaled(t *testing.T) {
+	c := Composite{Constant(10), Constant(5)}
+	if c.Rate(0) != 15 {
+		t.Errorf("composite = %v", c.Rate(0))
+	}
+	s := Scaled{Inner: Constant(10), Factor: 2.5}
+	if s.Rate(0) != 25 {
+		t.Errorf("scaled = %v", s.Rate(0))
+	}
+	f := Func(func(at time.Duration) float64 { return at.Seconds() })
+	if f.Rate(3*time.Second) != 3 {
+		t.Error("func adapter wrong")
+	}
+}
+
+func TestNoisyDeterministicAndBounded(t *testing.T) {
+	n := Noisy{Inner: Constant(100), Frac: 0.1, Seed: 7}
+	if n.Rate(time.Minute) != n.Rate(time.Minute) {
+		t.Error("noise must be a pure function of time")
+	}
+	other := Noisy{Inner: Constant(100), Frac: 0.1, Seed: 8}
+	if n.Rate(time.Minute) == other.Rate(time.Minute) {
+		t.Error("different seeds should differ (almost surely)")
+	}
+	for i := 0; i < 1000; i++ {
+		r := n.Rate(time.Duration(i) * time.Second)
+		if r < 90-1e-9 || r > 110+1e-9 {
+			t.Fatalf("noise out of ±10%%: %v", r)
+		}
+	}
+	if (Noisy{Inner: Constant(5)}).Rate(0) != 5 {
+		t.Error("zero frac should pass through")
+	}
+}
+
+func TestNoisyMeanNearInner(t *testing.T) {
+	n := Noisy{Inner: Constant(100), Frac: 0.2, Seed: 99}
+	sum := 0.0
+	const k = 10000
+	for i := 0; i < k; i++ {
+		sum += n.Rate(time.Duration(i) * time.Second)
+	}
+	if m := sum / k; math.Abs(m-100) > 1 {
+		t.Errorf("noisy mean = %v, want ≈100", m)
+	}
+}
+
+func TestMMPPAlternatesDeterministically(t *testing.T) {
+	m := NewMMPP(50, 400, 2*time.Minute, 30*time.Second, 11)
+	seenLow, seenHigh := false, false
+	for at := time.Duration(0); at < time.Hour; at += 5 * time.Second {
+		switch m.Rate(at) {
+		case 50:
+			seenLow = true
+		case 400:
+			seenHigh = true
+		default:
+			t.Fatalf("MMPP rate %v not in {50,400}", m.Rate(at))
+		}
+	}
+	if !seenLow || !seenHigh {
+		t.Error("MMPP never switched states within an hour")
+	}
+	// Replay determinism.
+	m2 := NewMMPP(50, 400, 2*time.Minute, 30*time.Second, 11)
+	for at := time.Duration(0); at < time.Hour; at += 7 * time.Second {
+		if m.Rate(at) != m2.Rate(at) {
+			t.Fatal("MMPP replay diverged")
+		}
+	}
+}
+
+func TestValidatePattern(t *testing.T) {
+	if err := Validate(Constant(5), time.Hour); err != nil {
+		t.Errorf("valid pattern rejected: %v", err)
+	}
+	if err := Validate(nil, time.Hour); err == nil {
+		t.Error("nil pattern should fail")
+	}
+	bad := Func(func(at time.Duration) float64 { return -1 })
+	if err := Validate(bad, time.Hour); err == nil {
+		t.Error("negative rate should fail")
+	}
+	nan := Func(func(at time.Duration) float64 { return math.NaN() })
+	if err := Validate(nan, time.Hour); err == nil {
+		t.Error("NaN rate should fail")
+	}
+}
+
+func TestServiceArchetypes(t *testing.T) {
+	for _, a := range Archetypes() {
+		spec := Service(a, a.String()+"-svc", 200, 2)
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%v spec invalid: %v", a, err)
+		}
+		// The initial allocation must actually serve the base rate.
+		r := spec.Model.Evaluate(200, spec.InitialReplicas, spec.InitialAlloc, 1)
+		if r.Saturated {
+			t.Errorf("%v: initial allocation saturates at base rate", a)
+		}
+		var sli float64
+		switch spec.PLO.Metric {
+		case plo.P99Latency:
+			sli = r.P99Latency.Seconds()
+		case plo.Throughput:
+			sli = r.Throughput
+		default:
+			sli = r.MeanLatency.Seconds()
+		}
+		if spec.PLO.Violated(sli) {
+			t.Errorf("%v: initial allocation violates its own PLO (sli=%v, plo=%v)", a, sli, spec.PLO)
+		}
+	}
+	if Archetype(99).String() != "unknown" {
+		t.Error("unknown archetype string")
+	}
+}
+
+func TestArchetypeBottlenecksDiffer(t *testing.T) {
+	// Drive each archetype to saturation and confirm the binding
+	// resource matches its design.
+	cases := []struct {
+		a     Archetype
+		want  resource.Kind
+		scale float64 // allocation of the bottleneck kind for 100 op/s
+	}{
+		{Web, resource.CPU, 1000},       // 10 mc·s/op × 100
+		{Gateway, resource.NetIO, 40e6}, // 400 kB/op × 100
+		{KVStore, resource.DiskIO, 50e6},
+	}
+	for _, c := range cases {
+		spec := Service(c.a, "x", 100, 1)
+		// Generous everywhere except the designed bottleneck, which
+		// supports exactly 100 op/s; offered load 150 must bind there.
+		alloc := resource.New(16000, 64<<30, 1e9, 2e9).With(c.want, c.scale)
+		r := spec.Model.Evaluate(150, 1, alloc, 1)
+		if r.Bottleneck != c.want {
+			t.Errorf("%v bottleneck = %v, want %v", c.a, r.Bottleneck, c.want)
+		}
+		if !r.Saturated {
+			t.Errorf("%v should saturate at 1.5x the bottleneck capacity", c.a)
+		}
+	}
+	// Inference is memory-resident: its min allocation is large.
+	inf := Service(Inference, "inf", 50, 1)
+	if inf.MinAlloc[resource.Memory] < float64(4<<30) {
+		t.Errorf("inference min memory = %v", inf.MinAlloc[resource.Memory])
+	}
+}
+
+func TestTraceSampleAndReplay(t *testing.T) {
+	p := Diurnal{Trough: 10, Peak: 100, Period: time.Hour}
+	tr := Sample(p, time.Hour, time.Minute)
+	if len(tr.Points) != 61 {
+		t.Fatalf("points = %d, want 61", len(tr.Points))
+	}
+	// Step replay holds the previous sample.
+	if tr.Rate(30*time.Second) != p.Rate(0) {
+		t.Errorf("step replay = %v, want %v", tr.Rate(30*time.Second), p.Rate(0))
+	}
+	if tr.Rate(-time.Second) != p.Rate(0) {
+		t.Error("before-first should return first value")
+	}
+	var empty Trace
+	if empty.Rate(0) != 0 {
+		t.Error("empty trace rate should be 0")
+	}
+	if math.Abs(tr.Peak()-100) > 1 {
+		t.Errorf("peak = %v", tr.Peak())
+	}
+	if tr.Mean() <= 10 || tr.Mean() >= 100 {
+		t.Errorf("mean = %v", tr.Mean())
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	p := Diurnal{Trough: 10, Peak: 100, Period: time.Hour}
+	tr := Sample(p, 10*time.Minute, time.Minute)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != len(tr.Points) {
+		t.Fatalf("round trip lost points: %d vs %d", len(got.Points), len(tr.Points))
+	}
+	for i := range got.Points {
+		if got.Points[i].At != tr.Points[i].At {
+			t.Errorf("point %d time %v vs %v", i, got.Points[i].At, tr.Points[i].At)
+		}
+		if math.Abs(got.Points[i].Rate-tr.Points[i].Rate) > 1e-5 {
+			t.Errorf("point %d rate %v vs %v", i, got.Points[i].Rate, tr.Points[i].Rate)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"seconds,rate\n",
+		"seconds,rate\nx,1\n",
+		"seconds,rate\n1,x\n",
+		"seconds,rate\n1,-5\n",
+		"seconds,rate\n2,1\n1,1\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail: %q", i, c)
+		}
+	}
+}
+
+// Property: Diurnal stays within [Trough, Peak].
+func TestDiurnalBoundsProperty(t *testing.T) {
+	d := Diurnal{Trough: 20, Peak: 200, Period: 37 * time.Minute}
+	prop := func(raw uint32) bool {
+		at := time.Duration(raw) * time.Millisecond * 10
+		r := d.Rate(at)
+		return r >= 20-1e-9 && r <= 200+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
