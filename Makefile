@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# check is the CI gate: static analysis plus the full suite under the
+# race detector (the parallel runner must be race-clean, not just fast).
+check: vet race

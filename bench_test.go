@@ -21,7 +21,10 @@ const benchSeed = 42
 
 func BenchmarkTable1Comparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, results, err := harness.Table1(benchSeed)
+		// Fresh runner per iteration: the benchmark measures real
+		// simulation cost, not cache hits; fan-out still applies.
+		r := harness.NewRunner(0)
+		tab, results, err := harness.Table1(r, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -40,7 +43,10 @@ func BenchmarkTable1Comparison(b *testing.B) {
 
 func BenchmarkTable2MultiResource(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, err := harness.Table2(benchSeed)
+		// Fresh runner per iteration: the benchmark measures real
+		// simulation cost, not cache hits; fan-out still applies.
+		r := harness.NewRunner(0)
+		tab, err := harness.Table2(r, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -52,7 +58,10 @@ func BenchmarkTable2MultiResource(b *testing.B) {
 
 func BenchmarkTable3Scheduler(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, err := harness.Table3(benchSeed)
+		// Fresh runner per iteration: the benchmark measures real
+		// simulation cost, not cache hits; fan-out still applies.
+		r := harness.NewRunner(0)
+		tab, err := harness.Table3(r, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,7 +82,10 @@ func BenchmarkTable4Overhead(b *testing.B) {
 
 func BenchmarkFigure1Diurnal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := harness.Figure1(benchSeed)
+		// Fresh runner per iteration: the benchmark measures real
+		// simulation cost, not cache hits; fan-out still applies.
+		r := harness.NewRunner(0)
+		fig, err := harness.Figure1(r, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,7 +97,10 @@ func BenchmarkFigure1Diurnal(b *testing.B) {
 
 func BenchmarkFigure2Tracking(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := harness.Figure2(benchSeed)
+		// Fresh runner per iteration: the benchmark measures real
+		// simulation cost, not cache hits; fan-out still applies.
+		r := harness.NewRunner(0)
+		fig, err := harness.Figure2(r, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,7 +112,10 @@ func BenchmarkFigure2Tracking(b *testing.B) {
 
 func BenchmarkFigure3Step(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, stats, err := harness.Figure3(benchSeed)
+		// Fresh runner per iteration: the benchmark measures real
+		// simulation cost, not cache hits; fan-out still applies.
+		r := harness.NewRunner(0)
+		fig, stats, err := harness.Figure3(r, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +146,10 @@ func BenchmarkFigure4Adaptive(b *testing.B) {
 
 func BenchmarkFigure5Converged(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := harness.Figure5(benchSeed)
+		// Fresh runner per iteration: the benchmark measures real
+		// simulation cost, not cache hits; fan-out still applies.
+		r := harness.NewRunner(0)
+		fig, err := harness.Figure5(r, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,7 +170,10 @@ func BenchmarkFigure6Scalability(b *testing.B) {
 
 func BenchmarkFigure7Frontier(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := harness.Figure7(benchSeed)
+		// Fresh runner per iteration: the benchmark measures real
+		// simulation cost, not cache hits; fan-out still applies.
+		r := harness.NewRunner(0)
+		fig, err := harness.Figure7(r, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -161,7 +185,10 @@ func BenchmarkFigure7Frontier(b *testing.B) {
 
 func BenchmarkTable5CostEnergy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, err := harness.Table5(benchSeed)
+		// Fresh runner per iteration: the benchmark measures real
+		// simulation cost, not cache hits; fan-out still applies.
+		r := harness.NewRunner(0)
+		tab, err := harness.Table5(r, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,7 +200,10 @@ func BenchmarkTable5CostEnergy(b *testing.B) {
 
 func BenchmarkFigure8Failure(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := harness.Figure8(benchSeed)
+		// Fresh runner per iteration: the benchmark measures real
+		// simulation cost, not cache hits; fan-out still applies.
+		r := harness.NewRunner(0)
+		fig, err := harness.Figure8(r, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -185,7 +215,10 @@ func BenchmarkFigure8Failure(b *testing.B) {
 
 func BenchmarkFigure9StartupDelay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := harness.Figure9(benchSeed)
+		// Fresh runner per iteration: the benchmark measures real
+		// simulation cost, not cache hits; fan-out still applies.
+		r := harness.NewRunner(0)
+		fig, err := harness.Figure9(r, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -197,7 +230,10 @@ func BenchmarkFigure9StartupDelay(b *testing.B) {
 
 func BenchmarkFigure10Sensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := harness.Figure10(benchSeed)
+		// Fresh runner per iteration: the benchmark measures real
+		// simulation cost, not cache hits; fan-out still applies.
+		r := harness.NewRunner(0)
+		fig, err := harness.Figure10(r, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -209,7 +245,10 @@ func BenchmarkFigure10Sensitivity(b *testing.B) {
 
 func BenchmarkTable6Convergence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, err := harness.Table6(benchSeed)
+		// Fresh runner per iteration: the benchmark measures real
+		// simulation cost, not cache hits; fan-out still applies.
+		r := harness.NewRunner(0)
+		tab, err := harness.Table6(r, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -221,7 +260,10 @@ func BenchmarkTable6Convergence(b *testing.B) {
 
 func BenchmarkFigure11Bursts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := harness.Figure11(benchSeed)
+		// Fresh runner per iteration: the benchmark measures real
+		// simulation cost, not cache hits; fan-out still applies.
+		r := harness.NewRunner(0)
+		fig, err := harness.Figure11(r, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}

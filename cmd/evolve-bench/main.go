@@ -3,33 +3,136 @@
 // mixes under all policies, renders the ASCII tables and figure summaries
 // to stdout, and optionally writes the raw CSV data for plotting.
 //
+// All (scenario, policy) simulations flow through one harness.Runner:
+// independent runs fan out across -parallel workers, and the run cache
+// deduplicates the (mix, seed, policy) combinations that several tables
+// and figures share — even at -parallel 1.
+//
 // Usage:
 //
 //	evolve-bench [-seed N] [-out DIR] [-only table1,figure3,...]
+//	             [-parallel N] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	"evolve/internal/harness"
 )
 
+// renderable is the surface Table and Figure share.
+type renderable interface {
+	Render(w io.Writer) error
+	RenderCSV(w io.Writer) error
+}
+
+// item is one table or figure of the evaluation.
+type item struct {
+	id   string
+	kind string // "table" | "figure"
+	run  func(r *harness.Runner, seed int64) (renderable, error)
+}
+
+func items() []item {
+	tbl := func(id string, f func(r *harness.Runner, seed int64) (*harness.Table, error)) item {
+		return item{id, "table", func(r *harness.Runner, seed int64) (renderable, error) { return f(r, seed) }}
+	}
+	fig := func(id string, f func(r *harness.Runner, seed int64) (*harness.Figure, error)) item {
+		return item{id, "figure", func(r *harness.Runner, seed int64) (renderable, error) { return f(r, seed) }}
+	}
+	return []item{
+		tbl("table1", func(r *harness.Runner, seed int64) (*harness.Table, error) {
+			t, _, err := harness.Table1(r, seed)
+			return t, err
+		}),
+		tbl("table2", harness.Table2),
+		tbl("table3", harness.Table3),
+		tbl("table4", func(*harness.Runner, int64) (*harness.Table, error) { return harness.Table4(), nil }),
+		tbl("table5", harness.Table5),
+		tbl("table6", harness.Table6),
+		fig("figure1", harness.Figure1),
+		fig("figure2", harness.Figure2),
+		fig("figure3", func(r *harness.Runner, seed int64) (*harness.Figure, error) {
+			f, _, err := harness.Figure3(r, seed)
+			return f, err
+		}),
+		fig("figure4", func(_ *harness.Runner, seed int64) (*harness.Figure, error) { return harness.Figure4(seed) }),
+		fig("figure5", harness.Figure5),
+		fig("figure6", func(*harness.Runner, int64) (*harness.Figure, error) { return harness.Figure6(), nil }),
+		fig("figure7", harness.Figure7),
+		fig("figure8", harness.Figure8),
+		fig("figure9", harness.Figure9),
+		fig("figure10", harness.Figure10),
+		fig("figure11", harness.Figure11),
+	}
+}
+
+// report is the machine-readable record of one generated item (-json).
+type report struct {
+	ID       string             `json:"id"`
+	Kind     string             `json:"kind"`
+	WallMS   float64            `json:"wall_ms"`
+	Rows     int                `json:"rows,omitempty"`
+	Points   int                `json:"points,omitempty"`
+	Headline map[string]float64 `json:"headline,omitempty"`
+}
+
+// summary closes a -json stream: total wall-clock plus runner counters,
+// the bench trajectory future PRs compare against.
+type summary struct {
+	ID          string  `json:"id"`
+	TotalWallMS float64 `json:"total_wall_ms"`
+	Workers     int     `json:"workers"`
+	Runs        uint64  `json:"runs"`
+	CacheHits   uint64  `json:"cache_hits"`
+	Uncacheable uint64  `json:"uncacheable"`
+}
+
 func main() {
 	seed := flag.Int64("seed", 42, "scenario seed (every run is deterministic in it)")
 	out := flag.String("out", "", "directory for CSV dumps (omit to skip)")
 	only := flag.String("only", "", "comma-separated subset, e.g. table1,figure3")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max simultaneous simulations (results are identical at any value)")
+	jsonOut := flag.Bool("json", false, "emit JSON lines (one per item + summary) instead of ASCII rendering")
 	flag.Parse()
 
+	all := items()
+	known := make(map[string]bool, len(all))
+	for _, it := range all {
+		known[it.id] = true
+	}
 	want := map[string]bool{}
 	if *only != "" {
+		var unknown []string
 		for _, f := range strings.Split(*only, ",") {
-			want[strings.ToLower(strings.TrimSpace(f))] = true
+			id := strings.ToLower(strings.TrimSpace(f))
+			if id == "" {
+				continue
+			}
+			if !known[id] {
+				unknown = append(unknown, id)
+				continue
+			}
+			want[id] = true
+		}
+		if len(unknown) > 0 {
+			valid := make([]string, 0, len(known))
+			for id := range known {
+				valid = append(valid, id)
+			}
+			sort.Strings(valid)
+			fmt.Fprintf(os.Stderr, "evolve-bench: unknown -only id(s): %s\nvalid ids: %s\n",
+				strings.Join(unknown, ", "), strings.Join(valid, ", "))
+			os.Exit(2)
 		}
 	}
 	selected := func(id string) bool { return len(want) == 0 || want[id] }
@@ -40,66 +143,70 @@ func main() {
 		}
 	}
 
+	runner := harness.NewRunner(*parallel)
+	enc := json.NewEncoder(os.Stdout)
 	start := time.Now()
-	type tableFn struct {
-		id  string
-		run func() (*harness.Table, error)
-	}
-	tables := []tableFn{
-		{"table1", func() (*harness.Table, error) { t, _, err := harness.Table1(*seed); return t, err }},
-		{"table2", func() (*harness.Table, error) { return harness.Table2(*seed) }},
-		{"table3", func() (*harness.Table, error) { return harness.Table3(*seed) }},
-		{"table4", func() (*harness.Table, error) { return harness.Table4(), nil }},
-		{"table5", func() (*harness.Table, error) { return harness.Table5(*seed) }},
-		{"table6", func() (*harness.Table, error) { return harness.Table6(*seed) }},
-	}
-	for _, tf := range tables {
-		if !selected(tf.id) {
+	for _, it := range all {
+		if !selected(it.id) {
 			continue
 		}
-		tab, err := tf.run()
+		itemStart := time.Now()
+		res, err := it.run(runner, *seed)
 		if err != nil {
 			fatal(err)
 		}
-		if err := tab.Render(os.Stdout); err != nil {
+		wall := time.Since(itemStart)
+		if *jsonOut {
+			if err := enc.Encode(describe(it, res, wall)); err != nil {
+				fatal(err)
+			}
+		} else {
+			if err := res.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		dumpCSV(*out, it.id, res.RenderCSV)
+	}
+	st := runner.Stats()
+	if *jsonOut {
+		if err := enc.Encode(summary{
+			ID:          "summary",
+			TotalWallMS: float64(time.Since(start).Microseconds()) / 1000,
+			Workers:     runner.Workers(),
+			Runs:        st.Runs,
+			CacheHits:   st.CacheHits,
+			Uncacheable: st.Uncacheable,
+		}); err != nil {
 			fatal(err)
 		}
-		fmt.Println()
-		dumpCSV(*out, tf.id, tab.RenderCSV)
 	}
+	fmt.Fprintf(os.Stderr, "evolve-bench: done in %v (%d simulations, %d cache hits, %d workers)\n",
+		time.Since(start).Round(time.Millisecond), st.Runs, st.CacheHits, runner.Workers())
+}
 
-	type figFn struct {
-		id  string
-		run func() (*harness.Figure, error)
-	}
-	figures := []figFn{
-		{"figure1", func() (*harness.Figure, error) { return harness.Figure1(*seed) }},
-		{"figure2", func() (*harness.Figure, error) { return harness.Figure2(*seed) }},
-		{"figure3", func() (*harness.Figure, error) { f, _, err := harness.Figure3(*seed); return f, err }},
-		{"figure4", func() (*harness.Figure, error) { return harness.Figure4(*seed) }},
-		{"figure5", func() (*harness.Figure, error) { return harness.Figure5(*seed) }},
-		{"figure6", func() (*harness.Figure, error) { return harness.Figure6(), nil }},
-		{"figure7", func() (*harness.Figure, error) { return harness.Figure7(*seed) }},
-		{"figure8", func() (*harness.Figure, error) { return harness.Figure8(*seed) }},
-		{"figure9", func() (*harness.Figure, error) { return harness.Figure9(*seed) }},
-		{"figure10", func() (*harness.Figure, error) { return harness.Figure10(*seed) }},
-		{"figure11", func() (*harness.Figure, error) { return harness.Figure11(*seed) }},
-	}
-	for _, ff := range figures {
-		if !selected(ff.id) {
-			continue
+// describe extracts the headline numbers of one rendered item: row count
+// for tables, per-column series means for figures.
+func describe(it item, res renderable, wall time.Duration) report {
+	rep := report{ID: it.id, Kind: it.kind, WallMS: float64(wall.Microseconds()) / 1000}
+	switch v := res.(type) {
+	case *harness.Table:
+		rep.Rows = len(v.Rows)
+	case *harness.Figure:
+		rep.Points = len(v.X)
+		rep.Headline = make(map[string]float64, len(v.Columns))
+		for i, col := range v.Columns {
+			if i >= len(v.Series) || len(v.Series[i]) == 0 {
+				continue
+			}
+			sum := 0.0
+			for _, y := range v.Series[i] {
+				sum += y
+			}
+			rep.Headline["mean:"+col] = sum / float64(len(v.Series[i]))
 		}
-		fig, err := ff.run()
-		if err != nil {
-			fatal(err)
-		}
-		if err := fig.Render(os.Stdout); err != nil {
-			fatal(err)
-		}
-		fmt.Println()
-		dumpCSV(*out, ff.id, fig.RenderCSV)
 	}
-	fmt.Fprintf(os.Stderr, "evolve-bench: done in %v\n", time.Since(start).Round(time.Millisecond))
+	return rep
 }
 
 func dumpCSV(dir, id string, render func(w io.Writer) error) {

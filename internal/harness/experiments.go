@@ -132,8 +132,10 @@ func BuildScenario(mix Mix, seed int64) Scenario {
 }
 
 // Table1 runs the headline comparison: PLO violations and utilisation
-// per policy across the three mixes.
-func Table1(seed int64) (*Table, map[string]*Result, error) {
+// per policy across the three mixes. All (mix, policy) runs are
+// independent and fan out through the runner.
+func Table1(r *Runner, seed int64) (*Table, map[string]*Result, error) {
+	r = ensureRunner(r)
 	t := &Table{
 		ID:    "Table 1",
 		Title: "PLO violations and cluster utilisation: EVOLVE vs Kubernetes-style baselines",
@@ -148,30 +150,35 @@ func Table1(seed int64) (*Table, map[string]*Result, error) {
 			"oracle = clairvoyant upper bound: right-sizes from the true performance model every period",
 		},
 	}
-	results := make(map[string]*Result)
+	var jobs []RunJob
 	for _, mix := range Mixes() {
 		sc := BuildScenario(mix, seed)
 		policies := append(StandardPolicies(),
 			Policy{Name: "oracle", Factory: OracleFactory(sc.Apps, 0.7)})
 		for _, pol := range policies {
-			res, err := Run(sc, pol)
-			if err != nil {
-				return nil, nil, fmt.Errorf("table1 %s/%s: %w", mix, pol.Name, err)
-			}
-			results[string(mix)+"/"+pol.Name] = res
-			normP99 := 0.0
-			for _, a := range res.Apps {
-				target := targetFor(sc, a.App)
-				if target > 0 {
-					normP99 += a.P99SLI / target
-				}
-			}
-			normP99 /= float64(len(res.Apps))
-			t.AddRow(string(mix), pol.Name,
-				res.OverallViolation()*100, normP99,
-				res.AllocFraction[resource.CPU], res.UsageFraction[resource.CPU],
-				res.UsageOfAlloc)
+			jobs = append(jobs, RunJob{Scenario: sc, Policy: pol})
 		}
+	}
+	runs, err := r.RunMany(jobs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("table1 %w", err)
+	}
+	results := make(map[string]*Result, len(runs))
+	for i, res := range runs {
+		sc := jobs[i].Scenario
+		results[sc.Name+"/"+res.Policy] = res
+		normP99 := 0.0
+		for _, a := range res.Apps {
+			target := targetFor(sc, a.App)
+			if target > 0 {
+				normP99 += a.P99SLI / target
+			}
+		}
+		normP99 /= float64(len(res.Apps))
+		t.AddRow(sc.Name, res.Policy,
+			res.OverallViolation()*100, normP99,
+			res.AllocFraction[resource.CPU], res.UsageFraction[resource.CPU],
+			res.UsageOfAlloc)
 	}
 	return t, results, nil
 }
@@ -188,7 +195,8 @@ func targetFor(sc Scenario, app string) float64 {
 // Table2 is the multi-resource ablation: each archetype (whose bottleneck
 // resource differs) under a 2.5x step load, controlled by the full
 // multi-resource controller vs the CPU-only scalar PID.
-func Table2(seed int64) (*Table, error) {
+func Table2(r *Runner, seed int64) (*Table, error) {
+	r = ensureRunner(r)
 	t := &Table{
 		ID:      "Table 2",
 		Title:   "Multi-resource vs CPU-only PID across bottleneck types (2.5x load step)",
@@ -213,6 +221,12 @@ func Table2(seed int64) (*Table, error) {
 		{Name: "evolve-multi", Factory: core.Factory(core.DefaultConfig())},
 		{Name: "pid-cpu-only", Factory: core.SingleResourceFactory()},
 	}
+	var jobs []RunJob
+	type rowMeta struct {
+		archetype workload.Archetype
+		target    float64
+	}
+	var meta []rowMeta
 	for _, a := range workload.Archetypes() {
 		base := 200.0
 		if a == workload.Inference {
@@ -244,22 +258,27 @@ func Table2(seed int64) (*Table, error) {
 			}},
 		}
 		for _, pol := range policies {
-			res, err := Run(sc, pol)
-			if err != nil {
-				return nil, fmt.Errorf("table2 %s/%s: %w", a, pol.Name, err)
-			}
-			ar := res.Apps[0]
-			target := sc.Apps[0].Spec.PLO.Target
-			t.AddRow(a.String(), bottleneckLabel[a], pol.Name,
-				ar.ViolationFraction*100, ar.MeanSLI/target)
+			jobs = append(jobs, RunJob{Scenario: sc, Policy: pol})
+			meta = append(meta, rowMeta{a, sc.Apps[0].Spec.PLO.Target})
 		}
+	}
+	runs, err := r.RunMany(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("table2 %w", err)
+	}
+	for i, res := range runs {
+		ar := res.Apps[0]
+		a := meta[i].archetype
+		t.AddRow(a.String(), bottleneckLabel[a], res.Policy,
+			ar.ViolationFraction*100, ar.MeanSLI/meta[i].target)
 	}
 	return t, nil
 }
 
 // Table3 compares scheduler policies and HPC queue disciplines on the
 // converged mix: packing quality, queueing and disruption metrics.
-func Table3(seed int64) (*Table, error) {
+func Table3(r *Runner, seed int64) (*Table, error) {
+	r = ensureRunner(r)
 	t := &Table{
 		ID:      "Table 3",
 		Title:   "Placement & queueing on the converged mix (EVOLVE controller throughout)",
@@ -270,6 +289,12 @@ func Table3(seed int64) (*Table, error) {
 			"easy = backfill with a head reservation (no starvation of wide jobs)",
 		},
 	}
+	type combo struct {
+		name  string
+		queue hpc.Policy
+	}
+	var jobs []RunJob
+	var combos []combo
 	for _, sp := range []struct {
 		name   string
 		policy sched.Policy
@@ -278,15 +303,19 @@ func Table3(seed int64) (*Table, error) {
 			sc := BuildScenario(MixConverged, seed)
 			sc.SchedulerPolicy = sp.policy
 			sc.HPCPolicy = qp
-			res, err := Run(sc, Policy{Name: "evolve", Factory: core.Factory(core.DefaultConfig())})
-			if err != nil {
-				return nil, fmt.Errorf("table3 %s/%s: %w", sp.name, qp, err)
-			}
-			t.AddRow(sp.name, qp.String(),
-				res.AllocFraction[resource.CPU],
-				res.HPCMeanWait.Seconds(), res.HPCCompleted,
-				res.BatchCompleted, res.Preemptions, res.Migrations)
+			jobs = append(jobs, RunJob{Scenario: sc, Policy: Policy{Name: "evolve", Factory: core.Factory(core.DefaultConfig())}})
+			combos = append(combos, combo{sp.name, qp})
 		}
+	}
+	runs, err := r.RunMany(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("table3 %w", err)
+	}
+	for i, res := range runs {
+		t.AddRow(combos[i].name, combos[i].queue.String(),
+			res.AllocFraction[resource.CPU],
+			res.HPCMeanWait.Seconds(), res.HPCCompleted,
+			res.BatchCompleted, res.Preemptions, res.Migrations)
 	}
 	return t, nil
 }

@@ -15,7 +15,10 @@ func TestAllTablesGenerate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full evaluation run")
 	}
-	t1, results, err := Table1(3)
+	// One shared parallel runner: exercises fan-out and the cross-table
+	// run cache exactly the way cmd/evolve-bench does.
+	r := NewRunner(0)
+	t1, results, err := Table1(r, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,21 +28,21 @@ func TestAllTablesGenerate(t *testing.T) {
 	if len(results) != 18 {
 		t.Errorf("table1 results = %d", len(results))
 	}
-	t2, err := Table2(3)
+	t2, err := Table2(r, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(t2.Rows) != 8 { // 4 archetypes × 2 policies
 		t.Errorf("table2 rows = %d, want 8", len(t2.Rows))
 	}
-	t3, err := Table3(3)
+	t3, err := Table3(r, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(t3.Rows) != 6 { // 2 scorings × 3 queue policies
 		t.Errorf("table3 rows = %d, want 6", len(t3.Rows))
 	}
-	t5, err := Table5(3)
+	t5, err := Table5(r, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,17 +70,18 @@ func TestAllFiguresGenerate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full evaluation run")
 	}
+	r := NewRunner(0)
 	figs := []struct {
 		name string
 		run  func() (*Figure, error)
 	}{
-		{"figure1", func() (*Figure, error) { return Figure1(3) }},
-		{"figure2", func() (*Figure, error) { return Figure2(3) }},
-		{"figure3", func() (*Figure, error) { f, _, err := Figure3(3); return f, err }},
+		{"figure1", func() (*Figure, error) { return Figure1(r, 3) }},
+		{"figure2", func() (*Figure, error) { return Figure2(r, 3) }},
+		{"figure3", func() (*Figure, error) { f, _, err := Figure3(r, 3); return f, err }},
 		{"figure4", func() (*Figure, error) { return Figure4(3) }},
-		{"figure5", func() (*Figure, error) { return Figure5(3) }},
-		{"figure7", func() (*Figure, error) { return Figure7(3) }},
-		{"figure8", func() (*Figure, error) { return Figure8(3) }},
+		{"figure5", func() (*Figure, error) { return Figure5(r, 3) }},
+		{"figure7", func() (*Figure, error) { return Figure7(r, 3) }},
+		{"figure8", func() (*Figure, error) { return Figure8(r, 3) }},
 	}
 	for _, fc := range figs {
 		f, err := fc.run()
@@ -109,7 +113,7 @@ func TestFigure3FeedforwardAblation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full run")
 	}
-	_, stats, err := Figure3(11)
+	_, stats, err := Figure3(nil, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +143,7 @@ func TestTable2MultiResourceShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full run")
 	}
-	tab, err := Table2(11)
+	tab, err := Table2(nil, 11)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,7 +25,8 @@ func hpaPolicy() control.Factory {
 // the consolidation effect of binpack scheduling on the converged mix.
 // The point the numbers make: PLO compliance and a lower bill are not a
 // trade-off once allocations track demand.
-func Table5(seed int64) (*Table, error) {
+func Table5(r *Runner, seed int64) (*Table, error) {
+	r = ensureRunner(r)
 	t := &Table{
 		ID:      "Table 5",
 		Title:   "Cost and energy of the policies (2h cloud mix; cloud on-demand rates, linear server power)",
@@ -36,44 +37,40 @@ func Table5(seed int64) (*Table, error) {
 		},
 	}
 	sc := BuildScenario(MixCloud, seed)
-	var evolveBill float64
-	type row struct {
-		name string
-		viol float64
-		bill float64
-		wh   float64
+	std := StandardPolicies()
+	var jobs []RunJob
+	for _, pol := range std {
+		jobs = append(jobs, RunJob{Scenario: sc, Policy: pol})
 	}
-	var rows []row
-	for _, pol := range StandardPolicies() {
-		res, err := Run(sc, pol)
-		if err != nil {
-			return nil, fmt.Errorf("table5 %s: %w", pol.Name, err)
-		}
-		if pol.Name == "evolve" {
-			evolveBill = res.Dollars
-		}
-		rows = append(rows, row{pol.Name, res.OverallViolation() * 100, res.Dollars, res.WattHour})
-	}
-	for _, r := range rows {
-		rel := "1.00x"
-		if evolveBill > 0 {
-			rel = fmt.Sprintf("%.2fx", r.bill/evolveBill)
-		}
-		t.AddRow(r.name, r.viol, r.bill, r.wh, rel)
-	}
-
 	// Consolidation coda: binpack vs spread energy on the converged mix.
-	for _, sp := range []struct {
+	consolidation := []struct {
 		name   string
 		policy sched.Policy
-	}{{"evolve+spread", sched.PolicySpread}, {"evolve+binpack", sched.PolicyBinPack}} {
+	}{{"evolve+spread", sched.PolicySpread}, {"evolve+binpack", sched.PolicyBinPack}}
+	for _, sp := range consolidation {
 		scc := BuildScenario(MixConverged, seed)
 		scc.SchedulerPolicy = sp.policy
-		res, err := Run(scc, Policy{Name: "evolve", Factory: core.Factory(core.DefaultConfig())})
-		if err != nil {
-			return nil, fmt.Errorf("table5 %s: %w", sp.name, err)
+		jobs = append(jobs, RunJob{Scenario: scc, Policy: Policy{Name: "evolve", Factory: core.Factory(core.DefaultConfig())}})
+	}
+	runs, err := r.RunMany(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("table5 %w", err)
+	}
+	var evolveBill float64
+	for i, res := range runs[:len(std)] {
+		if std[i].Name == "evolve" {
+			evolveBill = res.Dollars
 		}
-		t.AddRow(sp.name+" (converged)", res.OverallViolation()*100, res.Dollars, res.WattHour, "-")
+	}
+	for _, res := range runs[:len(std)] {
+		rel := "1.00x"
+		if evolveBill > 0 {
+			rel = fmt.Sprintf("%.2fx", res.Dollars/evolveBill)
+		}
+		t.AddRow(res.Policy, res.OverallViolation()*100, res.Dollars, res.WattHour, rel)
+	}
+	for i, res := range runs[len(std):] {
+		t.AddRow(consolidation[i].name+" (converged)", res.OverallViolation()*100, res.Dollars, res.WattHour, "-")
 	}
 	return t, nil
 }
@@ -83,7 +80,8 @@ func Table5(seed int64) (*Table, error) {
 // queue, the scheduler re-places them, and the controller absorbs the
 // transient — the fault-tolerance picture a production autoscaler paper
 // needs.
-func Figure8(seed int64) (*Figure, error) {
+func Figure8(r *Runner, seed int64) (*Figure, error) {
+	r = ensureRunner(r)
 	f := &Figure{
 		ID:      "Figure 8",
 		Title:   "Node failure at peak load (t=30min, restored t=45min; EVOLVE)",
@@ -100,7 +98,7 @@ func Figure8(seed int64) (*Figure, error) {
 		}},
 	}
 	pol := Policy{Name: "evolve", Factory: core.Factory(core.DefaultConfig())}
-	res, err := RunWithHooks(sc, pol, []Hook{
+	res, err := r.RunWithHooks(sc, pol, []Hook{
 		{At: 30 * time.Minute, Do: func(c *cluster.Cluster) {
 			if err := c.FailNode("node-0"); err != nil {
 				panic(err)
@@ -140,7 +138,8 @@ func Figure8(seed int64) (*Figure, error) {
 // take the full startup delay — so a horizontal-only policy degrades
 // linearly with the delay while the vertical-first controller barely
 // notices it.
-func Figure9(seed int64) (*Figure, error) {
+func Figure9(r *Runner, seed int64) (*Figure, error) {
+	r = ensureRunner(r)
 	f := &Figure{
 		ID:      "Figure 9",
 		Title:   "Startup-delay sensitivity under a 2.5x flash crowd (violations %)",
@@ -148,7 +147,9 @@ func Figure9(seed int64) (*Figure, error) {
 		Columns: []string{"evolve", "hpa"},
 	}
 	base := 300.0
-	for _, delay := range []time.Duration{0, 15 * time.Second, 30 * time.Second, 60 * time.Second, 120 * time.Second, 240 * time.Second} {
+	delays := []time.Duration{0, 15 * time.Second, 30 * time.Second, 60 * time.Second, 120 * time.Second, 240 * time.Second}
+	var jobs []RunJob
+	for _, delay := range delays {
 		spec := workload.Service(workload.Web, "web", base, 2)
 		spec.StartupDelay = delay
 		sc := Scenario{
@@ -160,18 +161,17 @@ func Figure9(seed int64) (*Figure, error) {
 				Pattern: workload.FlashCrowd{Base: base, Spike: base * 2.5, Start: 10 * time.Minute, Length: 15 * time.Minute},
 			}},
 		}
-		var row [2]float64
-		for i, pol := range []Policy{
-			{Name: "evolve", Factory: core.Factory(core.DefaultConfig())},
-			{Name: "hpa", Factory: hpaPolicy()},
-		} {
-			res, err := Run(sc, pol)
-			if err != nil {
-				return nil, fmt.Errorf("figure9 %v/%s: %w", delay, pol.Name, err)
-			}
-			row[i] = res.OverallViolation() * 100
-		}
-		if err := f.AddPoint(delay.Seconds(), row[0], row[1]); err != nil {
+		jobs = append(jobs,
+			RunJob{Scenario: sc, Policy: Policy{Name: "evolve", Factory: core.Factory(core.DefaultConfig())}},
+			RunJob{Scenario: sc, Policy: Policy{Name: "hpa", Factory: hpaPolicy()}})
+	}
+	runs, err := r.RunMany(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("figure9 %w", err)
+	}
+	for i, delay := range delays {
+		ev, hpa := runs[2*i], runs[2*i+1]
+		if err := f.AddPoint(delay.Seconds(), ev.OverallViolation()*100, hpa.OverallViolation()*100); err != nil {
 			return nil, err
 		}
 	}
@@ -186,7 +186,8 @@ func Figure9(seed int64) (*Figure, error) {
 // efficiency curve. A robust design shows a wide flat region: anywhere
 // between ~0.5 and ~0.8 works, with violations only exploding as the
 // target approaches the saturation knee.
-func Figure10(seed int64) (*Figure, error) {
+func Figure10(r *Runner, seed int64) (*Figure, error) {
+	r = ensureRunner(r)
 	f := &Figure{
 		ID:      "Figure 10",
 		Title:   "Controller sensitivity: utilisation target vs outcome (cloud mix)",
@@ -194,13 +195,19 @@ func Figure10(seed int64) (*Figure, error) {
 		Columns: []string{"violations %", "usage/alloc"},
 	}
 	sc := BuildScenario(MixCloud, seed)
-	for _, target := range []float64{0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+	targets := []float64{0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	jobs := make([]RunJob, len(targets))
+	for i, target := range targets {
 		cfg := core.DefaultConfig()
 		cfg.UtilTarget = target
-		res, err := Run(sc, Policy{Name: fmt.Sprintf("evolve-u%.1f", target), Factory: core.Factory(cfg)})
-		if err != nil {
-			return nil, fmt.Errorf("figure10 %.1f: %w", target, err)
-		}
+		jobs[i] = RunJob{Scenario: sc, Policy: Policy{Name: fmt.Sprintf("evolve-u%.1f", target), Factory: core.Factory(cfg)}}
+	}
+	runs, err := r.RunMany(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("figure10 %w", err)
+	}
+	for i, target := range targets {
+		res := runs[i]
 		if err := f.AddPoint(target, res.OverallViolation()*100, res.UsageOfAlloc); err != nil {
 			return nil, err
 		}
@@ -217,7 +224,8 @@ func Figure10(seed int64) (*Figure, error) {
 // priorities and preemption keeping the services safe. Sharing should
 // dominate on batch/HPC outcomes at equal or better service compliance —
 // the "converging worlds" claim of the paper's title.
-func Table6(seed int64) (*Table, error) {
+func Table6(r *Runner, seed int64) (*Table, error) {
+	r = ensureRunner(r)
 	t := &Table{
 		ID:      "Table 6",
 		Title:   "Partitioned silos vs converged sharing (same 8 nodes, same workload, EVOLVE)",
@@ -260,15 +268,20 @@ func Table6(seed int64) (*Table, error) {
 		}
 		return sc
 	}
-	for _, mode := range []struct {
+	modes := []struct {
 		name        string
 		partitioned bool
-	}{{"partitioned", true}, {"shared", false}} {
-		res, err := Run(build(mode.partitioned), Policy{Name: "evolve", Factory: core.Factory(core.DefaultConfig())})
-		if err != nil {
-			return nil, fmt.Errorf("table6 %s: %w", mode.name, err)
-		}
-		t.AddRow(mode.name,
+	}{{"partitioned", true}, {"shared", false}}
+	jobs := make([]RunJob, len(modes))
+	for i, mode := range modes {
+		jobs[i] = RunJob{Scenario: build(mode.partitioned), Policy: Policy{Name: "evolve", Factory: core.Factory(core.DefaultConfig())}}
+	}
+	runs, err := r.RunMany(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("table6 %w", err)
+	}
+	for i, res := range runs {
+		t.AddRow(modes[i].name,
 			res.OverallViolation()*100,
 			res.HPCMeanWait.Seconds(), res.HPCCompleted,
 			res.BatchMakespan.Seconds(), res.BatchCompleted,
@@ -282,7 +295,8 @@ func Table6(seed int64) (*Table, error) {
 // (mean holding times 8 min low / 2 min high). Bursty arrivals are where
 // reactive controllers bleed violations; the feedforward demand model
 // keeps the re-provision to one control period per burst.
-func Figure11(seed int64) (*Figure, error) {
+func Figure11(r *Runner, seed int64) (*Figure, error) {
+	r = ensureRunner(r)
 	f := &Figure{
 		ID:      "Figure 11",
 		Title:   "Burst robustness: violations vs MMPP burst ratio (web, PLO 100ms)",
@@ -290,7 +304,12 @@ func Figure11(seed int64) (*Figure, error) {
 		Columns: []string{"evolve %", "hpa %", "static-3x %"},
 	}
 	base := 250.0
-	for _, ratio := range []float64{2, 4, 6, 8} {
+	ratios := []float64{2, 4, 6, 8}
+	var jobs []RunJob
+	for _, ratio := range ratios {
+		// The three policies share one stateful MMPP pattern; its lazy
+		// switch schedule is mutex-guarded and call-order independent,
+		// so parallel runs stay deterministic.
 		pattern := workload.NewMMPP(base, base*ratio, 8*time.Minute, 2*time.Minute, seed+int64(ratio))
 		sc := Scenario{
 			Name: "burst", Seed: seed, Nodes: 8, NodeCapacity: StandardNode(),
@@ -301,19 +320,23 @@ func Figure11(seed int64) (*Figure, error) {
 				Pattern: pattern,
 			}},
 		}
-		var row [3]float64
-		for i, pol := range []Policy{
+		for _, pol := range []Policy{
 			{Name: "evolve", Factory: core.Factory(core.DefaultConfig())},
 			{Name: "hpa", Factory: hpaPolicy()},
 			{Name: "static-3x", Factory: baseline.StaticFactory(), Overprovision: 3},
 		} {
-			res, err := Run(sc, pol)
-			if err != nil {
-				return nil, fmt.Errorf("figure11 %vx/%s: %w", ratio, pol.Name, err)
-			}
-			row[i] = res.OverallViolation() * 100
+			jobs = append(jobs, RunJob{Scenario: sc, Policy: pol})
 		}
-		if err := f.AddPoint(ratio, row[0], row[1], row[2]); err != nil {
+	}
+	runs, err := r.RunMany(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("figure11 %w", err)
+	}
+	for i, ratio := range ratios {
+		if err := f.AddPoint(ratio,
+			runs[3*i].OverallViolation()*100,
+			runs[3*i+1].OverallViolation()*100,
+			runs[3*i+2].OverallViolation()*100); err != nil {
 			return nil, err
 		}
 	}

@@ -22,7 +22,8 @@ func seriesPoints(c *cluster.Cluster, name string) []metrics.Sample {
 // Figure1 renders the diurnal latency time series of the web service
 // under three policies: the qualitative "EVOLVE holds the PLO flat while
 // baselines spike at the peaks" picture.
-func Figure1(seed int64) (*Figure, error) {
+func Figure1(r *Runner, seed int64) (*Figure, error) {
+	r = ensureRunner(r)
 	f := &Figure{
 		ID:      "Figure 1",
 		Title:   "Web-service mean latency under a diurnal cycle (PLO 100ms)",
@@ -30,18 +31,22 @@ func Figure1(seed int64) (*Figure, error) {
 		Columns: []string{"offered load (op/s)", "evolve (ms)", "hpa (ms)", "static-2x (ms)"},
 	}
 	sc := BuildScenario(MixCloud, seed)
-	series := make(map[string][]metrics.Sample)
-	var offered []metrics.Sample
+	var jobs []RunJob
 	keep := map[string]bool{"evolve": true, "hpa": true, "static-2x": true}
 	for _, pol := range StandardPolicies() {
 		if !keep[pol.Name] {
 			continue
 		}
-		res, err := Run(sc, pol)
-		if err != nil {
-			return nil, fmt.Errorf("figure1 %s: %w", pol.Name, err)
-		}
-		series[pol.Name] = seriesPoints(res.Cluster, "app/web/latency-mean")
+		jobs = append(jobs, RunJob{Scenario: sc, Policy: pol})
+	}
+	runs, err := r.RunMany(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("figure1 %w", err)
+	}
+	series := make(map[string][]metrics.Sample)
+	var offered []metrics.Sample
+	for _, res := range runs {
+		series[res.Policy] = seriesPoints(res.Cluster, "app/web/latency-mean")
 		if offered == nil {
 			offered = seriesPoints(res.Cluster, "app/web/offered")
 		}
@@ -68,7 +73,8 @@ func Figure1(seed int64) (*Figure, error) {
 
 // Figure2 shows EVOLVE's allocation tracking: offered load against total
 // CPU allocation and actual CPU usage for the web service.
-func Figure2(seed int64) (*Figure, error) {
+func Figure2(r *Runner, seed int64) (*Figure, error) {
+	r = ensureRunner(r)
 	f := &Figure{
 		ID:      "Figure 2",
 		Title:   "Allocation tracks offered load (EVOLVE, web service)",
@@ -76,7 +82,7 @@ func Figure2(seed int64) (*Figure, error) {
 		Columns: []string{"offered (op/s)", "total cpu alloc (cores)", "total cpu usage (cores)", "replicas"},
 	}
 	sc := BuildScenario(MixCloud, seed)
-	res, err := Run(sc, Policy{Name: "evolve", Factory: core.Factory(core.DefaultConfig())})
+	res, err := r.Run(sc, Policy{Name: "evolve", Factory: core.Factory(core.DefaultConfig())})
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +128,8 @@ type StepStats struct {
 // Figure3 drives a flash-crowd step (3x) into the web service and records
 // the latency trajectory for EVOLVE with and without the feedforward
 // demand model, plus the HPA baseline; settling times go in the notes.
-func Figure3(seed int64) (*Figure, []StepStats, error) {
+func Figure3(r *Runner, seed int64) (*Figure, []StepStats, error) {
+	r = ensureRunner(r)
 	f := &Figure{
 		ID:      "Figure 3",
 		Title:   "Step response: 3x flash crowd at t=10min (web, PLO 100ms)",
@@ -149,21 +156,25 @@ func Figure3(seed int64) (*Figure, []StepStats, error) {
 		{Name: "evolve-no-ff", Factory: core.Factory(noFF)},
 		{Name: "hpa", Factory: baseline.HPAFactory(baseline.DefaultHPAConfig())},
 	}
+	jobs := make([]RunJob, len(policies))
+	for i, pol := range policies {
+		jobs[i] = RunJob{Scenario: mkScenario(), Policy: pol}
+	}
+	runs, err := r.RunMany(jobs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("figure3 %w", err)
+	}
 	var stats []StepStats
 	var cols [][]metrics.Sample
 	var offered []metrics.Sample
 	target := 0.1 // 100ms
-	for _, pol := range policies {
-		res, err := Run(mkScenario(), pol)
-		if err != nil {
-			return nil, nil, fmt.Errorf("figure3 %s: %w", pol.Name, err)
-		}
+	for _, res := range runs {
 		lat := seriesPoints(res.Cluster, "app/web/latency-mean")
 		cols = append(cols, lat)
 		if offered == nil {
 			offered = seriesPoints(res.Cluster, "app/web/offered")
 		}
-		stats = append(stats, stepStatsFrom(pol.Name, lat, stepAt, target))
+		stats = append(stats, stepStatsFrom(res.Policy, lat, stepAt, target))
 	}
 	n := minLen(len(offered), len(cols[0]), len(cols[1]), len(cols[2]))
 	for i := 0; i < n; i++ {
@@ -310,7 +321,8 @@ func absFloat(v float64) float64 {
 // Figure5 shows the converged cluster in action: CPU usage fraction,
 // allocation fraction, pending pods and the service SLI health over time
 // under the EVOLVE controller.
-func Figure5(seed int64) (*Figure, error) {
+func Figure5(r *Runner, seed int64) (*Figure, error) {
+	r = ensureRunner(r)
 	f := &Figure{
 		ID:      "Figure 5",
 		Title:   "Converged cluster timeline (cloud + big-data + HPC, EVOLVE)",
@@ -318,7 +330,7 @@ func Figure5(seed int64) (*Figure, error) {
 		Columns: []string{"cpu allocated frac", "cpu used frac", "pending pods", "violating apps"},
 	}
 	sc := BuildScenario(MixConverged, seed)
-	res, err := Run(sc, Policy{Name: "evolve", Factory: core.Factory(core.DefaultConfig())})
+	res, err := r.Run(sc, Policy{Name: "evolve", Factory: core.Factory(core.DefaultConfig())})
 	if err != nil {
 		return nil, err
 	}
@@ -350,7 +362,8 @@ func Figure5(seed int64) (*Figure, error) {
 // violation-vs-allocation frontier, with the EVOLVE point for contrast:
 // the "how much safety margin would static requests need to match the
 // controller" picture.
-func Figure7(seed int64) (*Figure, error) {
+func Figure7(r *Runner, seed int64) (*Figure, error) {
+	r = ensureRunner(r)
 	f := &Figure{
 		ID:      "Figure 7",
 		Title:   "Violations vs allocated capacity: static overprovisioning frontier",
@@ -358,21 +371,22 @@ func Figure7(seed int64) (*Figure, error) {
 		Columns: []string{"violations % (static)", "violations % (evolve)"},
 	}
 	sc := BuildScenario(MixCloud, seed)
-	evRes, err := Run(sc, Policy{Name: "evolve", Factory: core.Factory(core.DefaultConfig())})
-	if err != nil {
-		return nil, err
-	}
-	evViol := evRes.OverallViolation() * 100
-	evAlloc := evRes.AllocFraction[resource.CPU]
+	jobs := []RunJob{{Scenario: sc, Policy: Policy{Name: "evolve", Factory: core.Factory(core.DefaultConfig())}}}
 	for _, factor := range []float64{1.0, 1.5, 2.0, 2.5, 3.0, 4.0} {
-		res, err := Run(sc, Policy{
+		jobs = append(jobs, RunJob{Scenario: sc, Policy: Policy{
 			Name:          fmt.Sprintf("static-%.1fx", factor),
 			Factory:       baseline.StaticFactory(),
 			Overprovision: factor,
-		})
-		if err != nil {
-			return nil, err
-		}
+		}})
+	}
+	runs, err := r.RunMany(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("figure7 %w", err)
+	}
+	evRes := runs[0]
+	evViol := evRes.OverallViolation() * 100
+	evAlloc := evRes.AllocFraction[resource.CPU]
+	for _, res := range runs[1:] {
 		if err := f.AddPoint(res.AllocFraction[resource.CPU], res.OverallViolation()*100, -1); err != nil {
 			return nil, err
 		}

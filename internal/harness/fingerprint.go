@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"reflect"
+	"sort"
+	"strconv"
+)
+
+// Fingerprinter lets a configuration type supply its own canonical
+// encoding for the run cache. Types with unexported or derived state
+// (e.g. *workload.MMPP) implement it to expose exactly the fields that
+// determine behaviour; the reflective encoder uses it in place of field
+// walking whenever a value provides it.
+type Fingerprinter interface {
+	Fingerprint() string
+}
+
+// ScenarioFingerprint computes a content-addressed key for one
+// (scenario, policy) run. Two runs with equal fingerprints produce
+// byte-identical Results, because every run builds its own engine from
+// Scenario.Seed and the encoder covers every behaviour-determining field.
+//
+// The policy side contributes Name and Overprovision only: control
+// factories are functions and cannot be hashed, so the cache relies on
+// the repo-wide convention that a policy name uniquely identifies its
+// controller configuration (config variants get distinct names, e.g.
+// "evolve-no-ff", "evolve-u0.8", "static-2.5x").
+//
+// Scenarios containing values the encoder cannot canonically represent —
+// non-nil funcs (workload.Func patterns), channels, or structs with
+// unexported fields that don't implement Fingerprinter — return an
+// error; the runner then executes them uncached.
+func ScenarioFingerprint(sc Scenario, pol Policy) (string, error) {
+	h := sha256.New()
+	enc := fpEncoder{h: h}
+	if err := enc.encode(reflect.ValueOf(sc)); err != nil {
+		return "", err
+	}
+	fmt.Fprintf(h, "|policy:%s|over:%s", pol.Name, strconv.FormatFloat(pol.Overprovision, 'g', -1, 64))
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+type fpEncoder struct {
+	h hash.Hash
+}
+
+func (e fpEncoder) write(parts ...string) {
+	for _, p := range parts {
+		e.h.Write([]byte(p))
+		e.h.Write([]byte{0})
+	}
+}
+
+func (e fpEncoder) encode(v reflect.Value) error {
+	if !v.IsValid() {
+		e.write("invalid")
+		return nil
+	}
+	if v.CanInterface() {
+		if f, ok := v.Interface().(Fingerprinter); ok {
+			if v.Kind() != reflect.Ptr && v.Kind() != reflect.Interface || !v.IsNil() {
+				e.write("fp", f.Fingerprint())
+				return nil
+			}
+		}
+	}
+	t := v.Type()
+	switch v.Kind() {
+	case reflect.Bool:
+		e.write(t.String(), strconv.FormatBool(v.Bool()))
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		e.write(t.String(), strconv.FormatInt(v.Int(), 10))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		e.write(t.String(), strconv.FormatUint(v.Uint(), 10))
+	case reflect.Float32, reflect.Float64:
+		e.write(t.String(), strconv.FormatFloat(v.Float(), 'g', -1, 64))
+	case reflect.String:
+		e.write(t.String(), v.String())
+	case reflect.Slice, reflect.Array:
+		e.write(t.String(), strconv.Itoa(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			if err := e.encode(v.Index(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Map:
+		// Canonicalise by encoding each entry into a sub-hash and
+		// sorting the digests; map iteration order must not leak in.
+		e.write(t.String(), strconv.Itoa(v.Len()))
+		entries := make([]string, 0, v.Len())
+		for _, k := range v.MapKeys() {
+			sub := fpEncoder{h: sha256.New()}
+			if err := sub.encode(k); err != nil {
+				return err
+			}
+			if err := sub.encode(v.MapIndex(k)); err != nil {
+				return err
+			}
+			entries = append(entries, hex.EncodeToString(sub.h.Sum(nil)))
+		}
+		sort.Strings(entries)
+		e.write(entries...)
+	case reflect.Struct:
+		e.write(t.String())
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.PkgPath != "" {
+				return fmt.Errorf("harness: cannot fingerprint %s: unexported field %s (implement Fingerprinter)", t, f.Name)
+			}
+			e.write(f.Name)
+			if err := e.encode(v.Field(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Ptr, reflect.Interface:
+		if v.IsNil() {
+			e.write(t.String(), "nil")
+			return nil
+		}
+		e.write(t.String())
+		return e.encode(v.Elem())
+	case reflect.Func:
+		if v.IsNil() {
+			e.write(t.String(), "nil")
+			return nil
+		}
+		return fmt.Errorf("harness: cannot fingerprint %s: function values have no canonical encoding", t)
+	default:
+		return fmt.Errorf("harness: cannot fingerprint kind %s (%s)", v.Kind(), t)
+	}
+	return nil
+}

@@ -355,7 +355,7 @@ func TestFigure9ShapeHolds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep run")
 	}
-	fig, err := Figure9(9)
+	fig, err := Figure9(NewRunner(0), 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +379,7 @@ func TestTable6ConvergenceShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full run")
 	}
-	tab, err := Table6(5)
+	tab, err := Table6(NewRunner(0), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,7 +407,7 @@ func TestTable6ConvergenceShape(t *testing.T) {
 }
 
 func TestFigure8RecoversWithinOneTickWindow(t *testing.T) {
-	fig, err := Figure8(7)
+	fig, err := Figure8(nil, 7)
 	if err != nil {
 		t.Fatal(err)
 	}

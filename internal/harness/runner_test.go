@@ -1,0 +1,309 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"evolve/internal/baseline"
+	"evolve/internal/batch"
+	"evolve/internal/core"
+	"evolve/internal/workload"
+)
+
+// snapshotResult serialises everything observable about a run: the
+// summary fields, every metric series sample and every counter. Two
+// snapshots are equal iff the runs were byte-identical.
+func snapshotResult(res *Result) string {
+	cp := *res
+	cp.Cluster = nil
+	var b strings.Builder
+	fmt.Fprintf(&b, "%+v\n", cp)
+	met := res.Cluster.Metrics()
+	for _, name := range met.SeriesNames() {
+		fmt.Fprintf(&b, "series %s:", name)
+		for _, s := range met.Series(name).Samples() {
+			fmt.Fprintf(&b, " %d=%g", int64(s.At), s.Value)
+		}
+		b.WriteByte('\n')
+	}
+	for _, name := range met.CounterNames() {
+		fmt.Fprintf(&b, "counter %s=%d\n", name, met.Counter(name).Value())
+	}
+	return b.String()
+}
+
+func evolvePolicy() Policy {
+	return Policy{Name: "evolve", Factory: core.Factory(core.DefaultConfig())}
+}
+
+// determinismJobs is a small job matrix covering services, batch, HPC
+// and a shared stateful MMPP pattern — the shapes that could diverge
+// under concurrency. It includes one exact duplicate to exercise
+// in-flight deduplication.
+func determinismJobs() []RunJob {
+	mk := func() Scenario {
+		sc := tinyScenario()
+		sc.Duration = 30 * time.Minute
+		sc.BatchJobs = BatchStream(2, 5*time.Minute, 0.5)
+		sc.HPCJobs = HPCStream(2, 6*time.Minute, 2)
+		return sc
+	}
+	burst := tinyScenario()
+	burst.Name = "burst-tiny"
+	burst.Apps = []AppLoad{{
+		Spec:    workload.Service(workload.Web, "web", 200, 2),
+		Pattern: workload.NewMMPP(150, 500, 4*time.Minute, time.Minute, 11),
+	}}
+	return []RunJob{
+		{Scenario: mk(), Policy: evolvePolicy()},
+		{Scenario: mk(), Policy: Policy{Name: "hpa", Factory: baseline.HPAFactory(baseline.DefaultHPAConfig())}},
+		{Scenario: mk(), Policy: Policy{Name: "static-2x", Factory: baseline.StaticFactory(), Overprovision: 2}},
+		{Scenario: burst, Policy: evolvePolicy()},
+		{Scenario: burst, Policy: Policy{Name: "hpa", Factory: baseline.HPAFactory(baseline.DefaultHPAConfig())}},
+		{Scenario: mk(), Policy: evolvePolicy()}, // duplicate of job 0
+	}
+}
+
+// TestRunnerDeterminism is the core guarantee of the runner subsystem:
+// for a fixed seed, serial, parallel and cache-hit execution produce
+// identical Results down to every sample and counter.
+func TestRunnerDeterminism(t *testing.T) {
+	jobs := determinismJobs()
+
+	serial := NewRunner(1)
+	serialRes, err := serial.RunMany(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := NewRunner(8)
+	parRes, err := par.RunMany(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedRes, err := par.RunMany(jobs) // second pass: pure cache hits
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		want := snapshotResult(serialRes[i])
+		if got := snapshotResult(parRes[i]); got != want {
+			t.Errorf("job %d: parallel result differs from serial", i)
+		}
+		if got := snapshotResult(cachedRes[i]); got != want {
+			t.Errorf("job %d: cached result differs from serial", i)
+		}
+	}
+	// The duplicate job must not have simulated twice.
+	if st := par.Stats(); st.Runs != uint64(len(jobs)-1) {
+		t.Errorf("parallel runs = %d, want %d (duplicate deduplicated)", st.Runs, len(jobs)-1)
+	}
+	st := par.Stats()
+	if st.CacheHits != uint64(1+len(jobs)) { // 1 in-flight dup + full second pass
+		t.Errorf("cache hits = %d, want %d", st.CacheHits, 1+len(jobs))
+	}
+}
+
+func TestRunnerCacheSharesResultAcrossCalls(t *testing.T) {
+	r := NewRunner(1)
+	a, err := r.Run(tinyScenario(), evolvePolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(tinyScenario(), evolvePolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical runs should return the same cached *Result")
+	}
+	if st := r.Stats(); st.Runs != 1 || st.CacheHits != 1 {
+		t.Errorf("stats = %+v, want 1 run / 1 hit", st)
+	}
+}
+
+func TestRunnerUncacheablePattern(t *testing.T) {
+	sc := tinyScenario()
+	sc.Apps[0].Pattern = workload.Func(func(time.Duration) float64 { return 200 })
+	r := NewRunner(1)
+	for i := 0; i < 2; i++ {
+		if _, err := r.Run(sc, evolvePolicy()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := r.Stats(); st.Runs != 2 || st.Uncacheable != 2 || st.CacheHits != 0 {
+		t.Errorf("stats = %+v, want 2 uncached runs", r.Stats())
+	}
+}
+
+func TestRunnerMemoisesErrors(t *testing.T) {
+	sc := tinyScenario()
+	sc.Nodes = 0 // invalid
+	r := NewRunner(2)
+	if _, err := r.Run(sc, evolvePolicy()); err == nil {
+		t.Fatal("invalid scenario must fail")
+	}
+	if _, err := r.Run(sc, evolvePolicy()); err == nil {
+		t.Fatal("cached error must fail too")
+	}
+	if st := r.Stats(); st.Runs != 1 || st.CacheHits != 1 {
+		t.Errorf("stats = %+v, want the error memoised", r.Stats())
+	}
+}
+
+// TestRunErrorInsteadOfPanic: a scenario whose batch stream is invalid at
+// submit time (duplicate job name) must fail its run with an error — not
+// panic the process, which under a parallel sweep would kill every
+// sibling run.
+func TestRunErrorInsteadOfPanic(t *testing.T) {
+	sc := tinyScenario()
+	sc.Duration = 30 * time.Minute
+	job := batch.TeraSortLike("dup", 0.5, 0)
+	sc.BatchJobs = []TimedBatch{
+		{At: 2 * time.Minute, Job: job},
+		{At: 4 * time.Minute, Job: batch.TeraSortLike("dup", 0.5, 0)},
+	}
+	res, err := Run(sc, evolvePolicy())
+	if err == nil {
+		t.Fatal("duplicate batch submission must error")
+	}
+	if res != nil {
+		t.Error("failed run should not return a result")
+	}
+	if !strings.Contains(err.Error(), "dup") {
+		t.Errorf("error should name the offending job: %v", err)
+	}
+}
+
+func TestRunnerConcurrentCallers(t *testing.T) {
+	// Many goroutines racing on the same key must trigger exactly one
+	// simulation; -race validates the locking.
+	r := NewRunner(4)
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]*Result, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Run(tinyScenario(), evolvePolicy())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different *Result", i)
+		}
+	}
+	if st := r.Stats(); st.Runs != 1 {
+		t.Errorf("runs = %d, want 1", st.Runs)
+	}
+}
+
+func TestScenarioFingerprint(t *testing.T) {
+	base, err := ScenarioFingerprint(tinyScenario(), evolvePolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := ScenarioFingerprint(tinyScenario(), evolvePolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != same {
+		t.Error("identical inputs must fingerprint identically")
+	}
+	mutations := []struct {
+		name string
+		sc   func(*Scenario)
+		pol  func(*Policy)
+	}{
+		{"seed", func(s *Scenario) { s.Seed++ }, nil},
+		{"nodes", func(s *Scenario) { s.Nodes++ }, nil},
+		{"duration", func(s *Scenario) { s.Duration += time.Minute }, nil},
+		{"pattern", func(s *Scenario) { s.Apps[0].Pattern = workload.Constant(201) }, nil},
+		{"noise", func(s *Scenario) { s.MeasurementNoise = 0.31 }, nil},
+		{"policy name", nil, func(p *Policy) { p.Name = "evolve-no-ff" }},
+		{"overprovision", nil, func(p *Policy) { p.Overprovision = 2 }},
+	}
+	for _, m := range mutations {
+		sc, pol := tinyScenario(), evolvePolicy()
+		if m.sc != nil {
+			m.sc(&sc)
+		}
+		if m.pol != nil {
+			m.pol(&pol)
+		}
+		got, err := ScenarioFingerprint(sc, pol)
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		if got == base {
+			t.Errorf("%s: mutation not reflected in fingerprint", m.name)
+		}
+	}
+}
+
+func TestScenarioFingerprintMMPPSeed(t *testing.T) {
+	mk := func(seed int64) Scenario {
+		sc := tinyScenario()
+		sc.Apps[0].Pattern = workload.NewMMPP(100, 400, 4*time.Minute, time.Minute, seed)
+		return sc
+	}
+	a, err := ScenarioFingerprint(mk(1), evolvePolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScenarioFingerprint(mk(2), evolvePolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("MMPP seed must be part of the fingerprint")
+	}
+	c, err := ScenarioFingerprint(mk(1), evolvePolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != c {
+		t.Error("equal MMPP patterns must fingerprint identically")
+	}
+}
+
+func TestScenarioFingerprintRejectsFuncs(t *testing.T) {
+	sc := tinyScenario()
+	sc.Apps[0].Pattern = workload.Func(func(time.Duration) float64 { return 1 })
+	if _, err := ScenarioFingerprint(sc, evolvePolicy()); err == nil {
+		t.Error("func-backed patterns have no canonical encoding and must be rejected")
+	}
+}
+
+func TestScenarioFingerprintMapOrderIndependent(t *testing.T) {
+	mk := func() Scenario {
+		sc := tinyScenario()
+		sc.Pools = []NodePool{{Name: "a", Count: 3, Labels: map[string]string{
+			"x": "1", "y": "2", "z": "3", "w": "4",
+		}}}
+		sc.Nodes = 0
+		return sc
+	}
+	a, err := ScenarioFingerprint(mk(), evolvePolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		b, err := ScenarioFingerprint(mk(), evolvePolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatal("fingerprint depends on map iteration order")
+		}
+	}
+}

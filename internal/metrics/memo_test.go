@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestPercentileMemoInvalidation: the sorted-window cache must never
+// serve stale data after new samples arrive or when the window moves.
+func TestPercentileMemoInvalidation(t *testing.T) {
+	s := NewSeries("lat")
+	for i := 1; i <= 100; i++ {
+		s.Add(sec(float64(i)), float64(101-i)) // descending values
+	}
+	p1 := s.Percentile(sec(0), sec(100), 50)
+	if again := s.Percentile(sec(0), sec(100), 50); again != p1 {
+		t.Fatalf("repeat percentile changed: %v vs %v", again, p1)
+	}
+	// Appending must invalidate the memo even for the same window bounds
+	// extended to the new sample.
+	s.Add(sec(101), 1000)
+	if got := s.Percentile(sec(0), sec(101), 100); got != 1000 {
+		t.Errorf("p100 after append = %v, want 1000", got)
+	}
+	// A different window must not reuse the previous sort.
+	if got, want := s.Percentile(sec(90), sec(101), 100), 1000.0; got != want {
+		t.Errorf("narrow window p100 = %v, want %v", got, want)
+	}
+	if got := s.Percentile(sec(0), sec(50), 100); got != 100 {
+		t.Errorf("early window p100 = %v, want 100", got)
+	}
+}
+
+// TestPercentilesMatchesPercentile: the batched form must agree with
+// independent calls.
+func TestPercentilesMatchesPercentile(t *testing.T) {
+	s := NewSeries("lat")
+	rng := rand.New(rand.NewSource(1))
+	for i := 1; i <= 500; i++ {
+		s.Add(sec(float64(i)), rng.Float64()*100)
+	}
+	ps := []float64{0, 25, 50, 90, 99, 100}
+	got := s.Percentiles(sec(100), sec(400), ps...)
+	for i, p := range ps {
+		if want := s.Percentile(sec(100), sec(400), p); got[i] != want {
+			t.Errorf("p%v = %v, want %v", p, got[i], want)
+		}
+	}
+}
+
+func buildBenchSeries(n int) *Series {
+	s := NewSeries("bench")
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		s.Add(time.Duration(i)*time.Second, rng.Float64()*100)
+	}
+	return s
+}
+
+// BenchmarkPercentileRepeated is the harness hot path: summarise asks
+// for several percentiles over the same measurement window.
+func BenchmarkPercentileRepeated(b *testing.B) {
+	s := buildBenchSeries(10000)
+	from, to := 1000*time.Second, 9000*time.Second
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Percentile(from, to, 50)
+		_ = s.Percentile(from, to, 95)
+		_ = s.Percentile(from, to, 99)
+	}
+}
+
+// BenchmarkPercentileColdWindow defeats the memo on every call — the
+// worst case the cache cannot help.
+func BenchmarkPercentileColdWindow(b *testing.B) {
+	s := buildBenchSeries(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := time.Duration(i%1000) * time.Second
+		_ = s.Percentile(from, from+8000*time.Second, 99)
+	}
+}
+
+func BenchmarkTimeWeightedMean(b *testing.B) {
+	s := buildBenchSeries(10000)
+	from, to := 1000*time.Second, 9000*time.Second
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.TimeWeightedMean(from, to)
+	}
+}
+
+func BenchmarkWindowStats(b *testing.B) {
+	s := buildBenchSeries(10000)
+	from, to := 1000*time.Second, 9000*time.Second
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.WindowStats(from, to)
+	}
+}

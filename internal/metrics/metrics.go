@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -24,6 +25,18 @@ type Sample struct {
 type Series struct {
 	Name    string
 	samples []Sample
+
+	// Percentile queries sort a window of values; summaries ask for
+	// several percentiles (and re-ask across tables sharing a cached
+	// run), so the sorted window is memoised per (from, to, len). The
+	// mutex only guards the memo: appends stay single-threaded per the
+	// owning simulation, but finished runs may be read concurrently by
+	// parallel table builders.
+	sortMu     sync.Mutex
+	sortedFrom time.Duration
+	sortedTo   time.Duration
+	sortedLen  int
+	sorted     []float64
 }
 
 // NewSeries returns an empty named series.
@@ -52,7 +65,9 @@ func (s *Series) Last() (Sample, bool) {
 	return s.samples[len(s.samples)-1], true
 }
 
-// Window returns the samples with At in (from, to].
+// Window returns the samples with At in (from, to]. The result is a
+// sub-slice of the series' backing array — no copy — so callers must not
+// modify it.
 func (s *Series) Window(from, to time.Duration) []Sample {
 	lo := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].At > from })
 	hi := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].At > to })
@@ -100,18 +115,40 @@ func computeStats(w []Sample) Stats {
 }
 
 // Percentile returns the p-th percentile (0..100) of the window (from, to]
-// by exact sort; returns 0 on an empty window.
+// by exact sort; returns 0 on an empty window. Repeated queries against
+// the same window reuse one sorted copy instead of re-sorting per call.
 func (s *Series) Percentile(from, to time.Duration, p float64) float64 {
-	w := s.Window(from, to)
-	if len(w) == 0 {
-		return 0
+	vals := s.sortedWindow(from, to)
+	return percentileSorted(vals, p)
+}
+
+// Percentiles evaluates several percentile points against one sorted
+// window; the window is sorted at most once.
+func (s *Series) Percentiles(from, to time.Duration, ps ...float64) []float64 {
+	vals := s.sortedWindow(from, to)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = percentileSorted(vals, p)
 	}
+	return out
+}
+
+// sortedWindow returns the sorted values of (from, to], memoising the
+// last window. Appends invalidate the memo via the length check.
+func (s *Series) sortedWindow(from, to time.Duration) []float64 {
+	s.sortMu.Lock()
+	defer s.sortMu.Unlock()
+	if s.sorted != nil && s.sortedFrom == from && s.sortedTo == to && s.sortedLen == len(s.samples) {
+		return s.sorted
+	}
+	w := s.Window(from, to)
 	vals := make([]float64, len(w))
 	for i, x := range w {
 		vals[i] = x.Value
 	}
 	sort.Float64s(vals)
-	return percentileSorted(vals, p)
+	s.sortedFrom, s.sortedTo, s.sortedLen, s.sorted = from, to, len(s.samples), vals
+	return vals
 }
 
 func percentileSorted(vals []float64, p float64) float64 {

@@ -49,11 +49,12 @@ func (h *eventHeap) Pop() any {
 // concurrent use; model code runs inside event callbacks on the engine's
 // goroutine.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	rng    *RNG
-	nsteps uint64
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *RNG
+	nsteps  uint64
+	stopped bool
 }
 
 // NewEngine returns an engine with virtual time 0 and a deterministic
@@ -118,11 +119,21 @@ func (e *Engine) Every(interval time.Duration, fn func()) Canceler {
 	return func() { stopped = true }
 }
 
-// Run executes events until virtual time reaches until or the queue
-// drains. It returns the number of events executed by this call.
+// Stop halts event processing: the Run or RunAll call in progress
+// returns once the in-flight callback completes, and later calls process
+// nothing. Model code calls it from inside a callback to abort a
+// simulation on a fatal error instead of panicking.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Run executes events until virtual time reaches until, the queue
+// drains, or Stop is called. It returns the number of events executed by
+// this call.
 func (e *Engine) Run(until Time) uint64 {
 	var n uint64
-	for len(e.events) > 0 {
+	for len(e.events) > 0 && !e.stopped {
 		next := e.events[0]
 		if next.at > until {
 			break
@@ -136,7 +147,7 @@ func (e *Engine) Run(until Time) uint64 {
 		n++
 		e.nsteps++
 	}
-	if e.now < until {
+	if e.now < until && !e.stopped {
 		e.now = until
 	}
 	return n
@@ -147,7 +158,7 @@ func (e *Engine) Run(until Time) uint64 {
 func (e *Engine) RunAll() uint64 {
 	const maxSteps = 1 << 30
 	var n uint64
-	for len(e.events) > 0 {
+	for len(e.events) > 0 && !e.stopped {
 		if n >= maxSteps {
 			panic("sim: RunAll exceeded step limit; runaway event loop?")
 		}

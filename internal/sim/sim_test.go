@@ -322,3 +322,33 @@ func TestEngineDeterministicReplay(t *testing.T) {
 		}
 	}
 }
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	var fired []int
+	e.At(1*time.Second, func() { fired = append(fired, 1) })
+	e.At(2*time.Second, func() {
+		fired = append(fired, 2)
+		e.Stop()
+	})
+	e.At(3*time.Second, func() { fired = append(fired, 3) })
+	n := e.Run(10 * time.Second)
+	if n != 2 || len(fired) != 2 {
+		t.Errorf("ran %d events (%v), want exactly 2", n, fired)
+	}
+	if !e.Stopped() {
+		t.Error("Stopped() should report true after Stop")
+	}
+	// The clock must not advance to the horizon after an abort: the
+	// harness reports the failure at its virtual time of occurrence.
+	if e.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s", e.Now())
+	}
+	// A stopped engine stays stopped.
+	if e.Run(20*time.Second) != 0 {
+		t.Error("stopped engine must not process further events")
+	}
+	if e.RunAll() != 0 {
+		t.Error("stopped engine must not process further events via RunAll")
+	}
+}

@@ -9,6 +9,7 @@ package workload
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"evolve/internal/sim"
@@ -150,12 +151,16 @@ func (n Noisy) Rate(at time.Duration) float64 {
 // MMPP is a two-state Markov-modulated Poisson process envelope: the rate
 // alternates between Low and High with exponentially distributed state
 // holding times. The switch schedule is generated lazily and
-// deterministically from the seed.
+// deterministically from the seed: the values returned depend only on
+// (seed, at), never on call order, and a mutex makes the lazy extension
+// safe when scenarios sharing one pattern run in parallel.
 type MMPP struct {
 	Low, High    float64
 	MeanLowHold  time.Duration
 	MeanHighHold time.Duration
 
+	seed     int64
+	mu       sync.Mutex
 	rng      *sim.RNG
 	switches []time.Duration // times of state flips, starting in Low
 }
@@ -165,12 +170,23 @@ func NewMMPP(low, high float64, meanLow, meanHigh time.Duration, seed int64) *MM
 	return &MMPP{
 		Low: low, High: high,
 		MeanLowHold: meanLow, MeanHighHold: meanHigh,
-		rng: sim.NewRNG(seed),
+		seed: seed,
+		rng:  sim.NewRNG(seed),
 	}
+}
+
+// Fingerprint identifies the pattern by its construction parameters; the
+// lazily grown switch schedule is derived state and excluded. This feeds
+// the harness run cache, which treats equal fingerprints as equal load.
+func (m *MMPP) Fingerprint() string {
+	return fmt.Sprintf("workload.MMPP{low:%g,high:%g,lowHold:%d,highHold:%d,seed:%d}",
+		m.Low, m.High, int64(m.MeanLowHold), int64(m.MeanHighHold), m.seed)
 }
 
 // Rate implements Pattern.
 func (m *MMPP) Rate(at time.Duration) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.extendTo(at)
 	// State = number of switches at or before `at` (binary search not
 	// needed; switches are few and appended in order).

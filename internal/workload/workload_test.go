@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -284,4 +285,32 @@ func TestDiurnalBoundsProperty(t *testing.T) {
 	if err := quick.Check(prop, nil); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestMMPPOrderIndependent: the parallel runner shares one MMPP across
+// scenarios, so Rate must depend only on (seed, at) — never on the order
+// or interleaving of queries. Run with -race to validate the locking.
+func TestMMPPOrderIndependent(t *testing.T) {
+	ref := NewMMPP(100, 500, 4*time.Minute, time.Minute, 3)
+	want := make([]float64, 200)
+	for i := range want {
+		want[i] = ref.Rate(time.Duration(i) * 13 * time.Second)
+	}
+	shared := NewMMPP(100, 500, 4*time.Minute, time.Minute, 3)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine walks the probe points in a different order.
+			for i := 0; i < len(want); i++ {
+				j := (i*7 + g*13) % len(want)
+				if got := shared.Rate(time.Duration(j) * 13 * time.Second); got != want[j] {
+					t.Errorf("Rate at probe %d = %v, want %v", j, got, want[j])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
