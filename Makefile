@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench bench-json check
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,15 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# bench is a smoke run: every benchmark executes once, which catches
+# compile rot and setup panics without CI paying for stable timings.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+	$(GO) test -bench . -benchtime 1x -count 1 -run '^$$' ./...
+
+# bench-json regenerates the committed BENCH_*.json trajectory record
+# from the full evaluation run (see cmd/evolve-bench).
+bench-json:
+	$(GO) run ./cmd/evolve-bench -json > BENCH_2.json
 
 # check is the CI gate: static analysis plus the full suite under the
 # race detector (the parallel runner must be race-clean, not just fast).

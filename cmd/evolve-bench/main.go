@@ -11,7 +11,7 @@
 // Usage:
 //
 //	evolve-bench [-seed N] [-out DIR] [-only table1,figure3,...]
-//	             [-parallel N] [-json]
+//	             [-parallel N] [-json] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -103,7 +104,34 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset, e.g. table1,figure3")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max simultaneous simulations (results are identical at any value)")
 	jsonOut := flag.Bool("json", false, "emit JSON lines (one per item + summary) instead of ASCII rendering")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	all := items()
 	known := make(map[string]bool, len(all))

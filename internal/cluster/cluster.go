@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"evolve/internal/metrics"
@@ -55,6 +54,10 @@ type appState struct {
 
 	lastObserve time.Duration
 	migrateDebt int // consecutive ticks with throttled resize
+
+	// h caches the per-service metric handles (see handles.go); nil
+	// until the first tick resolves them.
+	h *appHandles
 }
 
 // Cluster is the simulated substrate. Not safe for concurrent use; all
@@ -70,6 +73,26 @@ type Cluster struct {
 	nodes map[string]*NodeObject
 	pods  map[string]*PodObject
 	apps  map[string]*appState
+
+	// Incremental indexes — kept sorted at every mutation so hot paths
+	// never re-derive views (see index.go for the invariants).
+	byName   []*PodObject            // every live pod, name order
+	byNode   map[string][]*PodObject // bound pods per node, name order
+	byApp    map[string][]*PodObject // live service replicas per app, (CreatedAt, name) order
+	pending  []*PodObject            // pending pods: priority desc, FIFO, name
+	nodeList []*NodeObject           // every node, name order
+	appList  []*appState             // services, name order
+
+	// Reusable scratch. The simulation is single-threaded and the tick
+	// never re-enters itself, so one buffer of each suffices; reuse is
+	// what makes the steady-state tick allocation-free.
+	schedInfos   []sched.NodeInfo
+	schedPodBufs [][]sched.PodInfo
+	schedIdx     map[string]int
+	scratchQueue []*PodObject
+	scratchRun   []*PodObject
+	slowdown     map[string]float64
+	h            *clusterHandles
 
 	podSeq  uint64
 	started bool
@@ -91,6 +114,11 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 		nodes: make(map[string]*NodeObject),
 		pods:  make(map[string]*PodObject),
 		apps:  make(map[string]*appState),
+
+		byNode:   make(map[string][]*PodObject),
+		byApp:    make(map[string][]*PodObject),
+		schedIdx: make(map[string]int),
+		slowdown: make(map[string]float64),
 	}
 }
 
@@ -134,6 +162,7 @@ func (c *Cluster) AddLabeledNode(name string, capacity resource.Vector, labels m
 		return err
 	}
 	c.nodes[name] = n
+	c.indexAddNode(n)
 	return nil
 }
 
@@ -160,22 +189,13 @@ func (c *Cluster) AddNodes(prefix string, count int, capacity resource.Vector) e
 
 // Nodes returns all nodes sorted by name.
 func (c *Cluster) Nodes() []*NodeObject {
-	names := make([]string, 0, len(c.nodes))
-	for n := range c.nodes {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	out := make([]*NodeObject, len(names))
-	for i, n := range names {
-		out[i] = c.nodes[n]
-	}
-	return out
+	return append([]*NodeObject(nil), c.nodeList...)
 }
 
 // Capacity returns the summed allocatable capacity of ready nodes.
 func (c *Cluster) Capacity() resource.Vector {
 	var total resource.Vector
-	for _, n := range c.Nodes() {
+	for _, n := range c.nodeList {
 		if n.Ready {
 			total = total.Add(n.Allocatable)
 		}
@@ -189,7 +209,7 @@ func (c *Cluster) Capacity() resource.Vector {
 func (c *Cluster) largestNodeAllocatable() (resource.Vector, bool) {
 	var biggest resource.Vector
 	any := false
-	for _, n := range c.nodes {
+	for _, n := range c.nodeList {
 		if !n.Ready {
 			continue
 		}
@@ -209,10 +229,13 @@ func (c *Cluster) NodeInfos() []sched.NodeInfo { return c.nodeInfos() }
 func (c *Cluster) Scheduler() *sched.Scheduler { return c.sch }
 
 // nodeInfos snapshots ready nodes for the scheduler, sorted by name.
+// Each call returns freshly allocated slices, so callers (gang
+// scheduling, the public NodeInfos, queueing layers) may hold the result
+// across cluster mutations; the pending-pod loop uses the reusable
+// scratch snapshot in refreshSchedInfos instead.
 func (c *Cluster) nodeInfos() []sched.NodeInfo {
-	nodes := c.Nodes()
-	infos := make([]sched.NodeInfo, 0, len(nodes))
-	for _, n := range nodes {
+	infos := make([]sched.NodeInfo, 0, len(c.nodeList))
+	for _, n := range c.nodeList {
 		if !n.Ready {
 			continue
 		}
@@ -222,7 +245,7 @@ func (c *Cluster) nodeInfos() []sched.NodeInfo {
 			Allocated:   n.Allocated,
 			Labels:      n.Meta.Labels,
 		}
-		for _, p := range c.podsOnNode(n.Name) {
+		for _, p := range c.byNode[n.Name] {
 			info.Pods = append(info.Pods, sched.PodInfo{
 				Name: p.Name, App: p.App, Requests: p.Requests, Priority: p.Priority,
 			})
@@ -232,54 +255,22 @@ func (c *Cluster) nodeInfos() []sched.NodeInfo {
 	return infos
 }
 
+// podsOnNode returns the index slice of pods bound to the node, in name
+// order. Callers must not mutate it, and must copy it first if they
+// evict or delete while iterating.
 func (c *Cluster) podsOnNode(node string) []*PodObject {
-	var out []*PodObject
-	for _, name := range c.sortedPodNames() {
-		p := c.pods[name]
-		if p.Node == node && (p.Phase == Running || p.Phase == Pending) {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-func (c *Cluster) sortedPodNames() []string {
-	names := make([]string, 0, len(c.pods))
-	for n := range c.pods {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return c.byNode[node]
 }
 
 // Pods returns all live pods sorted by name.
 func (c *Cluster) Pods() []*PodObject {
-	var out []*PodObject
-	for _, n := range c.sortedPodNames() {
-		out = append(out, c.pods[n])
-	}
-	return out
+	return append([]*PodObject(nil), c.byName...)
 }
 
 // PendingPods returns pods awaiting placement, sorted by priority
 // (descending) then creation time then name.
 func (c *Cluster) PendingPods() []*PodObject {
-	var out []*PodObject
-	for _, n := range c.sortedPodNames() {
-		if p := c.pods[n]; p.Phase == Pending {
-			out = append(out, p)
-		}
-	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Priority != out[j].Priority {
-			return out[i].Priority > out[j].Priority
-		}
-		if out[i].CreatedAt != out[j].CreatedAt {
-			return out[i].CreatedAt < out[j].CreatedAt
-		}
-		return out[i].Name < out[j].Name
-	})
-	return out
+	return append([]*PodObject(nil), c.pending...)
 }
 
 // Start arms the periodic telemetry/actuation tick. Call once after the
@@ -308,6 +299,7 @@ func (c *Cluster) bind(p *PodObject, nodeName string) error {
 		}
 	}
 	n.Allocated = n.Allocated.Add(p.Requests)
+	c.indexBind(p)
 	c.met.Counter("sched/binds").Inc()
 	c.recordEvent("pod-scheduled", p.Name, "bound to %s (%s)", nodeName, p.Requests)
 	c.mustUpdate(p)
@@ -323,6 +315,7 @@ func (c *Cluster) release(p *PodObject) {
 	if p.Node == "" {
 		return
 	}
+	c.indexUnbind(p)
 	if n, ok := c.nodes[p.Node]; ok {
 		n.Allocated = snapDust(n.Allocated.Sub(p.Requests).ClampMin(0))
 		c.mustUpdate(n)
@@ -345,6 +338,7 @@ func snapDust(v resource.Vector) resource.Vector {
 // deletePod removes a pod entirely.
 func (c *Cluster) deletePod(p *PodObject) {
 	c.release(p)
+	c.indexRemovePod(p)
 	delete(c.pods, p.Name)
 	_ = c.store.Delete(KindPod, p.Name)
 }
@@ -358,6 +352,7 @@ func (c *Cluster) evict(p *PodObject, reason string) {
 		c.mustUpdate(p)
 		done := p.Task.OnDone
 		name := p.Name
+		c.indexRemovePod(p)
 		delete(c.pods, p.Name)
 		_ = c.store.Delete(KindPod, p.Name)
 		c.met.Counter("evictions/" + reason).Inc()
@@ -369,6 +364,7 @@ func (c *Cluster) evict(p *PodObject, reason string) {
 	}
 	p.Phase = Pending
 	p.Usage = resource.Vector{}
+	c.indexMarkPending(p)
 	c.met.Counter("evictions/" + reason).Inc()
 	c.recordEvent("pod-evicted", p.Name, "back to pending queue (%s)", reason)
 	c.mustUpdate(p)
@@ -377,21 +373,33 @@ func (c *Cluster) evict(p *PodObject, reason string) {
 // schedulePending attempts placement of every pending pod; pods that do
 // not fit stay pending (retried next tick). High-priority pods may
 // preempt strictly lower-priority ones when no node fits.
+//
+// The loop iterates a snapshot of the pending queue (binds remove from
+// the live queue, preemption evictions insert into it) against the
+// reusable scheduler snapshot: built once per round and patched after
+// each bind, instead of re-deriving every node's pod list per pod.
 func (c *Cluster) schedulePending() {
-	for _, p := range c.PendingPods() {
+	if len(c.pending) == 0 {
+		return
+	}
+	queue := append(c.scratchQueue[:0], c.pending...)
+	c.scratchQueue = queue
+	c.refreshSchedInfos()
+	for _, p := range queue {
 		info := sched.PodInfo{Name: p.Name, App: p.App, Requests: p.Requests, Priority: p.Priority, NodeSelector: p.NodeSelector}
-		nodeName, err := c.sch.Schedule(info, c.nodeInfos())
+		nodeName, err := c.sch.Schedule(info, c.schedInfos)
 		if err == nil {
 			if err := c.bind(p, nodeName); err != nil {
 				panic(fmt.Sprintf("cluster: bind after successful schedule: %v", err))
 			}
+			c.schedInfoCommit(nodeName, p)
 			continue
 		}
 		c.met.Counter("sched/unschedulable").Inc()
 		if p.Priority <= 0 {
 			continue
 		}
-		if plan := c.sch.Preempt(info, c.nodeInfos()); plan != nil {
+		if plan := c.sch.Preempt(info, c.schedInfos); plan != nil {
 			for _, victim := range plan.Victims {
 				if vp, ok := c.pods[victim]; ok {
 					c.evict(vp, "preempted")
@@ -402,8 +410,62 @@ func (c *Cluster) schedulePending() {
 			if err := c.bind(p, plan.Node); err != nil {
 				panic(fmt.Sprintf("cluster: bind after preemption: %v", err))
 			}
+			// Evictions touched several nodes; rebuild rather than patch.
+			c.refreshSchedInfos()
 		}
 	}
+}
+
+// refreshSchedInfos rebuilds the reusable scheduler snapshot
+// (c.schedInfos) from the incremental indexes: O(nodes + bound pods),
+// no sorting, no steady-state allocation. schedIdx maps node name to
+// snapshot position for the post-bind patch.
+func (c *Cluster) refreshSchedInfos() {
+	clear(c.schedIdx)
+	infos := c.schedInfos[:0]
+	for _, n := range c.nodeList {
+		if !n.Ready {
+			continue
+		}
+		i := len(infos)
+		var buf []sched.PodInfo
+		if i < len(c.schedPodBufs) {
+			buf = c.schedPodBufs[i][:0]
+		}
+		for _, p := range c.byNode[n.Name] {
+			buf = append(buf, sched.PodInfo{Name: p.Name, App: p.App, Requests: p.Requests, Priority: p.Priority})
+		}
+		if i < len(c.schedPodBufs) {
+			c.schedPodBufs[i] = buf
+		} else {
+			c.schedPodBufs = append(c.schedPodBufs, buf)
+		}
+		infos = append(infos, sched.NodeInfo{
+			Name:        n.Name,
+			Allocatable: n.Allocatable,
+			Allocated:   n.Allocated,
+			Labels:      n.Meta.Labels,
+			Pods:        buf,
+		})
+		c.schedIdx[n.Name] = i
+	}
+	c.schedInfos = infos
+}
+
+// schedInfoCommit patches the scheduler snapshot after a bind: refresh
+// the node's allocation and append the newly bound pod. The scheduler
+// never depends on intra-node pod order, so appending is equivalent to
+// a rebuild.
+func (c *Cluster) schedInfoCommit(nodeName string, p *PodObject) {
+	i, ok := c.schedIdx[nodeName]
+	if !ok {
+		return
+	}
+	c.schedInfos[i].Allocated = c.nodes[nodeName].Allocated
+	c.schedInfos[i].Pods = append(c.schedInfos[i].Pods, sched.PodInfo{
+		Name: p.Name, App: p.App, Requests: p.Requests, Priority: p.Priority,
+	})
+	c.schedPodBufs[i] = c.schedInfos[i].Pods
 }
 
 // FailNode marks a node unready and evicts its pods; service replicas
@@ -417,7 +479,8 @@ func (c *Cluster) FailNode(name string) error {
 		return nil
 	}
 	n.Ready = false
-	for _, p := range c.podsOnNode(name) {
+	// Copy the index slice: each evict mutates byNode[name] underneath.
+	for _, p := range append([]*PodObject(nil), c.byNode[name]...) {
 		c.evict(p, "node-failure")
 	}
 	n.Allocated = resource.Vector{}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"evolve/internal/metrics"
+	"evolve/internal/resource"
+)
+
+// Cached metric handles.
+//
+// The tick used to resolve every series it touches by name — roughly 15
+// string concatenations plus registry map lookups per app per tick. The
+// handles below are resolved once and then reused, which together with
+// the incremental indexes makes the steady-state tick allocation-free.
+//
+// Resolution is lazy (first tick for apps, first tick for the cluster)
+// so the set of series and counters a run creates — and therefore every
+// snapshot — is exactly what the name-resolving code produced: a series
+// exists once the first sample lands, the SLI histogram once the first
+// positive SLI lands, the violations counter once the first violation
+// lands.
+
+// appHandles caches the per-service series the tick writes.
+type appHandles struct {
+	latMean, latP99 *metrics.Series
+	throughput      *metrics.Series
+	offered         *metrics.Series
+	replicas, ready *metrics.Series
+	sli, violation  *metrics.Series
+	alloc, usage    [resource.NumKinds]*metrics.Series
+
+	// hist and violations stay nil until first needed; see above.
+	hist       *metrics.Histogram
+	violations *metrics.Counter
+}
+
+// handles resolves (once) and returns the app's cached series.
+func (st *appState) handles(met *metrics.Registry) *appHandles {
+	if st.h != nil {
+		return st.h
+	}
+	pfx := "app/" + st.obj.Spec.Name + "/"
+	h := &appHandles{
+		latMean:    met.Series(pfx + "latency-mean"),
+		latP99:     met.Series(pfx + "latency-p99"),
+		throughput: met.Series(pfx + "throughput"),
+		offered:    met.Series(pfx + "offered"),
+		replicas:   met.Series(pfx + "replicas"),
+		ready:      met.Series(pfx + "ready"),
+		sli:        met.Series(pfx + "sli"),
+		violation:  met.Series(pfx + "violation"),
+	}
+	for _, k := range resource.Kinds() {
+		h.alloc[k] = met.Series(pfx + "alloc/" + k.String())
+		h.usage[k] = met.Series(pfx + "usage/" + k.String())
+	}
+	st.h = h
+	return h
+}
+
+// histogram resolves (once) the SLI histogram; only called with sli > 0,
+// preserving the lazy creation of the by-name code.
+func (st *appState) histogram(met *metrics.Registry) *metrics.Histogram {
+	if st.h.hist == nil {
+		st.h.hist = met.Histogram("app/"+st.obj.Spec.Name+"/sli-hist", 1e-4, 1e3, 10)
+	}
+	return st.h.hist
+}
+
+// violationsCounter resolves (once) the violations counter; only called
+// on an actual violation.
+func (st *appState) violationsCounter(met *metrics.Registry) *metrics.Counter {
+	if st.h.violations == nil {
+		st.h.violations = met.Counter("plo/" + st.obj.Spec.Name + "/violations")
+	}
+	return st.h.violations
+}
+
+// clusterHandles caches the cluster-level series the tick writes.
+type clusterHandles struct {
+	allocated, usage [resource.NumKinds]*metrics.Series
+	pods             *metrics.Series
+	pending          *metrics.Series
+	emptyNodes       *metrics.Series
+}
+
+// clusterSeries resolves (once) and returns the cluster-level handles.
+func (c *Cluster) clusterSeries() *clusterHandles {
+	if c.h != nil {
+		return c.h
+	}
+	h := &clusterHandles{
+		pods:       c.met.Series("cluster/pods"),
+		pending:    c.met.Series("cluster/pending"),
+		emptyNodes: c.met.Series("cluster/empty-nodes"),
+	}
+	for _, k := range resource.Kinds() {
+		h.allocated[k] = c.met.Series("cluster/allocated/" + k.String())
+		h.usage[k] = c.met.Series("cluster/usage/" + k.String())
+	}
+	c.h = h
+	return h
+}

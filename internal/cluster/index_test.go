@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"evolve/internal/control"
+	"evolve/internal/resource"
+	"evolve/internal/sim"
+)
+
+// Slow reference derivations of every incremental index, built the way
+// the pre-index code did: collect, filter, sort from scratch. The
+// randomized test below asserts the live indexes always match them.
+
+func slowByName(c *Cluster) []*PodObject {
+	names := make([]string, 0, len(c.pods))
+	for n := range c.pods {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*PodObject, len(names))
+	for i, n := range names {
+		out[i] = c.pods[n]
+	}
+	return out
+}
+
+func slowByNode(c *Cluster, node string) []*PodObject {
+	var out []*PodObject
+	for _, p := range slowByName(c) {
+		if p.Node == node {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func slowByApp(c *Cluster, app string) []*PodObject {
+	var out []*PodObject
+	for _, p := range slowByName(c) {
+		if p.App == app && !p.IsTask() {
+			out = append(out, p)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return byCreationLess(out[i], out[j]) })
+	return out
+}
+
+func slowPending(c *Cluster) []*PodObject {
+	var out []*PodObject
+	for _, p := range slowByName(c) {
+		if p.Phase == Pending {
+			out = append(out, p)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return pendingLess(out[i], out[j]) })
+	return out
+}
+
+func samePods(a, b []*PodObject) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func podNames(pods []*PodObject) []string {
+	out := make([]string, len(pods))
+	for i, p := range pods {
+		out[i] = fmt.Sprintf("%s(%v)", p.Name, p.Phase)
+	}
+	return out
+}
+
+// checkIndexes asserts every incremental index equals its slow
+// re-derivation.
+func checkIndexes(t *testing.T, c *Cluster, step int) {
+	t.Helper()
+	if want := slowByName(c); !samePods(c.byName, want) {
+		t.Fatalf("step %d: byName %v != derived %v", step, podNames(c.byName), podNames(want))
+	}
+	if want := slowPending(c); !samePods(c.pending, want) {
+		t.Fatalf("step %d: pending %v != derived %v", step, podNames(c.pending), podNames(want))
+	}
+	for name := range c.nodes {
+		if want := slowByNode(c, name); !samePods(c.byNode[name], want) {
+			t.Fatalf("step %d: byNode[%s] %v != derived %v", step, name, podNames(c.byNode[name]), podNames(want))
+		}
+	}
+	for app := range c.apps {
+		if want := slowByApp(c, app); !samePods(c.byApp[app], want) {
+			t.Fatalf("step %d: byApp[%s] %v != derived %v", step, app, podNames(c.byApp[app]), podNames(want))
+		}
+	}
+	for i, n := range c.nodeList {
+		if i > 0 && c.nodeList[i-1].Name >= n.Name {
+			t.Fatalf("step %d: nodeList out of order at %d: %s >= %s", step, i, c.nodeList[i-1].Name, n.Name)
+		}
+	}
+	if len(c.nodeList) != len(c.nodes) {
+		t.Fatalf("step %d: nodeList has %d nodes, map has %d", step, len(c.nodeList), len(c.nodes))
+	}
+	for i, st := range c.appList {
+		if i > 0 && c.appList[i-1].obj.Spec.Name >= st.obj.Spec.Name {
+			t.Fatalf("step %d: appList out of order at %d", step, i)
+		}
+	}
+	if len(c.appList) != len(c.apps) {
+		t.Fatalf("step %d: appList has %d apps, map has %d", step, len(c.appList), len(c.apps))
+	}
+}
+
+// TestIndexesMatchDerivedViews drives the cluster through long random
+// sequences of every mutating operation — scaling decisions, task and
+// gang submissions, node failures/restores, kills, resizes, time — and
+// checks after each step that the incremental pods-by-node, pods-by-app,
+// pending and by-name indexes equal the slow from-scratch derivations
+// the old code used.
+func TestIndexesMatchDerivedViews(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			eng := sim.NewEngine(seed)
+			rng := sim.NewRNG(seed + 500)
+			c := New(eng, DefaultConfig())
+			if err := c.AddNodes("n", 4, resource.New(16000, 64<<30, 1e9, 2e9)); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				spec := testService(fmt.Sprintf("svc%d", i))
+				if i == 1 {
+					// One service with a startup delay exercises the
+					// starting-replica paths.
+					spec.StartupDelay = 20 * time.Second
+				}
+				if err := c.CreateService(spec); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.SetLoadFunc(spec.Name, func(time.Duration) float64 { return 150 }); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c.Start()
+
+			taskSeq := 0
+			for step := 0; step < 400; step++ {
+				switch rng.Intn(9) {
+				case 0, 1:
+					app := fmt.Sprintf("svc%d", rng.Intn(3))
+					d := control.Decision{
+						Replicas: 1 + rng.Intn(6),
+						Alloc: resource.New(
+							rng.Uniform(100, 6000),
+							rng.Uniform(128<<20, 8<<30),
+							rng.Uniform(1e6, 100e6),
+							rng.Uniform(1e6, 100e6),
+						),
+					}
+					if err := c.ApplyDecision(app, d); err != nil {
+						t.Fatal(err)
+					}
+				case 2:
+					taskSeq++
+					task := testTask(fmt.Sprintf("task%d", taskSeq), 1000+float64(rng.Intn(4000)), 20000)
+					task.Priority = rng.Intn(3) - 1 // some negative, some preemptible
+					if err := c.SubmitTask(task); err != nil {
+						t.Fatal(err)
+					}
+				case 3:
+					taskSeq++
+					var gang []TaskSpec
+					for r := 0; r < 2+rng.Intn(3); r++ {
+						gang = append(gang, testTask(fmt.Sprintf("gang%d-%d", taskSeq, r), 4000, 40000))
+					}
+					_ = c.SubmitGang(gang) // may legitimately not fit
+				case 4:
+					_ = c.FailNode(fmt.Sprintf("n-%d", rng.Intn(4)))
+				case 5:
+					_ = c.RestoreNode(fmt.Sprintf("n-%d", rng.Intn(4)))
+				case 6:
+					for _, p := range c.Pods() {
+						if p.IsTask() {
+							_ = c.KillTask(p.Name)
+							break
+						}
+					}
+				case 7:
+					c.SchedulePendingNow()
+				case 8:
+					eng.Run(eng.Now() + time.Duration(1+rng.Intn(30))*time.Second)
+				}
+				checkIndexes(t, c, step)
+				checkInvariants(t, c, step)
+			}
+			// Drain: restore a node, let completions and ticks run out.
+			_ = c.RestoreNode("n-0")
+			eng.Run(eng.Now() + time.Hour)
+			checkIndexes(t, c, 401)
+			checkInvariants(t, c, 401)
+		})
+	}
+}

@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"evolve/internal/control"
@@ -35,6 +34,7 @@ func (c *Cluster) CreateService(spec ServiceSpec) error {
 		loadFn:  func(time.Duration) float64 { return 0 },
 	}
 	c.apps[spec.Name] = st
+	c.indexAddApp(st)
 	for i := 0; i < spec.InitialReplicas; i++ {
 		c.addReplica(st)
 	}
@@ -57,11 +57,10 @@ func (c *Cluster) SetLoadFunc(app string, fn func(now time.Duration) float64) er
 
 // Apps returns the names of all services, sorted.
 func (c *Cluster) Apps() []string {
-	names := make([]string, 0, len(c.apps))
-	for n := range c.apps {
-		names = append(names, n)
+	names := make([]string, 0, len(c.appList))
+	for _, st := range c.appList {
+		names = append(names, st.obj.Spec.Name)
 	}
-	sort.Strings(names)
 	return names
 }
 
@@ -89,20 +88,15 @@ func (c *Cluster) addReplica(st *appState) *PodObject {
 		panic(fmt.Sprintf("cluster: replica create: %v", err))
 	}
 	c.pods[p.Name] = p
+	c.indexAddPod(p)
 	return p
 }
 
-// appPods returns the live pods of a service, newest last.
+// appPods returns the live pods of a service, newest last. The result is
+// a copy of the byApp index, safe to hold across mutations; the tick
+// reads the index directly instead.
 func (c *Cluster) appPods(app string) []*PodObject {
-	var out []*PodObject
-	for _, n := range c.sortedPodNames() {
-		p := c.pods[n]
-		if p.App == app && !p.IsTask() && (p.Phase == Pending || p.Phase == Running) {
-			out = append(out, p)
-		}
-	}
-	sortPodsByCreation(out)
-	return out
+	return append([]*PodObject(nil), c.byApp[app]...)
 }
 
 // ApplyDecision actuates a controller decision: horizontal scale to
@@ -235,9 +229,8 @@ func (c *Cluster) Observe(app string) (control.Observation, error) {
 	}
 	now := c.now()
 	spec := st.obj.Spec
-	pods := c.appPods(app)
 	ready := 0
-	for _, p := range pods {
+	for _, p := range c.byApp[app] {
 		if p.Phase == Running && p.ReadyAt <= now {
 			ready++
 		}
@@ -314,13 +307,4 @@ func orVector(v, fallback resource.Vector) resource.Vector {
 		return fallback
 	}
 	return v
-}
-
-func sortPodsByCreation(pods []*PodObject) {
-	sort.SliceStable(pods, func(i, j int) bool {
-		if pods[i].CreatedAt != pods[j].CreatedAt {
-			return pods[i].CreatedAt < pods[j].CreatedAt
-		}
-		return pods[i].Name < pods[j].Name
-	})
 }

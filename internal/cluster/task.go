@@ -22,6 +22,7 @@ func (c *Cluster) SubmitTask(spec TaskSpec) error {
 		return err
 	}
 	c.pods[p.Name] = p
+	c.indexAddPod(p)
 	return nil
 }
 
@@ -52,6 +53,7 @@ func (c *Cluster) SubmitGang(specs []TaskSpec) error {
 			panic(fmt.Sprintf("cluster: gang pod create: %v", err))
 		}
 		c.pods[p.Name] = p
+		c.indexAddPod(p)
 		if err := c.bind(p, assignment[p.Name]); err != nil {
 			panic(fmt.Sprintf("cluster: gang bind: %v", err))
 		}
@@ -124,6 +126,7 @@ func (c *Cluster) completeTask(p *PodObject) {
 	c.mustUpdate(p)
 	done := p.Task.OnDone
 	name := p.Name
+	c.indexRemovePod(p)
 	delete(c.pods, p.Name)
 	_ = c.store.Delete(KindPod, p.Name)
 	c.met.Counter("tasks/completed").Inc()

@@ -11,37 +11,46 @@ import (
 // tick is the cluster's heartbeat: place pending pods, evaluate every
 // service against its offered load, refresh usage accounting and record
 // the telemetry the controllers and experiments consume.
+//
+// This is the hot path of every simulation. It walks the incremental
+// indexes (index.go) instead of re-deriving sorted views, writes through
+// cached metric handles (handles.go) instead of by-name lookups, and
+// reuses the cluster's scratch buffers — in steady state (nothing
+// pending, topology unchanged) a tick performs no allocations
+// (TestTickSteadyStateAllocs enforces this).
 func (c *Cluster) tick() {
 	c.schedulePending()
 
-	// Node interference from last tick's usage (telemetry lag).
-	slowdownByNode := make(map[string]float64, len(c.nodes))
+	// Node interference from last tick's usage (telemetry lag). The
+	// slowdown map is scratch, cleared and refilled each tick.
+	clear(c.slowdown)
 	for name, n := range c.nodes {
 		s := 1.0
 		if c.cfg.Interference && n.Ready {
 			pressure, _ := n.Usage.DominantShare(n.Allocatable)
 			s = perf.InterferenceSlowdown(pressure)
 		}
-		slowdownByNode[name] = s
+		c.slowdown[name] = s
 	}
 
 	now := c.now()
-	for _, appName := range c.Apps() {
-		st := c.apps[appName]
+	for _, st := range c.appList {
 		spec := st.obj.Spec
 		lambda := st.loadFn(now)
 		if lambda < 0 {
 			lambda = 0
 		}
 
-		pods := c.appPods(appName)
-		var running []*PodObject
+		pods := c.byApp[spec.Name]
+		running := c.scratchRun[:0]
 		for _, p := range pods {
 			// A replica serves only once it has finished starting up.
 			if p.Phase == Running && p.ReadyAt <= now {
 				running = append(running, p)
 			}
 		}
+		// Keep the (possibly grown) backing for the next app/tick.
+		c.scratchRun = running
 
 		var result perf.Result
 		if len(running) == 0 {
@@ -53,6 +62,15 @@ func (c *Cluster) tick() {
 				Throughput:  0,
 				Saturated:   lambda > 0,
 			}
+			// With nothing serving, no replica consumes anything: clear
+			// usage left over from the last served tick so starting or
+			// failed replicas stop feeding stale node interference.
+			for _, p := range pods {
+				if !p.Usage.IsZero() {
+					p.Usage = resource.Vector{}
+					c.mustUpdate(p)
+				}
+			}
 		} else {
 			// Effective per-replica allocation: the mean grant; mean
 			// slowdown across hosting nodes.
@@ -60,7 +78,7 @@ func (c *Cluster) tick() {
 			var slow float64
 			for _, p := range running {
 				alloc = alloc.Add(p.Requests)
-				slow += slowdownByNode[p.Node]
+				slow += c.slowdown[p.Node]
 			}
 			alloc = alloc.Scale(1 / float64(len(running)))
 			slow /= float64(len(running))
@@ -101,36 +119,36 @@ func (c *Cluster) tick() {
 			st.winSaturated = true
 		}
 
-		pfx := "app/" + appName + "/"
-		c.met.Series(pfx+"latency-mean").Add(now, meanLat)
-		c.met.Series(pfx+"latency-p99").Add(now, p99Lat)
-		c.met.Series(pfx+"throughput").Add(now, throughput)
-		c.met.Series(pfx+"offered").Add(now, lambda)
-		c.met.Series(pfx+"replicas").Add(now, float64(st.obj.DesiredReplicas))
-		c.met.Series(pfx+"ready").Add(now, float64(len(running)))
+		h := st.handles(c.met)
+		h.latMean.Add(now, meanLat)
+		h.latP99.Add(now, p99Lat)
+		h.throughput.Add(now, throughput)
+		h.offered.Add(now, lambda)
+		h.replicas.Add(now, float64(st.obj.DesiredReplicas))
+		h.ready.Add(now, float64(len(running)))
 		for _, k := range resource.Kinds() {
-			c.met.Series(pfx+"alloc/"+k.String()).Add(now, st.obj.Alloc[k])
-			c.met.Series(pfx+"usage/"+k.String()).Add(now, result.Usage[k])
+			h.alloc[k].Add(now, st.obj.Alloc[k])
+			h.usage[k].Add(now, result.Usage[k])
 		}
 		violated := 0.0
 		if st.tracker.PLO().Violated(sli) {
-			c.met.Counter("plo/" + appName + "/violations").Inc()
+			st.violationsCounter(c.met).Inc()
 			violated = 1
 		}
-		c.met.Series(pfx+"sli").Add(now, sli)
-		c.met.Series(pfx+"violation").Add(now, violated)
+		h.sli.Add(now, sli)
+		h.violation.Add(now, violated)
 		if sli > 0 {
-			c.met.Histogram(pfx+"sli-hist", 1e-4, 1e3, 10).Observe(sli)
+			st.histogram(c.met).Observe(sli)
 		}
 	}
 
 	// Refresh node usage sums and cluster-level series.
 	var capTotal, allocTotal, usageTotal resource.Vector
 	emptyNodes := 0
-	for _, n := range c.Nodes() {
+	for _, n := range c.nodeList {
 		var usage resource.Vector
 		running := 0
-		for _, p := range c.podsOnNode(n.Name) {
+		for _, p := range c.byNode[n.Name] {
 			if p.Phase == Running {
 				usage = usage.Add(p.Usage)
 				running++
@@ -150,15 +168,16 @@ func (c *Cluster) tick() {
 	}
 	allocFrac := allocTotal.Div(capTotal)
 	usageFrac := usageTotal.Div(capTotal)
+	ch := c.clusterSeries()
 	for _, k := range resource.Kinds() {
-		c.met.Series("cluster/allocated/"+k.String()).Add(now, allocFrac[k])
-		c.met.Series("cluster/usage/"+k.String()).Add(now, usageFrac[k])
+		ch.allocated[k].Add(now, allocFrac[k])
+		ch.usage[k].Add(now, usageFrac[k])
 	}
-	c.met.Series("cluster/pods").Add(now, float64(len(c.pods)))
-	c.met.Series("cluster/pending").Add(now, float64(len(c.PendingPods())))
+	ch.pods.Add(now, float64(len(c.pods)))
+	ch.pending.Add(now, float64(len(c.pending)))
 	// Consolidation signal: ready nodes hosting nothing could be
 	// suspended; the energy model (internal/cost) consumes this.
-	c.met.Series("cluster/empty-nodes").Add(now, float64(emptyNodes))
+	ch.emptyNodes.Add(now, float64(emptyNodes))
 }
 
 // UtilisationSummary returns the time-weighted mean cluster allocation

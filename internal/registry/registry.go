@@ -21,10 +21,20 @@ type Meta struct {
 	// unless the caller presents the current version.
 	ResourceVersion uint64
 	Labels          map[string]string
+
+	// key caches Kind+"/"+Name: objects are updated every tick and the
+	// concatenation would otherwise be the tick's last per-pod
+	// allocation. Kind and Name are immutable after creation.
+	key string
 }
 
 // Key returns the unique store key.
-func (m Meta) Key() string { return m.Kind + "/" + m.Name }
+func (m *Meta) Key() string {
+	if m.key == "" {
+		m.key = m.Kind + "/" + m.Name
+	}
+	return m.key
+}
 
 // Object is anything the registry can store.
 type Object interface {

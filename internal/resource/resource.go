@@ -44,14 +44,13 @@ func ParseKind(s string) (Kind, error) {
 	return 0, fmt.Errorf("resource: unknown kind %q", s)
 }
 
-// Kinds returns all resource kinds in canonical order.
-func Kinds() []Kind {
-	ks := make([]Kind, NumKinds)
-	for i := range ks {
-		ks[i] = Kind(i)
-	}
-	return ks
-}
+// Kinds returns all resource kinds in canonical order. The slice is
+// shared; callers must not modify it.
+func Kinds() []Kind { return kinds }
+
+// kinds backs Kinds(); sharing one slice keeps the per-tick loops over
+// the dimensions allocation-free. Callers must not modify it.
+var kinds = []Kind{CPU, Memory, DiskIO, NetIO}
 
 // Vector is an allocation or capacity across all resource dimensions.
 // The zero value is the empty allocation. Vector is a value type: all

@@ -259,10 +259,8 @@ func (u *Unschedulable) Error() string {
 func (s *Scheduler) Schedule(pod PodInfo, nodes []NodeInfo) (string, error) {
 	bestName := ""
 	bestScore := math.Inf(-1)
-	reasons := make(map[string]int)
 	for _, node := range nodes {
-		if err := s.feasible(pod, node); err != nil {
-			reasons[err.Error()]++
+		if s.feasible(pod, node) != nil {
 			continue
 		}
 		score := s.score(pod, node)
@@ -271,6 +269,16 @@ func (s *Scheduler) Schedule(pod PodInfo, nodes []NodeInfo) (string, error) {
 		}
 	}
 	if bestName == "" {
+		// Failure path only: re-run the filters to aggregate the
+		// per-reason rejection counts for the error message. Keeping the
+		// counting off the success path spares every successful call the
+		// reasons map and a rejection-string per infeasible node.
+		reasons := make(map[string]int)
+		for _, node := range nodes {
+			if err := s.feasible(pod, node); err != nil {
+				reasons[err.Error()]++
+			}
+		}
 		return "", &Unschedulable{Pod: pod.Name, Total: len(nodes), Reasons: reasons}
 	}
 	return bestName, nil

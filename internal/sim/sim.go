@@ -17,12 +17,16 @@ import (
 // of the simulation.
 type Time = time.Duration
 
-// Event is a scheduled callback.
+// Event is a scheduled callback. Event structs are pooled: once executed
+// (or popped dead) they return to the engine's free list and are reused
+// by later schedules, so a steady periodic process allocates nothing per
+// firing. gen guards stale Cancelers against recycled structs.
 type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO among events at the same instant
 	fn   func()
 	dead bool
+	gen  uint64 // bumped on recycle; a Canceler only acts on its own generation
 }
 
 type eventHeap []*event
@@ -52,6 +56,7 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
+	free    []*event // recycled event structs (see type event)
 	rng     *RNG
 	nsteps  uint64
 	stopped bool
@@ -78,16 +83,46 @@ func (e *Engine) Pending() int { return len(e.events) }
 // Canceler cancels a scheduled event or periodic process.
 type Canceler func()
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the
-// past panics: it indicates a model bug, not a recoverable condition.
-func (e *Engine) At(t Time, fn func()) Canceler {
+// schedule enqueues fn at absolute time t on a pooled event struct. It
+// is the cancel-free core of At/After/Every: callers that never cancel
+// (periodic re-arms, task completions) pay no Canceler closure.
+func (e *Engine) schedule(t Time, fn func()) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn, ev.dead = t, e.seq, fn, false
 	e.seq++
 	heap.Push(&e.events, ev)
-	return func() { ev.dead = true }
+	return ev
+}
+
+// recycle returns a popped event to the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: it indicates a model bug, not a recoverable condition.
+func (e *Engine) At(t Time, fn func()) Canceler {
+	ev := e.schedule(t, fn)
+	gen := ev.gen
+	return func() {
+		// The generation check makes cancelling after the event has
+		// fired (and its struct was recycled) a safe no-op.
+		if ev.gen == gen {
+			ev.dead = true
+		}
+	}
 }
 
 // After schedules fn to run d after the current time.
@@ -112,10 +147,12 @@ func (e *Engine) Every(interval time.Duration, fn func()) Canceler {
 		}
 		fn()
 		if !stopped {
-			e.After(interval, tick)
+			// Re-arm through the cancel-free core: a periodic process
+			// allocates nothing per firing.
+			e.schedule(e.now+interval, tick)
 		}
 	}
-	e.After(interval, tick)
+	e.schedule(e.now+interval, tick)
 	return func() { stopped = true }
 }
 
@@ -128,24 +165,34 @@ func (e *Engine) Stop() { e.stopped = true }
 // Stopped reports whether Stop has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
 
+// step pops and executes the next event. Dead (cancelled) events are
+// skipped and not counted; executed reports whether a live callback ran.
+// Run and RunAll share this so their step accounting cannot diverge.
+func (e *Engine) step() (executed bool) {
+	next := heap.Pop(&e.events).(*event)
+	if next.dead {
+		e.recycle(next)
+		return false
+	}
+	e.now = next.at
+	next.fn()
+	e.recycle(next)
+	e.nsteps++
+	return true
+}
+
 // Run executes events until virtual time reaches until, the queue
 // drains, or Stop is called. It returns the number of events executed by
-// this call.
+// this call; cancelled events are skipped and never counted.
 func (e *Engine) Run(until Time) uint64 {
 	var n uint64
 	for len(e.events) > 0 && !e.stopped {
-		next := e.events[0]
-		if next.at > until {
+		if e.events[0].at > until {
 			break
 		}
-		heap.Pop(&e.events)
-		if next.dead {
-			continue
+		if e.step() {
+			n++
 		}
-		e.now = next.at
-		next.fn()
-		n++
-		e.nsteps++
 	}
 	if e.now < until && !e.stopped {
 		e.now = until
@@ -153,8 +200,9 @@ func (e *Engine) Run(until Time) uint64 {
 	return n
 }
 
-// RunAll executes events until the queue drains. It guards against
-// runaway self-scheduling with a generous step limit.
+// RunAll executes events until the queue drains, counting exactly as Run
+// does (cancelled events are skipped, not counted). It guards against
+// runaway self-scheduling with a generous step limit on executed events.
 func (e *Engine) RunAll() uint64 {
 	const maxSteps = 1 << 30
 	var n uint64
@@ -162,14 +210,9 @@ func (e *Engine) RunAll() uint64 {
 		if n >= maxSteps {
 			panic("sim: RunAll exceeded step limit; runaway event loop?")
 		}
-		next := heap.Pop(&e.events).(*event)
-		if next.dead {
-			continue
+		if e.step() {
+			n++
 		}
-		e.now = next.at
-		next.fn()
-		n++
-		e.nsteps++
 	}
 	return n
 }

@@ -352,3 +352,64 @@ func TestEngineStop(t *testing.T) {
 		t.Error("stopped engine must not process further events via RunAll")
 	}
 }
+
+func TestRunSkipsDeadEventsUncounted(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.After(time.Second, func() { ran++ })
+	cancel := e.After(2*time.Second, func() { ran++ })
+	e.After(3*time.Second, func() { ran++ })
+	cancel()
+	if n := e.Run(time.Minute); n != 2 {
+		t.Errorf("Run counted %d events, want 2 (dead events must not count)", n)
+	}
+	if ran != 2 {
+		t.Errorf("ran %d callbacks, want 2", ran)
+	}
+}
+
+func TestRunAllSkipsDeadEventsUncounted(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.After(time.Second, func() { ran++ })
+	cancel := e.After(2*time.Second, func() { ran++ })
+	e.After(3*time.Second, func() { ran++ })
+	cancel()
+	if n := e.RunAll(); n != 2 {
+		t.Errorf("RunAll counted %d events, want 2 (dead events must not count)", n)
+	}
+	if ran != 2 {
+		t.Errorf("ran %d callbacks, want 2", ran)
+	}
+}
+
+// TestCancelAfterFireIsNoop guards the event pool: a Canceler invoked
+// after its event already fired must not kill the recycled struct that a
+// later schedule is now using.
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	e := NewEngine(1)
+	cancelA := e.After(time.Second, func() {})
+	e.RunAll() // A fires; its struct returns to the pool
+	fired := false
+	e.After(time.Second, func() { fired = true }) // reuses A's struct
+	cancelA()                                     // stale cancel: must be a no-op
+	e.RunAll()
+	if !fired {
+		t.Error("stale Canceler killed a recycled event")
+	}
+}
+
+// TestEveryFiringAllocationFree pins down the event-pool win: once the
+// pool is primed, each periodic firing reuses the same struct and
+// allocates nothing.
+func TestEveryFiringAllocationFree(t *testing.T) {
+	e := NewEngine(1)
+	e.Every(time.Second, func() {})
+	e.Run(10 * time.Second) // prime the pool and the heap capacity
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Run(e.Now() + time.Second)
+	})
+	if allocs > 0.5 {
+		t.Errorf("periodic firing allocates %.1f objects, want 0", allocs)
+	}
+}
