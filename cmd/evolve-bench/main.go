@@ -104,6 +104,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset, e.g. table1,figure3")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max simultaneous simulations (results are identical at any value)")
 	jsonOut := flag.Bool("json", false, "emit JSON lines (one per item + summary) instead of ASCII rendering")
+	traceDir := flag.String("trace-dir", "", "directory for per-run decision traces (<scenario>__<policy>.jsonl; omit to skip)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -172,6 +173,12 @@ func main() {
 	}
 
 	runner := harness.NewRunner(*parallel)
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatal(err)
+		}
+		runner.SetTraceDir(*traceDir)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	start := time.Now()
 	for _, it := range all {

@@ -7,9 +7,12 @@
 //	evolve-sim -policy hpa -services web:300,kvstore:200 -hpc 4 -batch 3
 //	evolve-sim -config scenario.json -events
 //	evolve-sim -dump app/web/latency-mean -duration 1h > lat.csv
+//	evolve-sim -trace run.jsonl -duration 2h   # then: evolve-explain -trace run.jsonl -app web
+//	evolve-sim -metrics-addr :9090             # Prometheus text on /metrics after the run
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"net/http"
@@ -19,7 +22,18 @@ import (
 	"time"
 
 	"evolve"
+	"evolve/internal/obs"
 )
+
+// outputs collects everything finish should emit after the run.
+type outputs struct {
+	list, events bool
+	dump         string
+	serve        string
+	metricsAddr  string
+	trace        string
+	traceBuf     int
+}
 
 func main() {
 	var (
@@ -35,10 +49,19 @@ func main() {
 		dump    = flag.String("dump", "", "telemetry series to print as CSV after the run (e.g. app/web/latency-mean)")
 		list    = flag.Bool("list-series", false, "list telemetry series after the run")
 		events  = flag.Bool("events", false, "print the operational event journal after the run")
-		serve   = flag.String("serve", "", "after the run, serve /report, /series and /healthz on this address (e.g. :8080)")
+		serve   = flag.String("serve", "", "after the run, serve /report, /series, /metrics, /debug/trace and friends on this address (e.g. :8080)")
+		metrics = flag.String("metrics-addr", "", "after the run, serve Prometheus /metrics on this address (e.g. :9090)")
+		trace   = flag.String("trace", "", "record the decision trace as JSONL to this file (consumed by evolve-explain)")
+		buf     = flag.Int("trace-buf", obs.DefaultCapacity, "decision-trace ring capacity (events kept for /debug/trace)")
 		config  = flag.String("config", "", "JSON scenario file (see evolve.FileConfig); overrides the workload flags")
 	)
 	flag.Parse()
+
+	out := outputs{
+		list: *list, events: *events, dump: *dump,
+		serve: *serve, metricsAddr: *metrics,
+		trace: *trace, traceBuf: *buf,
+	}
 
 	if *config != "" {
 		f, err := os.Open(*config)
@@ -53,7 +76,7 @@ func main() {
 		if dur == 0 {
 			dur = *duration
 		}
-		finish(c, dur, *list, *events, *dump, *serve)
+		finish(c, dur, out)
 		return
 	}
 
@@ -106,34 +129,72 @@ func main() {
 		}
 	}
 
-	finish(c, *duration, *list, *events, *dump, *serve)
+	finish(c, *duration, out)
 }
 
 // finish runs the cluster for dur and emits the requested outputs.
-func finish(c *evolve.Cluster, dur time.Duration, list, events bool, dump, serve string) {
+func finish(c *evolve.Cluster, dur time.Duration, out outputs) {
+	var traceFile *os.File
+	var traceW *bufio.Writer
+	if out.trace != "" {
+		f, err := os.Create(out.trace)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile, traceW = f, bufio.NewWriter(f)
+		c.EnableTracing(out.traceBuf).SetSink(traceW)
+	} else if out.serve != "" || out.metricsAddr != "" {
+		// Serving without a sink still wants /debug/trace to answer.
+		c.EnableTracing(out.traceBuf)
+	}
+
 	if err := c.Run(dur); err != nil {
 		fatal(err)
 	}
 	fmt.Fprint(os.Stderr, c.Report())
 
-	if list {
+	if traceW != nil {
+		if err := c.Tracer().SinkErr(); err != nil {
+			fatal(fmt.Errorf("trace sink: %w", err))
+		}
+		if err := traceW.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "evolve-sim: decision trace written to %s\n", out.trace)
+	}
+
+	if out.list {
 		for _, n := range c.SeriesNames() {
 			fmt.Println(n)
 		}
 	}
-	if events {
+	if out.events {
 		for _, e := range c.Events() {
 			fmt.Printf("%8.1fs %-16s %-24s %s\n", e.At.Seconds(), e.Kind, e.Object, e.Message)
 		}
 	}
-	if dump != "" {
-		if err := c.WriteSeriesCSV(dump, os.Stdout); err != nil {
+	if out.dump != "" {
+		if err := c.WriteSeriesCSV(out.dump, os.Stdout); err != nil {
 			fatal(err)
 		}
 	}
-	if serve != "" {
-		fmt.Fprintf(os.Stderr, "evolve-sim: serving results on %s\n", serve)
-		fatal(http.ListenAndServe(serve, c.Handler()))
+	// The simulation is paused now, so serving its state is safe. When
+	// both addresses are requested the metrics listener runs aside.
+	if out.metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", c.Handler())
+		fmt.Fprintf(os.Stderr, "evolve-sim: serving /metrics on %s\n", out.metricsAddr)
+		if out.serve == "" {
+			fatal(http.ListenAndServe(out.metricsAddr, mux))
+		}
+		go func() { fatal(http.ListenAndServe(out.metricsAddr, mux)) }()
+	}
+	if out.serve != "" {
+		fmt.Fprintf(os.Stderr, "evolve-sim: serving results on %s\n", out.serve)
+		fatal(http.ListenAndServe(out.serve, c.Handler()))
 	}
 }
 

@@ -24,6 +24,7 @@
 package evolve
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -37,6 +38,7 @@ import (
 	"evolve/internal/control"
 	"evolve/internal/core"
 	"evolve/internal/hpc"
+	"evolve/internal/obs"
 	"evolve/internal/perf"
 	"evolve/internal/plo"
 	"evolve/internal/resource"
@@ -179,6 +181,10 @@ type Cluster struct {
 	ctrl    map[string]control.Controller
 	factory control.Factory
 	started bool
+
+	tracer       *obs.Tracer
+	lastDecision map[string]control.Decision
+	prevAdapts   map[string]int
 }
 
 // New builds a cluster from options.
@@ -235,6 +241,10 @@ func New(opts Options) (*Cluster, error) {
 		runner:  batch.NewRunner(c),
 		ctrl:    make(map[string]control.Controller),
 		factory: factory,
+
+		tracer:       obs.Nop(),
+		lastDecision: make(map[string]control.Decision),
+		prevAdapts:   make(map[string]int),
 	}
 	qp := hpc.Backfill
 	switch strings.ToLower(opts.HPCQueue) {
@@ -385,16 +395,21 @@ func (cl *Cluster) Run(d time.Duration) error {
 	}
 	if !cl.started {
 		cl.started = true
+		if cl.tracer.Enabled() {
+			cl.c.SetTracer(cl.tracer)
+		}
 		cl.c.Start()
 		lastRationale := make(map[string]string)
 		cl.eng.Every(cl.opts.ControlInterval, func() {
 			for _, name := range cl.c.Apps() {
-				obs, err := cl.c.Observe(name)
+				o, err := cl.c.Observe(name)
 				if err != nil {
 					panic(err)
 				}
 				ctrl := cl.ctrl[name]
-				d := ctrl.Decide(obs)
+				d := ctrl.Decide(o)
+				cl.lastDecision[name] = d
+				cl.prevAdapts[name] = control.TraceDecision(cl.tracer, o, d, ctrl, cl.prevAdapts[name])
 				if err := cl.c.ApplyDecision(name, d); err != nil {
 					panic(err)
 				}
@@ -528,14 +543,94 @@ func (cl *Cluster) Events() []EventRecord {
 	return out
 }
 
+// EnableTracing installs a decision tracer with the given ring capacity
+// (obs.DefaultCapacity when <= 0) and returns it. Every control decision
+// (with its PID term decomposition), scheduler outcome, registry delta
+// and PLO violation transition is recorded onto the ring; attach a sink
+// with Tracer().SetSink to also stream events as JSONL. Idempotent:
+// repeated calls return the existing tracer.
+func (cl *Cluster) EnableTracing(capacity int) *obs.Tracer {
+	if cl.tracer.Enabled() {
+		return cl.tracer
+	}
+	cl.tracer = obs.New(capacity)
+	// Before the first Run the cluster installation is deferred (Run does
+	// it) so callers can attach a sink before the registry replays its
+	// existing objects as trace events.
+	if cl.started {
+		cl.c.SetTracer(cl.tracer)
+	}
+	return cl.tracer
+}
+
+// Tracer returns the cluster's decision tracer (the shared no-op tracer
+// until EnableTracing is called).
+func (cl *Cluster) Tracer() *obs.Tracer { return cl.tracer }
+
+// WriteMetrics writes the cluster's telemetry in Prometheus text
+// exposition format (version 0.0.4): gauges for the latest sample of
+// every series, counters, and the SLI histograms with cumulative
+// buckets.
+func (cl *Cluster) WriteMetrics(w io.Writer) error {
+	return obs.WriteMetrics(w, cl.c.Metrics(), cl.tracer)
+}
+
+// ControllerState is one entry of the /debug/controllers view: what a
+// policy most recently decided for its application and why.
+type ControllerState struct {
+	App       string             `json:"app"`
+	Policy    string             `json:"policy"`
+	Rationale string             `json:"rationale,omitempty"`
+	Replicas  int                `json:"replicas"`
+	Alloc     map[string]float64 `json:"alloc,omitempty"`
+	// Trace is the controller's latest decision decomposition; nil for
+	// policies that do not implement control.Traceable.
+	Trace *obs.ControlTrace `json:"trace,omitempty"`
+}
+
+// ControllerStates reports the current state of every per-app
+// controller, sorted by application name.
+func (cl *Cluster) ControllerStates() []ControllerState {
+	names := make([]string, 0, len(cl.ctrl))
+	for name := range cl.ctrl {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]ControllerState, 0, len(names))
+	for _, name := range names {
+		ctrl := cl.ctrl[name]
+		st := ControllerState{App: name, Policy: ctrl.Name()}
+		if ex, ok := ctrl.(control.Explainer); ok {
+			st.Rationale = ex.Rationale()
+		}
+		if d, ok := cl.lastDecision[name]; ok {
+			st.Replicas = d.Replicas
+			st.Alloc = make(map[string]float64, resource.NumKinds)
+			for _, k := range resource.Kinds() {
+				st.Alloc[k.String()] = d.Alloc[k]
+			}
+		}
+		if t, ok := ctrl.(control.Traceable); ok {
+			tr := t.DecisionTrace()
+			st.Trace = &tr
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
 // SeriesNames lists the recorded telemetry series.
 func (cl *Cluster) SeriesNames() []string { return cl.c.Metrics().SeriesNames() }
+
+// ErrUnknownSeries is returned (wrapped) by WriteSeriesCSV when the
+// named series does not exist; other errors indicate write failures.
+var ErrUnknownSeries = errors.New("evolve: unknown series")
 
 // WriteSeriesCSV dumps one telemetry series ("app/web/latency-mean",
 // "cluster/usage/cpu", …) as seconds,value CSV.
 func (cl *Cluster) WriteSeriesCSV(name string, w io.Writer) error {
 	if !cl.c.Metrics().HasSeries(name) {
-		return fmt.Errorf("evolve: unknown series %q (see SeriesNames)", name)
+		return fmt.Errorf("%w: %q (see SeriesNames)", ErrUnknownSeries, name)
 	}
 	s := cl.c.Metrics().Series(name)
 	if _, err := fmt.Fprintln(w, "seconds,value"); err != nil {

@@ -2,8 +2,13 @@ package evolve
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
+
+	"evolve/internal/obs"
 )
 
 // Handler returns an http.Handler exposing the cluster's state — the
@@ -13,6 +18,13 @@ import (
 //	GET /report             the Report as JSON
 //	GET /series             recorded telemetry series names as JSON
 //	GET /series/<name>      one series as seconds,value CSV
+//	GET /events             the operational journal as JSON
+//	GET /metrics            telemetry in Prometheus text format (0.0.4)
+//	GET /debug/trace        decision-trace events as JSONL; filter with
+//	                        ?app= &kind= &verb= &from=10m &to=1h &limit=100
+//	                        (404 until EnableTracing is called)
+//	GET /debug/controllers  per-app controller state as JSON: policy,
+//	                        rationale, last decision, PID decomposition
 //
 // The handler reads the simulation's state; serve it between Run calls
 // (the Cluster is not safe for concurrent mutation while serving).
@@ -52,8 +64,77 @@ func (cl *Cluster) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
 		if err := cl.WriteSeriesCSV(name, w); err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
+			// An unknown name is the client's mistake; anything else is a
+			// write or encoding failure on our side.
+			if errors.Is(err, ErrUnknownSeries) {
+				http.Error(w, err.Error(), http.StatusNotFound)
+			} else {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := cl.WriteMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if !cl.tracer.Enabled() {
+			http.Error(w, "tracing disabled (call EnableTracing or pass -trace)", http.StatusNotFound)
+			return
+		}
+		f, err := traceFilter(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		if err := obs.WriteJSONL(w, cl.tracer.Snapshot(f)); err != nil {
+			return // client went away mid-stream; headers already sent
+		}
+	})
+	mux.HandleFunc("/debug/controllers", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cl.ControllerStates()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
 	return mux
+}
+
+// traceFilter parses /debug/trace query parameters into an obs.Filter.
+func traceFilter(r *http.Request) (obs.Filter, error) {
+	q := r.URL.Query()
+	f := obs.Filter{App: q.Get("app"), Verb: q.Get("verb")}
+	if k := q.Get("kind"); k != "" {
+		if _, ok := obs.ParseEventKind(k); !ok {
+			return f, errors.New("bad kind: want control, gain, sched, registry or plo")
+		}
+		f.Kind = k
+	}
+	if v := q.Get("from"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return f, errors.New("bad from: " + err.Error())
+		}
+		f.From = d
+	}
+	if v := q.Get("to"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return f, errors.New("bad to: " + err.Error())
+		}
+		f.To = d
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return f, errors.New("bad limit: want a non-negative integer")
+		}
+		f.Lim = n
+	}
+	return f, nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"evolve/internal/metrics"
+	"evolve/internal/obs"
 	"evolve/internal/plo"
 	"evolve/internal/registry"
 	"evolve/internal/resource"
@@ -53,7 +54,8 @@ type appState struct {
 	winSaturated  bool
 
 	lastObserve time.Duration
-	migrateDebt int // consecutive ticks with throttled resize
+	migrateDebt int  // consecutive ticks with throttled resize
+	wasViolated bool // PLO state last tick, for onset/clear trace events
 
 	// h caches the per-service metric handles (see handles.go); nil
 	// until the first tick resolves them.
@@ -97,6 +99,7 @@ type Cluster struct {
 	podSeq  uint64
 	started bool
 	events  eventLog
+	tracer  *obs.Tracer
 }
 
 // New builds a cluster on the given engine.
@@ -119,7 +122,41 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 		byApp:    make(map[string][]*PodObject),
 		schedIdx: make(map[string]int),
 		slowdown: make(map[string]float64),
+		tracer:   obs.Nop(),
 	}
+}
+
+// Tracer returns the cluster's decision tracer (the shared no-op tracer
+// until SetTracer installs a real one).
+func (c *Cluster) Tracer() *obs.Tracer { return c.tracer }
+
+// SetTracer installs a decision tracer. When the tracer is enabled the
+// cluster also mirrors registry add/delete deltas onto it (Modified
+// events are skipped — they fire for every pod every tick and would
+// drown the ring and the steady-state allocation budget).
+func (c *Cluster) SetTracer(t *obs.Tracer) {
+	if t == nil {
+		t = obs.Nop()
+	}
+	c.tracer = t
+	if !t.Enabled() {
+		return
+	}
+	c.store.Watch("", func(ev registry.Event) {
+		if ev.Type != registry.Added && ev.Type != registry.Deleted {
+			return
+		}
+		verb := obs.VerbAdded
+		if ev.Type == registry.Deleted {
+			verb = obs.VerbDeleted
+		}
+		c.tracer.Record(obs.Event{
+			At:     c.now(),
+			Kind:   obs.KindRegistry,
+			Verb:   verb,
+			Object: ev.Object.GetMeta().Kind + "/" + ev.Object.GetMeta().Name,
+		})
+	})
 }
 
 // Engine returns the simulation engine.
@@ -302,6 +339,12 @@ func (c *Cluster) bind(p *PodObject, nodeName string) error {
 	c.indexBind(p)
 	c.met.Counter("sched/binds").Inc()
 	c.recordEvent("pod-scheduled", p.Name, "bound to %s (%s)", nodeName, p.Requests)
+	if c.tracer.Enabled() {
+		c.tracer.Record(obs.Event{
+			At: c.now(), Kind: obs.KindSched, Verb: obs.VerbBind,
+			App: p.App, Object: p.Name, Node: nodeName, Alloc: p.Requests,
+		})
+	}
 	c.mustUpdate(p)
 	c.mustUpdate(n)
 	if p.IsTask() {
@@ -357,6 +400,12 @@ func (c *Cluster) evict(p *PodObject, reason string) {
 		_ = c.store.Delete(KindPod, p.Name)
 		c.met.Counter("evictions/" + reason).Inc()
 		c.recordEvent("task-killed", name, "task failed (%s)", reason)
+		if c.tracer.Enabled() {
+			c.tracer.Record(obs.Event{
+				At: c.now(), Kind: obs.KindSched, Verb: obs.VerbEvict,
+				App: p.App, Object: name, Detail: reason,
+			})
+		}
 		if done != nil {
 			done(name, true)
 		}
@@ -367,6 +416,12 @@ func (c *Cluster) evict(p *PodObject, reason string) {
 	c.indexMarkPending(p)
 	c.met.Counter("evictions/" + reason).Inc()
 	c.recordEvent("pod-evicted", p.Name, "back to pending queue (%s)", reason)
+	if c.tracer.Enabled() {
+		c.tracer.Record(obs.Event{
+			At: c.now(), Kind: obs.KindSched, Verb: obs.VerbEvict,
+			App: p.App, Object: p.Name, Detail: reason,
+		})
+	}
 	c.mustUpdate(p)
 }
 
@@ -396,6 +451,14 @@ func (c *Cluster) schedulePending() {
 			continue
 		}
 		c.met.Counter("sched/unschedulable").Inc()
+		if c.tracer.Enabled() {
+			// Rejections are rare (the pod stays pending) so the error
+			// formatting stays off the steady-state path.
+			c.tracer.Record(obs.Event{
+				At: c.now(), Kind: obs.KindSched, Verb: obs.VerbReject,
+				App: p.App, Object: p.Name, Detail: err.Error(), Alloc: p.Requests,
+			})
+		}
 		if p.Priority <= 0 {
 			continue
 		}
@@ -407,6 +470,13 @@ func (c *Cluster) schedulePending() {
 			}
 			c.met.Counter("sched/preemptions").Inc()
 			c.recordEvent("preemption", p.Name, "evicted %v on %s", plan.Victims, plan.Node)
+			if c.tracer.Enabled() {
+				c.tracer.Record(obs.Event{
+					At: c.now(), Kind: obs.KindSched, Verb: obs.VerbPreempt,
+					App: p.App, Object: p.Name, Node: plan.Node,
+					Detail: fmt.Sprintf("victims %v", plan.Victims),
+				})
+			}
 			if err := c.bind(p, plan.Node); err != nil {
 				panic(fmt.Sprintf("cluster: bind after preemption: %v", err))
 			}
@@ -488,6 +558,9 @@ func (c *Cluster) FailNode(name string) error {
 	c.mustUpdate(n)
 	c.met.Counter("nodes/failures").Inc()
 	c.recordEvent("node-failed", name, "node marked unready; pods evicted")
+	if c.tracer.Enabled() {
+		c.tracer.Record(obs.Event{At: c.now(), Kind: obs.KindSched, Verb: obs.VerbNodeFailed, Node: name})
+	}
 	return nil
 }
 
@@ -503,6 +576,9 @@ func (c *Cluster) RestoreNode(name string) error {
 	n.Ready = true
 	c.mustUpdate(n)
 	c.recordEvent("node-restored", name, "node ready again")
+	if c.tracer.Enabled() {
+		c.tracer.Record(obs.Event{At: c.now(), Kind: obs.KindSched, Verb: obs.VerbNodeRestored, Node: name})
+	}
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"evolve/internal/control"
+	"evolve/internal/obs"
 	"evolve/internal/plo"
 	"evolve/internal/registry"
 	"evolve/internal/resource"
@@ -122,6 +123,13 @@ func (c *Cluster) ApplyDecision(app string, d control.Decision) error {
 		capped := d.Alloc.Min(biggest)
 		if capped != d.Alloc {
 			c.met.Counter("resize/node-capped").Inc()
+			if c.tracer.Enabled() {
+				c.tracer.Record(obs.Event{
+					At: c.now(), Kind: obs.KindSched, Verb: obs.VerbCap,
+					App: app, Alloc: d.Alloc, NewAlloc: capped,
+					Detail: "per-replica allocation capped to largest node",
+				})
+			}
 			d.Alloc = capped
 		}
 	}
@@ -210,10 +218,18 @@ func (c *Cluster) migrateWorstReplica(st *appState, desired resource.Vector) {
 	if worst == nil || worstGap < 0.05 {
 		return
 	}
+	fromNode := worst.Node
 	c.deletePod(worst)
 	c.addReplica(st)
 	c.met.Counter("resize/migrations").Inc()
 	c.recordEvent("pod-migrated", worst.Name, "replica of %s re-queued for a roomier node", st.obj.Name)
+	if c.tracer.Enabled() {
+		c.tracer.Record(obs.Event{
+			At: c.now(), Kind: obs.KindSched, Verb: obs.VerbMigrate,
+			App: st.obj.Name, Object: worst.Name, Node: fromNode,
+			Detail: "persistently throttled resize; re-queued for a roomier node",
+		})
+	}
 }
 
 // SchedulePendingNow runs one placement round outside the tick; tests and

@@ -3,6 +3,7 @@ package cluster
 import (
 	"time"
 
+	"evolve/internal/obs"
 	"evolve/internal/perf"
 	"evolve/internal/plo"
 	"evolve/internal/resource"
@@ -134,6 +135,19 @@ func (c *Cluster) tick() {
 		if st.tracker.PLO().Violated(sli) {
 			st.violationsCounter(c.met).Inc()
 			violated = 1
+		}
+		if isViolated := violated == 1; isViolated != st.wasViolated {
+			st.wasViolated = isViolated
+			if c.tracer.Enabled() {
+				verb := obs.VerbClear
+				if isViolated {
+					verb = obs.VerbOnset
+				}
+				c.tracer.Record(obs.Event{
+					At: now, Kind: obs.KindPLO, Verb: verb, App: spec.Name,
+					SLI: sli, Objective: spec.PLO.Target, PerfErr: spec.PLO.Error(sli),
+				})
+			}
 		}
 		h.sli.Add(now, sli)
 		h.violation.Add(now, violated)

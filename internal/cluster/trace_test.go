@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"evolve/internal/obs"
+	"evolve/internal/resource"
+	"evolve/internal/sim"
+)
+
+// TestTraceEventsEmitted wires a tracer before Start and checks the
+// cluster narrates its lifecycle: registry adds, scheduler binds, PLO
+// onsets when an app drowns, and node-failure markers.
+func TestTraceEventsEmitted(t *testing.T) {
+	eng := sim.NewEngine(3)
+	c := New(eng, DefaultConfig())
+	tr := obs.New(4096)
+	c.SetTracer(tr)
+	if c.Tracer() != tr {
+		t.Fatal("Tracer() does not return the installed tracer")
+	}
+	if err := c.AddNodes("n", 3, resource.New(16000, 64<<30, 1e9, 2e9)); err != nil {
+		t.Fatal(err)
+	}
+	spec := testService("web")
+	if err := c.CreateService(spec); err != nil {
+		t.Fatal(err)
+	}
+	// Offered load far beyond what two starved replicas can serve: the
+	// SLI blows through the PLO target and an onset must be recorded.
+	if err := c.SetLoadFunc("web", func(time.Duration) float64 { return 5000 }); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	eng.Run(2 * time.Minute)
+	if err := c.FailNode("n-0"); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(3 * time.Minute)
+
+	count := func(f obs.Filter) int { return len(tr.Snapshot(f)) }
+	if n := count(obs.Filter{Kind: "registry", Verb: obs.VerbAdded}); n == 0 {
+		t.Error("no registry added events")
+	}
+	if n := count(obs.Filter{Kind: "sched", Verb: obs.VerbBind, App: "web"}); n < int(spec.InitialReplicas) {
+		t.Errorf("got %d bind events, want at least %d", n, spec.InitialReplicas)
+	}
+	if n := count(obs.Filter{Kind: "plo", Verb: obs.VerbOnset, App: "web"}); n == 0 {
+		t.Error("no PLO onset despite a drowning service")
+	}
+	if n := count(obs.Filter{Kind: "sched", Verb: obs.VerbNodeFailed}); n != 1 {
+		t.Errorf("got %d node-failed events, want 1", n)
+	}
+	// Every bind names a pod and a node.
+	for _, ev := range tr.Snapshot(obs.Filter{Verb: obs.VerbBind}) {
+		if ev.Object == "" || ev.Node == "" {
+			t.Fatalf("bind event missing object/node: %+v", ev)
+		}
+	}
+	// Onsets carry the SLI and the objective it violated.
+	for _, ev := range tr.Snapshot(obs.Filter{Verb: obs.VerbOnset}) {
+		if ev.SLI <= ev.Objective || ev.PerfErr <= 0 {
+			t.Fatalf("onset event lacks violation evidence: %+v", ev)
+		}
+	}
+}
+
+// TestTickTracedAllocsBudget is the traced half of the steady-state
+// guarantee: with a tracer installed, a settled tick may only touch the
+// heap for the rare events it records — the budget is a couple of
+// objects per tick, not per pod.
+func TestTickTracedAllocsBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting is not meaningful under -short")
+	}
+	c, eng := newBenchCluster(t, 200)
+	c.SetTracer(obs.New(obs.DefaultCapacity))
+	eng.Run(eng.Now() + 700*c.cfg.MetricsInterval)
+	for _, app := range c.Apps() {
+		if _, err := c.Observe(app); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() { c.tick() })
+	if allocs > 2 {
+		t.Errorf("traced steady-state tick allocates %.1f objects/run, want ≤2", allocs)
+	}
+}
+
+// BenchmarkTickTraced is BenchmarkTick with tracing enabled — the pair
+// quantifies the observability overhead documented in DESIGN.md.
+func BenchmarkTickTraced(b *testing.B) {
+	for _, pods := range benchSizes {
+		b.Run(fmt.Sprintf("pods-%d", pods), func(b *testing.B) {
+			c, _ := newBenchCluster(b, pods)
+			c.SetTracer(obs.New(obs.DefaultCapacity))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.tick()
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ package control
 import (
 	"time"
 
+	"evolve/internal/obs"
 	"evolve/internal/plo"
 	"evolve/internal/resource"
 )
@@ -105,6 +106,63 @@ type Factory func(app string) Controller
 // their most recent decision in one line (for event journals and logs).
 type Explainer interface {
 	Rationale() string
+}
+
+// Traceable is optionally implemented by controllers that can expose the
+// internal decomposition of their most recent decision — PID terms,
+// gains, the stage that drove the change — for the trace and the
+// /debug/controllers endpoint.
+type Traceable interface {
+	DecisionTrace() obs.ControlTrace
+}
+
+// TraceDecision records one control step onto the tracer: a "decide"
+// event built from the observation/decision pair, with the controller's
+// decomposition attached when it is Traceable, plus an "adapt" event
+// when the adaptive-gain count advanced since prevAdapts. It returns the
+// new adaptation count for the caller to carry into the next period.
+// Cheap no-op when the tracer is disabled.
+func TraceDecision(tr *obs.Tracer, o Observation, d Decision, c Controller, prevAdapts int) int {
+	if !tr.Enabled() {
+		return prevAdapts
+	}
+	ev := obs.Event{
+		At:          o.Now,
+		Kind:        obs.KindControl,
+		Verb:        obs.VerbDecide,
+		App:         o.App,
+		PerfErr:     o.PerfError(),
+		SLI:         o.SLI,
+		Objective:   o.PLO.Target,
+		Offered:     o.OfferedLoad,
+		Replicas:    o.Replicas,
+		Ready:       o.ReadyReplicas,
+		NewReplicas: d.Replicas,
+		Alloc:       o.Alloc,
+		NewAlloc:    d.Alloc,
+		Util:        o.Utilisation,
+	}
+	if ex, ok := c.(Explainer); ok {
+		ev.Detail = ex.Rationale()
+	}
+	adapts := prevAdapts
+	if t, ok := c.(Traceable); ok {
+		ev.HasCtrl = true
+		ev.Ctrl = t.DecisionTrace()
+		adapts = ev.Ctrl.Adaptations
+	}
+	tr.Record(ev)
+	if adapts > prevAdapts {
+		tr.Record(obs.Event{
+			At:      o.Now,
+			Kind:    obs.KindGain,
+			Verb:    obs.VerbAdapt,
+			App:     o.App,
+			HasCtrl: ev.HasCtrl,
+			Ctrl:    ev.Ctrl,
+		})
+	}
+	return adapts
 }
 
 // NoopController holds the current state forever; useful as a fallback

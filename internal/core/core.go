@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"evolve/internal/control"
+	"evolve/internal/obs"
 	"evolve/internal/pid"
 	"evolve/internal/resource"
 )
@@ -72,6 +73,7 @@ type Autoscaler struct {
 	scaleInStreak int
 	decisions     int
 	rationale     string
+	lastTrace     obs.ControlTrace
 	// effUtil is the adaptive utilisation setpoint: it starts at
 	// cfg.UtilTarget and backs off (AIMD) whenever running that hot
 	// violates the PLO — tail-latency objectives bound the feasible
@@ -129,15 +131,15 @@ func (a *Autoscaler) Adaptations() int { return a.multi.Adaptations() }
 func (a *Autoscaler) Rationale() string { return a.rationale }
 
 // Decide implements control.Controller: one full control step.
-func (a *Autoscaler) Decide(obs control.Observation) control.Decision {
-	if obs.Interval <= 0 {
-		return control.Hold(obs)
+func (a *Autoscaler) Decide(o control.Observation) control.Decision {
+	if o.Interval <= 0 {
+		return control.Hold(o)
 	}
 	a.decisions++
-	a.model.Observe(obs)
+	a.model.Observe(o)
 
-	perfErr := obs.PerfError()
-	alloc := obs.Alloc
+	perfErr := o.PerfError()
+	alloc := o.Alloc
 
 	// Stage 0 — adapt the utilisation setpoint (AIMD): back off
 	// multiplicatively while the PLO is missed, creep back additively
@@ -152,7 +154,7 @@ func (a *Autoscaler) Decide(obs control.Observation) control.Decision {
 	a.multi.SetUtilTarget(a.effUtil)
 
 	// Stage 1 — multi-resource adaptive PID on the PLO error.
-	out := a.multi.Update(perfErr, obs.Utilisation, obs.Interval)
+	out := a.multi.Update(perfErr, o.Utilisation, o.Interval)
 	grewKind, grewMax := resource.CPU, 0.0
 	for _, k := range resource.Kinds() {
 		alloc[k] *= 1 + out[k]
@@ -167,7 +169,7 @@ func (a *Autoscaler) Decide(obs control.Observation) control.Decision {
 	// PLO to degrade first.
 	flooredKinds := 0
 	if a.cfg.Feedforward {
-		floor := a.model.Floor(obs.OfferedLoad, maxInt(obs.ReadyReplicas, 1), a.effUtil)
+		floor := a.model.Floor(o.OfferedLoad, maxInt(o.ReadyReplicas, 1), a.effUtil)
 		for _, k := range resource.Kinds() {
 			if floor[k] > alloc[k] {
 				flooredKinds++
@@ -176,25 +178,42 @@ func (a *Autoscaler) Decide(obs control.Observation) control.Decision {
 		alloc = alloc.Max(floor)
 	}
 
-	replicas := obs.Replicas
+	replicas := o.Replicas
 
 	// Stage 3 — horizontal scaling.
 	if a.cfg.Horizontal {
-		replicas = a.horizontal(obs, alloc, perfErr)
+		replicas = a.horizontal(o, alloc, perfErr)
 	}
 
 	// Capacity-preserving scale-in: the surviving replicas must be sized
 	// for the whole load *before* their siblings disappear, or the next
 	// period starts with a self-inflicted saturation spike.
-	if replicas < obs.Replicas {
-		floor := a.model.Floor(obs.OfferedLoad*a.cfg.ScaleInMargin, replicas, a.effUtil)
+	if replicas < o.Replicas {
+		floor := a.model.Floor(o.OfferedLoad*a.cfg.ScaleInMargin, replicas, a.effUtil)
 		alloc = alloc.Max(floor)
 	}
 
-	d := obs.Limits.Clamp(control.Decision{Replicas: replicas, Alloc: alloc})
-	a.rationale = a.explain(obs, d, perfErr, grewKind, grewMax, flooredKinds)
+	d := o.Limits.Clamp(control.Decision{Replicas: replicas, Alloc: alloc})
+	stage, rationale := a.explain(o, d, perfErr, grewKind, grewMax, flooredKinds)
+	a.rationale = rationale
+	a.lastTrace = obs.ControlTrace{
+		Stage:        stage,
+		UtilTarget:   a.effUtil,
+		Adaptations:  a.multi.Adaptations(),
+		FlooredKinds: flooredKinds,
+	}
+	terms := a.multi.LastTerms()
+	gains := a.multi.LastGains()
+	for k := range terms {
+		t, g := terms[k], gains[k]
+		a.lastTrace.Terms[k] = obs.PIDTerm{Err: t.Err, P: t.P, I: t.I, D: t.D, Out: t.Out, Clamped: t.Clamped}
+		a.lastTrace.Gains[k] = obs.GainSet{Kp: g.Kp, Ki: g.Ki, Kd: g.Kd}
+	}
 	return d
 }
+
+// DecisionTrace implements control.Traceable.
+func (a *Autoscaler) DecisionTrace() obs.ControlTrace { return a.lastTrace }
 
 // horizontal decides the replica count: scale out when vertical room is
 // exhausted and the PLO is suffering, scale in when the demand model says
@@ -240,21 +259,22 @@ func (a *Autoscaler) horizontal(obs control.Observation, wantAlloc resource.Vect
 	return replicas
 }
 
-// explain summarises one control step for the event journal.
-func (a *Autoscaler) explain(obs control.Observation, d control.Decision, perfErr float64, grewKind resource.Kind, grewMax float64, flooredKinds int) string {
+// explain summarises one control step for the event journal and names
+// the stage that drove it for the decision trace.
+func (a *Autoscaler) explain(o control.Observation, d control.Decision, perfErr float64, grewKind resource.Kind, grewMax float64, flooredKinds int) (stage, rationale string) {
 	switch {
-	case d.Replicas > obs.Replicas:
-		return fmt.Sprintf("scale out %d→%d: PLO err %+.2f with per-replica ceiling saturated", obs.Replicas, d.Replicas, perfErr)
-	case d.Replicas < obs.Replicas:
-		return fmt.Sprintf("scale in %d→%d: model says %d replicas suffice at %.0f op/s", obs.Replicas, d.Replicas, d.Replicas, obs.OfferedLoad)
+	case d.Replicas > o.Replicas:
+		return "scale-out", fmt.Sprintf("scale out %d→%d: PLO err %+.2f with per-replica ceiling saturated", o.Replicas, d.Replicas, perfErr)
+	case d.Replicas < o.Replicas:
+		return "scale-in", fmt.Sprintf("scale in %d→%d: model says %d replicas suffice at %.0f op/s", o.Replicas, d.Replicas, d.Replicas, o.OfferedLoad)
 	case flooredKinds > 0:
-		return fmt.Sprintf("feedforward floor raised %d dim(s) for %.0f op/s (PLO err %+.2f)", flooredKinds, obs.OfferedLoad, perfErr)
+		return "floor", fmt.Sprintf("feedforward floor raised %d dim(s) for %.0f op/s (PLO err %+.2f)", flooredKinds, o.OfferedLoad, perfErr)
 	case grewMax > 0.02:
-		return fmt.Sprintf("grew %s %.0f%%: PLO err %+.2f, util %.2f", grewKind, grewMax*100, perfErr, obs.Utilisation[grewKind])
+		return "grow", fmt.Sprintf("grew %s %.0f%%: PLO err %+.2f, util %.2f", grewKind, grewMax*100, perfErr, o.Utilisation[grewKind])
 	case perfErr <= 0:
-		return fmt.Sprintf("steady: PLO met (err %+.2f), regulating utilisation at %.2f", perfErr, a.effUtil)
+		return "steady", fmt.Sprintf("steady: PLO met (err %+.2f), regulating utilisation at %.2f", perfErr, a.effUtil)
 	default:
-		return fmt.Sprintf("holding: PLO err %+.2f within deadband", perfErr)
+		return "hold", fmt.Sprintf("holding: PLO err %+.2f within deadband", perfErr)
 	}
 }
 
@@ -270,9 +290,10 @@ func maxInt(a, b int) int {
 // allocation. It isolates the contribution of the multi-resource
 // extension (Table 2).
 type SingleResource struct {
-	app  string
-	ctrl *pid.Controller
-	tun  *pid.Tuner
+	app       string
+	ctrl      *pid.Controller
+	tun       *pid.Tuner
+	lastTrace obs.ControlTrace
 }
 
 // NewSingleResource builds the ablation controller.
@@ -295,24 +316,40 @@ func SingleResourceFactory() control.Factory {
 func (s *SingleResource) Name() string { return "pid-cpu-only" }
 
 // Decide implements control.Controller.
-func (s *SingleResource) Decide(obs control.Observation) control.Decision {
-	if obs.Interval <= 0 {
-		return control.Hold(obs)
+func (s *SingleResource) Decide(o control.Observation) control.Decision {
+	if o.Interval <= 0 {
+		return control.Hold(o)
 	}
 	// Same error shaping as the multi-resource loop — PLO error gated by
 	// utilisation, plus slack/headroom regulation — but applied to the
 	// CPU dimension alone.
-	e := obs.PerfError()
-	cpuUtil := obs.Utilisation[resource.CPU]
+	e := o.PerfError()
+	cpuUtil := o.Utilisation[resource.CPU]
 	if e < 0 && cpuUtil >= 0.7 {
 		e = 0
 	}
 	if dev := cpuUtil - 0.7; dev > 0 || e <= 0.1 {
 		e += 0.25 * math.Max(dev, -1)
 	}
-	out := s.ctrl.Update(0, -e, obs.Interval)
+	out := s.ctrl.Update(0, -e, o.Interval)
 	s.tun.Observe(e)
-	alloc := obs.Alloc
+	alloc := o.Alloc
 	alloc[resource.CPU] *= 1 + out
-	return obs.Limits.Clamp(control.Decision{Replicas: obs.Replicas, Alloc: alloc})
+
+	stage := "steady"
+	switch {
+	case out > 0:
+		stage = "grow"
+	case out < 0:
+		stage = "scale-in"
+	}
+	s.lastTrace = obs.ControlTrace{Stage: stage, UtilTarget: 0.7, Adaptations: s.tun.Adaptations()}
+	t, g := s.ctrl.LastTerm(), s.ctrl.Gains()
+	s.lastTrace.Terms[resource.CPU] = obs.PIDTerm{Err: t.Err, P: t.P, I: t.I, D: t.D, Out: t.Out, Clamped: t.Clamped}
+	s.lastTrace.Gains[resource.CPU] = obs.GainSet{Kp: g.Kp, Ki: g.Ki, Kd: g.Kd}
+
+	return o.Limits.Clamp(control.Decision{Replicas: o.Replicas, Alloc: alloc})
 }
+
+// DecisionTrace implements control.Traceable.
+func (s *SingleResource) DecisionTrace() obs.ControlTrace { return s.lastTrace }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"evolve/internal/control"
+	"evolve/internal/obs"
+	"evolve/internal/plo"
+	"evolve/internal/resource"
+)
+
+var (
+	_ control.Traceable = (*Autoscaler)(nil)
+	_ control.Traceable = (*SingleResource)(nil)
+)
+
+func violationObs() control.Observation {
+	return control.Observation{
+		App:      "svc",
+		Interval: 15 * time.Second,
+		PLO:      plo.Latency(100 * time.Millisecond),
+		SLI:      0.4,
+		Replicas: 2, ReadyReplicas: 2,
+		Alloc:       resource.New(1000, 1<<30, 50e6, 50e6),
+		Usage:       resource.New(950, 900<<20, 10e6, 10e6),
+		Utilisation: resource.New(0.95, 0.88, 0.2, 0.2),
+		OfferedLoad: 300,
+		Throughput:  200,
+		Limits:      control.Limits{MinReplicas: 1, MaxReplicas: 10, MinAlloc: resource.New(50, 64<<20, 1e6, 1e6), MaxAlloc: resource.New(16000, 64<<30, 1e9, 1e9)},
+	}
+}
+
+func TestAutoscalerDecisionTrace(t *testing.T) {
+	a := New("svc", DefaultConfig())
+	if tr := a.DecisionTrace(); tr != (obs.ControlTrace{}) {
+		t.Fatalf("fresh autoscaler trace = %+v, want zero", tr)
+	}
+	o := violationObs()
+	a.Decide(o)
+	tr := a.DecisionTrace()
+	if tr.Stage == "" {
+		t.Fatal("trace stage empty after Decide")
+	}
+	if tr.UtilTarget <= 0 || tr.UtilTarget > 1 {
+		t.Fatalf("util target = %v", tr.UtilTarget)
+	}
+	// Every resource loop ran: each kind has gains, and the bottleneck
+	// (CPU at 0.95 utilisation against a 4x PLO overshoot) saw a
+	// positive control error.
+	for k := resource.Kind(0); k < resource.NumKinds; k++ {
+		if tr.Gains[k] == (obs.GainSet{}) {
+			t.Errorf("gains for %v are zero", k)
+		}
+	}
+	cpu := tr.Terms[resource.CPU]
+	if cpu.Err <= 0 || cpu.Out <= 0 {
+		t.Fatalf("cpu term %+v, want positive error and output under violation", cpu)
+	}
+	// The decomposition invariant carries through from pid.Term.
+	if sum := cpu.P + cpu.I + cpu.D; sum != cpu.Out {
+		t.Fatalf("cpu P+I+D = %v, Out = %v", sum, cpu.Out)
+	}
+}
+
+func TestSingleResourceDecisionTrace(t *testing.T) {
+	s := NewSingleResource("svc")
+	o := violationObs()
+	s.Decide(o)
+	tr := s.DecisionTrace()
+	if tr.Stage == "" {
+		t.Fatal("trace stage empty after Decide")
+	}
+	if tr.Terms[resource.CPU] == (obs.PIDTerm{}) {
+		t.Fatal("cpu term not populated")
+	}
+	if tr.Gains[resource.CPU] == (obs.GainSet{}) {
+		t.Fatal("cpu gains not populated")
+	}
+	// Single-resource controller must leave every other kind untouched.
+	for k := resource.Kind(1); k < resource.NumKinds; k++ {
+		if tr.Terms[k] != (obs.PIDTerm{}) || tr.Gains[k] != (obs.GainSet{}) {
+			t.Errorf("kind %v leaked into a cpu-only trace", k)
+		}
+	}
+}

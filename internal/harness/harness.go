@@ -15,6 +15,7 @@ import (
 	"evolve/internal/cost"
 	"evolve/internal/hpc"
 	"evolve/internal/metrics"
+	"evolve/internal/obs"
 	"evolve/internal/resource"
 	"evolve/internal/sched"
 	"evolve/internal/sim"
@@ -187,6 +188,14 @@ func Run(sc Scenario, pol Policy) (*Result, error) {
 
 // RunWithHooks is Run with injection hooks scheduled into the timeline.
 func RunWithHooks(sc Scenario, pol Policy, hooks []Hook) (*Result, error) {
+	return runScenario(sc, pol, hooks, nil)
+}
+
+// runScenario is the single execution path behind Run, RunWithHooks and
+// the Runner: build the cluster, schedule the workload, drive the
+// control loop, summarise. A non-nil enabled tracer records every
+// control decision and scheduler outcome of the run.
+func runScenario(sc Scenario, pol Policy, hooks []Hook, tr *obs.Tracer) (*Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -200,6 +209,7 @@ func RunWithHooks(sc Scenario, pol Policy, hooks []Hook) (*Result, error) {
 		ccfg.MeasurementNoise = sc.MeasurementNoise
 	}
 	c := cluster.New(eng, ccfg)
+	c.SetTracer(tr)
 	if len(sc.Pools) > 0 {
 		for _, pool := range sc.Pools {
 			for i := 0; i < pool.Count; i++ {
@@ -269,14 +279,18 @@ func RunWithHooks(sc Scenario, pol Policy, hooks []Hook) (*Result, error) {
 
 	c.Start()
 	// Control loop.
+	tracer := c.Tracer()
+	prevAdapts := make(map[string]int, len(sc.Apps))
 	eng.Every(sc.ControlInterval, func() {
 		for _, name := range c.Apps() {
-			obs, err := c.Observe(name)
+			o, err := c.Observe(name)
 			if err != nil {
 				fail(fmt.Errorf("harness: observe %s: %w", name, err))
 				return
 			}
-			d := controllers[name].Decide(obs)
+			ctrl := controllers[name]
+			d := ctrl.Decide(o)
+			prevAdapts[name] = control.TraceDecision(tracer, o, d, ctrl, prevAdapts[name])
 			if err := c.ApplyDecision(name, d); err != nil {
 				fail(fmt.Errorf("harness: apply decision %s: %w", name, err))
 				return

@@ -1,9 +1,15 @@
 package harness
 
 import (
+	"bufio"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
+
+	"evolve/internal/obs"
 )
 
 // Runner executes (scenario, policy) simulations through a bounded worker
@@ -20,8 +26,9 @@ import (
 // duplicate (scenario, policy) simulations the evaluation suite shares
 // between tables and figures.
 type Runner struct {
-	workers int
-	sem     chan struct{}
+	workers  int
+	sem      chan struct{}
+	traceDir string
 
 	mu    sync.Mutex
 	cache map[string]*runEntry
@@ -63,6 +70,12 @@ func NewRunner(workers int) *Runner {
 
 // Workers returns the concurrency bound.
 func (r *Runner) Workers() int { return r.workers }
+
+// SetTraceDir makes every subsequent simulation record its decision
+// trace to <dir>/<scenario>__<policy>.jsonl. The directory must exist.
+// Cached results do not re-run, so only cache-miss runs produce traces;
+// call this before the first Run to capture everything.
+func (r *Runner) SetTraceDir(dir string) { r.traceDir = dir }
 
 // Stats returns a snapshot of the runner's counters.
 func (r *Runner) Stats() RunnerStats {
@@ -118,7 +131,45 @@ func (r *Runner) execute(sc Scenario, pol Policy, hooks []Hook) (*Result, error)
 	r.mu.Lock()
 	r.stats.Runs++
 	r.mu.Unlock()
-	return RunWithHooks(sc, pol, hooks)
+	if r.traceDir == "" {
+		return runScenario(sc, pol, hooks, nil)
+	}
+	path := filepath.Join(r.traceDir, sanitise(sc.Name)+"__"+sanitise(pol.Name)+".jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: trace file: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	tr := obs.New(obs.DefaultCapacity)
+	tr.SetSink(w)
+	res, runErr := runScenario(sc, pol, hooks, tr)
+	if err := w.Flush(); err == nil {
+		err = f.Close()
+		if runErr == nil && err != nil {
+			runErr = fmt.Errorf("harness: trace file: %w", err)
+		}
+	} else {
+		_ = f.Close()
+		if runErr == nil {
+			runErr = fmt.Errorf("harness: trace file: %w", err)
+		}
+	}
+	if runErr == nil && tr.SinkErr() != nil {
+		runErr = fmt.Errorf("harness: trace sink: %w", tr.SinkErr())
+	}
+	return res, runErr
+}
+
+// sanitise maps a scenario/policy name onto a filesystem-safe token.
+func sanitise(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, name)
 }
 
 // RunMany fans the jobs out across the pool and returns their results in

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"evolve/internal/obs"
+)
+
+// TestRunnerTraceDir: with a trace directory configured, each cache-miss
+// run must leave a parseable JSONL decision trace named after the
+// scenario/policy pair, containing the control decisions the run made.
+func TestRunnerTraceDir(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRunner(1)
+	r.SetTraceDir(dir)
+	sc := tinyScenario()
+	sc.Name = "tiny trace" // exercises name sanitisation
+	if _, err := r.Run(sc, evolvePolicy()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "tiny-trace__evolve.jsonl")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	defer f.Close()
+	events, err := obs.ReadTrace(f)
+	if err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace is empty")
+	}
+	var decides, binds int
+	for _, ev := range events {
+		switch {
+		case ev.Kind == obs.KindControl && ev.Verb == obs.VerbDecide:
+			decides++
+			if ev.App != "web" {
+				t.Fatalf("decision for unexpected app %q", ev.App)
+			}
+		case ev.Kind == obs.KindSched && ev.Verb == obs.VerbBind:
+			binds++
+		}
+	}
+	if decides == 0 || binds == 0 {
+		t.Fatalf("trace has %d decisions and %d binds, want both > 0", decides, binds)
+	}
+
+	// A cache hit must not truncate or rewrite the existing trace.
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(sc, evolvePolicy()); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.CacheHits != 1 {
+		t.Fatalf("stats = %+v, want one cache hit", st)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("cache hit rewrote the trace file")
+	}
+}

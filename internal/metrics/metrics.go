@@ -263,6 +263,21 @@ func (h *Histogram) bucket(v float64) int {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.total }
 
+// Sum returns the exact sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Buckets calls fn for every bucket in ascending order with the bucket's
+// inclusive upper edge and the cumulative count up to it — the shape a
+// Prometheus histogram exposition needs. The final edge does not cover
+// +Inf; callers append that bucket from Count themselves.
+func (h *Histogram) Buckets(fn func(le float64, cumulative uint64)) {
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		fn(h.min*math.Pow(h.ratio, float64(i+1)), cum)
+	}
+}
+
 // Mean returns the exact mean of all observations.
 func (h *Histogram) Mean() float64 {
 	if h.total == 0 {
@@ -401,6 +416,22 @@ func (r *Registry) CounterNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// HistogramNames returns the sorted names of all histograms.
+func (r *Registry) HistogramNames() []string {
+	names := make([]string, 0, len(r.histograms))
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GetHistogram returns the named histogram without creating it.
+func (r *Registry) GetHistogram(name string) (*Histogram, bool) {
+	h, ok := r.histograms[name]
+	return h, ok
 }
 
 // HasSeries reports whether the named series exists without creating it.

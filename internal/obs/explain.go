@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"evolve/internal/resource"
+)
+
+// Decision-chain reconstruction: given a trace and a question of the
+// form "why did <app> look like this at <t>?", Explain finds the
+// controller decision in effect and gathers the evidence around it —
+// the PID decomposition it acted on, the gain adaptations leading up to
+// it, the scheduler outcomes that actuated it, and the PLO transitions
+// it caused or reacted to. evolve-explain is a thin CLI over this.
+
+// Chain is one reconstructed decision chain.
+type Chain struct {
+	App string
+	// At is the queried time; Decision the controller event in effect.
+	At       time.Duration
+	Decision Event
+	// Gains holds adaptive-gain changes in the window before the
+	// decision, Sched the scheduler outcomes for the app after it, PLO
+	// the violation transitions around it. All oldest-first.
+	Gains []Event
+	Sched []Event
+	PLO   []Event
+}
+
+// Explain reconstructs the decision chain for (app, at) from a trace.
+// The decision is the last control event for the app at or before the
+// queried time (falling back to the first one after it when the query
+// predates the trace); window bounds how far around the decision the
+// supporting events are gathered.
+func Explain(events []Event, app string, at, window time.Duration) (*Chain, error) {
+	if window <= 0 {
+		window = 5 * time.Minute
+	}
+	decIdx := -1
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != KindControl || ev.App != app {
+			continue
+		}
+		if ev.At <= at {
+			decIdx = i // keep the latest at-or-before
+		} else if decIdx < 0 {
+			decIdx = i // earliest after, only if nothing before
+			break
+		}
+	}
+	if decIdx < 0 {
+		return nil, fmt.Errorf("obs: no control decision for app %q in trace (have %d events)", app, len(events))
+	}
+	ch := &Chain{App: app, At: at, Decision: events[decIdx]}
+	dt := ch.Decision.At
+	for i := range events {
+		ev := &events[i]
+		if ev.App != app && ev.Kind != KindSched {
+			continue
+		}
+		switch ev.Kind {
+		case KindGain:
+			if ev.App == app && ev.At >= dt-window && ev.At <= dt {
+				ch.Gains = append(ch.Gains, *ev)
+			}
+		case KindSched:
+			if ev.App == app && ev.At >= dt && ev.At <= dt+window {
+				ch.Sched = append(ch.Sched, *ev)
+			}
+		case KindPLO:
+			if ev.At >= dt-window && ev.At <= dt+window {
+				ch.PLO = append(ch.PLO, *ev)
+			}
+		}
+	}
+	return ch, nil
+}
+
+// Format renders the chain for terminals.
+func (c *Chain) Format(w io.Writer) {
+	d := &c.Decision
+	fmt.Fprintf(w, "decision for %s at %v (seq %d)\n", c.App, d.At, d.Seq)
+	fmt.Fprintf(w, "  observed: sli=%.4g objective=%.4g perf_err=%+.3f offered=%.1f op/s replicas=%d ready=%d\n",
+		d.SLI, d.Objective, d.PerfErr, d.Offered, d.Replicas, d.Ready)
+	if !d.Util.IsZero() {
+		fmt.Fprintf(w, "  utilisation: %s\n", utilString(d.Util))
+	}
+	if d.HasCtrl {
+		ct := &d.Ctrl
+		fmt.Fprintf(w, "  pid terms (util target %.2f):\n", ct.UtilTarget)
+		for _, k := range resource.Kinds() {
+			t := ct.Terms[k]
+			clamp := ""
+			if t.Clamped {
+				clamp = "  [clamped, anti-windup engaged]"
+			}
+			fmt.Fprintf(w, "    %-7s err=%+.3f p=%+.3f i=%+.3f d=%+.3f out=%+.3f%s\n",
+				k, t.Err, t.P, t.I, t.D, t.Out, clamp)
+		}
+		fmt.Fprintf(w, "  gains:")
+		for _, k := range resource.Kinds() {
+			g := ct.Gains[k]
+			fmt.Fprintf(w, " %s(kp=%.2f ki=%.2f kd=%.2f)", k, g.Kp, g.Ki, g.Kd)
+		}
+		fmt.Fprintf(w, "  [%d adaptations so far]\n", ct.Adaptations)
+		if ct.FlooredKinds > 0 {
+			fmt.Fprintf(w, "  feedforward floor raised %d dimension(s)\n", ct.FlooredKinds)
+		}
+		fmt.Fprintf(w, "  stage: %s\n", ct.Stage)
+	}
+	fmt.Fprintf(w, "  decided: replicas %d→%d, alloc %s\n", d.Replicas, d.NewReplicas, d.NewAlloc)
+	if d.Detail != "" {
+		fmt.Fprintf(w, "  rationale: %s\n", d.Detail)
+	}
+	if len(c.Gains) > 0 {
+		fmt.Fprintf(w, "gain adaptations before the decision:\n")
+		for _, ev := range c.Gains {
+			fmt.Fprintf(w, "  %8v adaptation #%d\n", ev.At, ev.Ctrl.Adaptations)
+		}
+	}
+	if len(c.Sched) > 0 {
+		fmt.Fprintf(w, "scheduler outcomes after the decision:\n")
+		for _, ev := range c.Sched {
+			fmt.Fprintf(w, "  %8v %-8s %-16s", ev.At, ev.Verb, ev.Object)
+			if ev.Node != "" {
+				fmt.Fprintf(w, " node=%s", ev.Node)
+			}
+			if ev.Detail != "" {
+				fmt.Fprintf(w, " (%s)", ev.Detail)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if len(c.PLO) > 0 {
+		fmt.Fprintf(w, "plo transitions around the decision:\n")
+		for _, ev := range c.PLO {
+			fmt.Fprintf(w, "  %8v %-6s sli=%.4g objective=%.4g\n", ev.At, ev.Verb, ev.SLI, ev.Objective)
+		}
+	}
+}
+
+func utilString(v resource.Vector) string {
+	out := ""
+	for _, k := range resource.Kinds() {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%.2f", k, v[k])
+	}
+	return out
+}
+
+// DecisionSummary is one line of the per-app decision overview: a
+// control event that changed the replica count or was clamp-driven.
+type DecisionSummary struct {
+	App   string
+	Event Event
+}
+
+// Summarise lists the interesting decisions of a trace — every control
+// event that changed replicas, plus PLO onsets — so a user can find the
+// (app, time) worth explaining. Sorted by time.
+func Summarise(events []Event) []DecisionSummary {
+	var out []DecisionSummary
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case KindControl:
+			if ev.NewReplicas != ev.Replicas {
+				out = append(out, DecisionSummary{App: ev.App, Event: *ev})
+			}
+		case KindPLO:
+			if ev.Verb == VerbOnset {
+				out = append(out, DecisionSummary{App: ev.App, Event: *ev})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Event.At < out[j].Event.At })
+	return out
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func explainTrace() []Event {
+	return []Event{
+		{Seq: 1, At: 40 * time.Minute, Kind: KindGain, Verb: VerbAdapt, App: "web", HasCtrl: true, Ctrl: ControlTrace{Adaptations: 3}},
+		{Seq: 2, At: 41 * time.Minute, Kind: KindControl, Verb: VerbDecide, App: "web", Replicas: 6, NewReplicas: 6},
+		{Seq: 3, At: 42 * time.Minute, Kind: KindPLO, Verb: VerbOnset, App: "web", SLI: 0.2, Objective: 0.1},
+		{
+			Seq: 4, At: 43 * time.Minute, Kind: KindControl, Verb: VerbDecide, App: "web",
+			Replicas: 6, NewReplicas: 7, SLI: 0.18, Objective: 0.1, PerfErr: 0.8,
+			Detail: "scale out 6→7", HasCtrl: true,
+			Ctrl: ControlTrace{Stage: "scale-out", UtilTarget: 0.7, Adaptations: 4},
+		},
+		{Seq: 5, At: 43*time.Minute + 5*time.Second, Kind: KindSched, Verb: VerbBind, App: "web", Object: "web-7", Node: "node-2"},
+		{Seq: 6, At: 44 * time.Minute, Kind: KindPLO, Verb: VerbClear, App: "web", SLI: 0.05, Objective: 0.1},
+		{Seq: 7, At: 43 * time.Minute, Kind: KindControl, Verb: VerbDecide, App: "db", Replicas: 2, NewReplicas: 2},
+		{Seq: 8, At: 50 * time.Minute, Kind: KindControl, Verb: VerbDecide, App: "web", Replicas: 7, NewReplicas: 7},
+	}
+}
+
+func TestExplainPicksDecisionInEffect(t *testing.T) {
+	events := explainTrace()
+	ch, err := Explain(events, "web", 45*time.Minute, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Decision.Seq != 4 {
+		t.Fatalf("decision seq = %d, want 4 (latest at-or-before the query)", ch.Decision.Seq)
+	}
+	if len(ch.Gains) != 1 || ch.Gains[0].Seq != 1 {
+		t.Fatalf("gains = %+v, want the seq-1 adaptation", ch.Gains)
+	}
+	if len(ch.Sched) != 1 || ch.Sched[0].Object != "web-7" {
+		t.Fatalf("sched = %+v, want the web-7 bind", ch.Sched)
+	}
+	if len(ch.PLO) != 2 {
+		t.Fatalf("plo = %+v, want onset+clear", ch.PLO)
+	}
+	for _, ev := range append(append([]Event{ch.Decision}, ch.Gains...), ch.Sched...) {
+		if ev.App != "web" {
+			t.Errorf("chain leaked event for app %q", ev.App)
+		}
+	}
+}
+
+func TestExplainFallsForwardWhenQueryPredatesTrace(t *testing.T) {
+	ch, err := Explain(explainTrace(), "web", 0, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Decision.Seq != 2 {
+		t.Fatalf("decision seq = %d, want 2 (earliest control event)", ch.Decision.Seq)
+	}
+}
+
+func TestExplainUnknownApp(t *testing.T) {
+	if _, err := Explain(explainTrace(), "nope", time.Hour, time.Minute); err == nil {
+		t.Fatal("Explain succeeded for an app absent from the trace")
+	}
+}
+
+func TestChainFormat(t *testing.T) {
+	ch, err := Explain(explainTrace(), "web", 43*time.Minute, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	ch.Format(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"decision for web at 43m0s",
+		"stage: scale-out",
+		"replicas 6→7",
+		"scale out 6→7",
+		"web-7",
+		"onset",
+		"clear",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted chain missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	sums := Summarise(explainTrace())
+	// Replica change at 43m plus the PLO onset at 42m; steady decisions
+	// and other apps' no-ops are excluded.
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries, want 2: %+v", len(sums), sums)
+	}
+	if sums[0].Event.Seq != 3 || sums[1].Event.Seq != 4 {
+		t.Fatalf("summaries out of order or wrong: %+v", sums)
+	}
+}

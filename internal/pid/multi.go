@@ -123,6 +123,24 @@ func (m *Multi) Adaptations() int {
 	return n
 }
 
+// LastTerms returns every dimension's most recent PID decomposition.
+func (m *Multi) LastTerms() [resource.NumKinds]Term {
+	var out [resource.NumKinds]Term
+	for k, c := range m.ctrls {
+		out[k] = c.LastTerm()
+	}
+	return out
+}
+
+// LastGains returns every dimension's current gains.
+func (m *Multi) LastGains() [resource.NumKinds]Gains {
+	var out [resource.NumKinds]Gains
+	for k, c := range m.ctrls {
+		out[k] = c.Gains()
+	}
+	return out
+}
+
 // GrowWeights returns the normalised bottleneck weights used when the
 // application needs more resources: w_k ∝ util_k^Gamma. Utilisations are
 // clamped to [0.01, 10] so a zero-utilisation dimension still receives a

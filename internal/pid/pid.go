@@ -48,6 +48,19 @@ func DefaultConfig() Config {
 	}
 }
 
+// Term is the decomposition of one Update: the control error, the three
+// contributions after anti-windup settled, the clamped output and
+// whether the output limiter engaged. P+I+D always equals Out — the
+// integral contribution is read back after back-calculation bled it.
+type Term struct {
+	Err     float64
+	P       float64
+	I       float64
+	D       float64
+	Out     float64
+	Clamped bool
+}
+
 // Controller is a discrete-time PID controller. It is not safe for
 // concurrent use.
 type Controller struct {
@@ -59,6 +72,7 @@ type Controller struct {
 	havePrev   bool
 	lastOutput float64
 	lastErr    float64
+	lastTerm   Term
 }
 
 // NewController validates cfg and returns a controller.
@@ -108,11 +122,16 @@ func (c *Controller) Output() float64 { return c.lastOutput }
 // LastError returns the most recent control error (setpoint - measured).
 func (c *Controller) LastError() float64 { return c.lastErr }
 
+// LastTerm returns the decomposition of the most recent Update; the
+// zero Term before the first call.
+func (c *Controller) LastTerm() Term { return c.lastTerm }
+
 // Reset clears integral and derivative state.
 func (c *Controller) Reset() {
 	c.integral, c.prevMeas, c.prevDeriv = 0, 0, 0
 	c.havePrev = false
 	c.lastOutput, c.lastErr = 0, 0
+	c.lastTerm = Term{}
 }
 
 // Update advances the controller by dt with the given setpoint and
@@ -149,12 +168,15 @@ func (c *Controller) Update(setpoint, measured float64, dt time.Duration) float6
 	c.integral += err * dts
 	i := g.Ki * c.integral
 	out := p + i + d
+	clamped := false
 	if out > c.cfg.OutMax {
+		clamped = true
 		if g.Ki > 0 {
 			c.integral -= (out - c.cfg.OutMax) / g.Ki
 		}
 		out = c.cfg.OutMax
 	} else if out < c.cfg.OutMin {
+		clamped = true
 		if g.Ki > 0 {
 			c.integral += (c.cfg.OutMin - out) / g.Ki
 		}
@@ -164,6 +186,10 @@ func (c *Controller) Update(setpoint, measured float64, dt time.Duration) float6
 	c.prevMeas = measured
 	c.havePrev = true
 	c.lastOutput = out
+	// Read the integral contribution back after anti-windup so the
+	// recorded terms sum to the clamped output (out - p - d when the
+	// limiter engaged without an integral gain to bleed).
+	c.lastTerm = Term{Err: err, P: p, I: out - p - d, D: d, Out: out, Clamped: clamped}
 	return out
 }
 

@@ -1,0 +1,74 @@
+package pid
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestLastTermDecomposition checks the invariant documented on Term:
+// P+I+D always equals Out, including when the output limiter engages and
+// back-calculation bleeds the integral.
+func TestLastTermDecomposition(t *testing.T) {
+	c := MustController(Config{
+		Gains:  Gains{Kp: 0.5, Ki: 0.1, Kd: 0.05},
+		OutMin: -1, OutMax: 1,
+		DerivativeTau: 2 * time.Second,
+	})
+	if c.LastTerm() != (Term{}) {
+		t.Fatal("fresh controller should report a zero Term")
+	}
+
+	meas := 0.0
+	for i := 0; i < 40; i++ {
+		// Plant lags the controller so we sweep through unclamped and
+		// clamped regimes.
+		out := c.Update(5, meas, time.Second)
+		meas += 0.3 * out
+
+		term := c.LastTerm()
+		if term.Out != out {
+			t.Fatalf("step %d: LastTerm().Out = %v, Update returned %v", i, term.Out, out)
+		}
+		if term.Err != c.LastError() {
+			t.Fatalf("step %d: Err = %v, LastError = %v", i, term.Err, c.LastError())
+		}
+		if sum := term.P + term.I + term.D; math.Abs(sum-term.Out) > 1e-12 {
+			t.Fatalf("step %d: P+I+D = %v, Out = %v (term %+v)", i, sum, term.Out, term)
+		}
+		if term.Clamped != (out == 1 || out == -1) {
+			t.Fatalf("step %d: Clamped = %v with out %v", i, term.Clamped, out)
+		}
+	}
+}
+
+// TestLastTermClampedWithoutIntegral: with Ki=0 back-calculation cannot
+// bleed the integral, so the recorded I term absorbs the clamp residual
+// to keep the decomposition summing to Out.
+func TestLastTermClampedWithoutIntegral(t *testing.T) {
+	c := MustController(Config{Gains: Gains{Kp: 10}, OutMin: -1, OutMax: 1})
+	out := c.Update(5, 0, time.Second)
+	term := c.LastTerm()
+	if out != 1 || !term.Clamped {
+		t.Fatalf("expected clamped output 1, got %v (term %+v)", out, term)
+	}
+	if sum := term.P + term.I + term.D; math.Abs(sum-term.Out) > 1e-12 {
+		t.Fatalf("P+I+D = %v, Out = %v (term %+v)", sum, term.Out, term)
+	}
+	// The raw proportional action (Kp·err = 50) is preserved in P.
+	if term.P != 50 {
+		t.Fatalf("P = %v, want 50", term.P)
+	}
+}
+
+func TestResetClearsLastTerm(t *testing.T) {
+	c := MustController(DefaultConfig())
+	c.Update(1, 0, time.Second)
+	if c.LastTerm() == (Term{}) {
+		t.Fatal("Update did not populate LastTerm")
+	}
+	c.Reset()
+	if c.LastTerm() != (Term{}) {
+		t.Fatal("Reset did not clear LastTerm")
+	}
+}

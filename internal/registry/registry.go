@@ -221,19 +221,30 @@ func (s *Store) notify(ev Event) {
 	}
 	defer func() { s.depth-- }()
 
-	kind := ev.Object.GetMeta().Kind
-	// Compact dead subscriptions opportunistically.
-	live := s.subs[:0]
-	for _, sub := range s.subs {
-		if sub.dead {
-			continue
+	// Compact dead subscriptions in place, but only at the outermost
+	// dispatch level: an inner (reentrant) notify must not shuffle
+	// entries out from under an outer iteration.
+	if s.depth == 1 {
+		live := s.subs[:0]
+		for _, sub := range s.subs {
+			if !sub.dead {
+				live = append(live, sub)
+			}
 		}
-		live = append(live, sub)
+		for i := len(live); i < len(s.subs); i++ {
+			s.subs[i] = nil
+		}
+		s.subs = live
 	}
-	s.subs = live
-	// Iterate over a snapshot: handlers may subscribe/unsubscribe.
-	snapshot := append([]*subscription(nil), s.subs...)
-	for _, sub := range snapshot {
+
+	kind := ev.Object.GetMeta().Kind
+	// Iterate a local slice header instead of an allocated snapshot:
+	// handlers that subscribe mid-dispatch append to s.subs (possibly
+	// growing a new backing array), so they are not notified for the
+	// event already in flight; cancellations are honoured via the dead
+	// flag either way. This keeps per-mutation dispatch allocation-free.
+	subs := s.subs
+	for _, sub := range subs {
 		if sub.dead || (sub.kind != "" && sub.kind != kind) {
 			continue
 		}
