@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json check
+.PHONY: build test race vet bench bench-json check fuzz-smoke chaos-soak
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,17 @@ bench:
 # from the full evaluation run (see cmd/evolve-bench).
 bench-json:
 	$(GO) run ./cmd/evolve-bench -json > BENCH_2.json
+
+# fuzz-smoke gives the chaos-plan parser a short fuzzing budget: long
+# enough to catch parse/round-trip regressions, short enough for CI.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzParsePlan -fuzztime 15s -run '^$$' ./internal/chaos
+
+# chaos-soak runs the everything-at-once fault profile end to end (the
+# TestChaosSoak harness test plus the mixed-profile CLI path).
+chaos-soak:
+	$(GO) test -run 'TestChaosSoak|TestTable7' -v ./internal/harness
+	$(GO) run ./cmd/evolve-sim -chaos mixed -duration 2h > /dev/null
 
 # check is the CI gate: static analysis plus the full suite under the
 # race detector (the parallel runner must be race-clean, not just fast).

@@ -60,6 +60,7 @@ func items() []item {
 		tbl("table4", func(*harness.Runner, int64) (*harness.Table, error) { return harness.Table4(), nil }),
 		tbl("table5", harness.Table5),
 		tbl("table6", harness.Table6),
+		tbl("table7", harness.Table7),
 		fig("figure1", harness.Figure1),
 		fig("figure2", harness.Figure2),
 		fig("figure3", func(r *harness.Runner, seed int64) (*harness.Figure, error) {

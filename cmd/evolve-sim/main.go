@@ -5,6 +5,8 @@
 //
 //	evolve-sim -policy evolve -nodes 5 -duration 2h
 //	evolve-sim -policy hpa -services web:300,kvstore:200 -hpc 4 -batch 3
+//	evolve-sim -chaos node-kill -events           # inject a node crash, watch the recovery
+//	evolve-sim -chaos "metric-drop@30m:p=1" -duration 1h
 //	evolve-sim -config scenario.json -events
 //	evolve-sim -dump app/web/latency-mean -duration 1h > lat.csv
 //	evolve-sim -trace run.jsonl -duration 2h   # then: evolve-explain -trace run.jsonl -app web
@@ -22,6 +24,7 @@ import (
 	"time"
 
 	"evolve"
+	"evolve/internal/chaos"
 	"evolve/internal/obs"
 )
 
@@ -43,17 +46,18 @@ func main() {
 		duration = flag.Duration("duration", 2*time.Hour, "virtual run time")
 		services = flag.String("services", "web:400,gateway:300,kvstore:200,inference:30",
 			"comma-separated archetype:baseRate service list (names default to the archetype)")
-		diurnal = flag.Bool("diurnal", true, "drive services with a diurnal cycle (0.5x..3x base); constant base rate otherwise")
-		batchN  = flag.Int("batch", 0, "number of TeraSort-like DAG jobs to stream in")
-		hpcN    = flag.Int("hpc", 0, "number of 4-rank HPC gang jobs to stream in")
-		dump    = flag.String("dump", "", "telemetry series to print as CSV after the run (e.g. app/web/latency-mean)")
-		list    = flag.Bool("list-series", false, "list telemetry series after the run")
-		events  = flag.Bool("events", false, "print the operational event journal after the run")
-		serve   = flag.String("serve", "", "after the run, serve /report, /series, /metrics, /debug/trace and friends on this address (e.g. :8080)")
-		metrics = flag.String("metrics-addr", "", "after the run, serve Prometheus /metrics on this address (e.g. :9090)")
-		trace   = flag.String("trace", "", "record the decision trace as JSONL to this file (consumed by evolve-explain)")
-		buf     = flag.Int("trace-buf", obs.DefaultCapacity, "decision-trace ring capacity (events kept for /debug/trace)")
-		config  = flag.String("config", "", "JSON scenario file (see evolve.FileConfig); overrides the workload flags")
+		diurnal   = flag.Bool("diurnal", true, "drive services with a diurnal cycle (0.5x..3x base); constant base rate otherwise")
+		batchN    = flag.Int("batch", 0, "number of TeraSort-like DAG jobs to stream in")
+		hpcN      = flag.Int("hpc", 0, "number of 4-rank HPC gang jobs to stream in")
+		dump      = flag.String("dump", "", "telemetry series to print as CSV after the run (e.g. app/web/latency-mean)")
+		list      = flag.Bool("list-series", false, "list telemetry series after the run")
+		events    = flag.Bool("events", false, "print the operational event journal after the run")
+		serve     = flag.String("serve", "", "after the run, serve /report, /series, /metrics, /debug/trace and friends on this address (e.g. :8080)")
+		metrics   = flag.String("metrics-addr", "", "after the run, serve Prometheus /metrics on this address (e.g. :9090)")
+		trace     = flag.String("trace", "", "record the decision trace as JSONL to this file (consumed by evolve-explain)")
+		buf       = flag.Int("trace-buf", obs.DefaultCapacity, "decision-trace ring capacity (events kept for /debug/trace)")
+		config    = flag.String("config", "", "JSON scenario file (see evolve.FileConfig); overrides the workload flags")
+		chaosPlan = flag.String("chaos", "", "fault-injection plan: a profile ("+strings.Join(chaos.Profiles(), ", ")+") or a chaos-DSL string")
 	)
 	flag.Parse()
 
@@ -80,7 +84,7 @@ func main() {
 		return
 	}
 
-	c, err := evolve.New(evolve.Options{Seed: *seed, Nodes: *nodes, Policy: *policy})
+	c, err := evolve.New(evolve.Options{Seed: *seed, Nodes: *nodes, Policy: *policy, Chaos: *chaosPlan})
 	if err != nil {
 		fatal(err)
 	}

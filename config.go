@@ -30,6 +30,9 @@ type FileConfig struct {
 	Overprovision   float64 `json:"overprovision"`
 	HPCQueue        string  `json:"hpcQueue"`
 	DurationMinutes float64 `json:"durationMinutes"`
+	// Chaos is a fault-injection plan: a named profile or a chaos-DSL
+	// string (see Options.Chaos). Empty means fault-free.
+	Chaos string `json:"chaos"`
 
 	Pools []PoolConfig `json:"pools"`
 
@@ -146,6 +149,7 @@ func NewFromConfig(r io.Reader) (*Cluster, time.Duration, error) {
 		Policy:        fc.Policy,
 		Overprovision: fc.Overprovision,
 		HPCQueue:      fc.HPCQueue,
+		Chaos:         fc.Chaos,
 	}
 	for _, p := range fc.Pools {
 		opts.Pools = append(opts.Pools, PoolOptions{Name: p.Name, Nodes: p.Nodes})

@@ -34,6 +34,7 @@ import (
 
 	"evolve/internal/baseline"
 	"evolve/internal/batch"
+	"evolve/internal/chaos"
 	"evolve/internal/cluster"
 	"evolve/internal/control"
 	"evolve/internal/core"
@@ -73,6 +74,13 @@ type Options struct {
 	// pools; workloads carrying a matching Pool option are confined to
 	// them. Nodes is ignored when Pools is non-empty.
 	Pools []PoolOptions
+	// Chaos installs a fault-injection plan: a named profile
+	// ("node-kill", "sensor-dropout", "actuation-flake", "mixed") or a
+	// plan in the chaos DSL, e.g.
+	// "node-crash@30m-45m:node=node-0;metric-drop@10m:p=0.2". The
+	// injector is seeded from Seed, so a (seed, plan) pair replays
+	// bit-for-bit. Empty means fault-free.
+	Chaos string
 }
 
 // PoolOptions declares one labeled node pool; its nodes carry the label
@@ -180,11 +188,11 @@ type Cluster struct {
 	queue   *hpc.Queue
 	ctrl    map[string]control.Controller
 	factory control.Factory
+	loop    *control.Loop
 	started bool
+	runErr  error
 
-	tracer       *obs.Tracer
-	lastDecision map[string]control.Decision
-	prevAdapts   map[string]int
+	tracer *obs.Tracer
 }
 
 // New builds a cluster from options.
@@ -234,6 +242,15 @@ func New(opts Options) (*Cluster, error) {
 	} else if err := c.AddNodes("node", opts.Nodes, shape); err != nil {
 		return nil, err
 	}
+	if opts.Chaos != "" {
+		plan, err := chaos.Parse(opts.Chaos)
+		if err != nil {
+			return nil, fmt.Errorf("evolve: chaos: %w", err)
+		}
+		inj := chaos.NewInjector(plan, opts.Seed)
+		c.SetChaos(inj)
+		inj.Arm(eng, c)
+	}
 	cl := &Cluster{
 		opts:    opts,
 		eng:     eng,
@@ -241,11 +258,15 @@ func New(opts Options) (*Cluster, error) {
 		runner:  batch.NewRunner(c),
 		ctrl:    make(map[string]control.Controller),
 		factory: factory,
+		loop:    control.NewLoop(eng, c, control.LoopConfig{Interval: opts.ControlInterval, Seed: opts.Seed}),
 
-		tracer:       obs.Nop(),
-		lastDecision: make(map[string]control.Decision),
-		prevAdapts:   make(map[string]int),
+		tracer: obs.Nop(),
 	}
+	cl.loop.OnFatal(func(err error) {
+		if cl.runErr == nil {
+			cl.runErr = fmt.Errorf("evolve: %w", err)
+		}
+	})
 	qp := hpc.Backfill
 	switch strings.ToLower(opts.HPCQueue) {
 	case "fcfs":
@@ -324,7 +345,9 @@ func (cl *Cluster) AddService(o ServiceOptions) error {
 	if err := cl.c.CreateService(spec); err != nil {
 		return err
 	}
-	cl.ctrl[o.Name] = cl.factory(o.Name)
+	ctrl := cl.factory(o.Name)
+	cl.ctrl[o.Name] = ctrl
+	cl.loop.Add(o.Name, ctrl)
 	return nil
 }
 
@@ -387,8 +410,12 @@ func (cl *Cluster) SubmitHPCJob(o HPCJobOptions) error {
 	return nil
 }
 
-// Run advances virtual time by d, driving telemetry and the control loop.
-// It may be called repeatedly to run in stages.
+// Run advances virtual time by d, driving telemetry and the hardened
+// control loop (see internal/control.Loop: integral freeze while the
+// sensor path is blind, hold-last-safe past the staleness budget, and
+// bounded retry of transiently failed actuations). It may be called
+// repeatedly to run in stages. A non-transient control-plane error stops
+// being absorbed and is returned; it is sticky across calls.
 func (cl *Cluster) Run(d time.Duration) error {
 	if d <= 0 {
 		return fmt.Errorf("evolve: non-positive run duration")
@@ -398,33 +425,12 @@ func (cl *Cluster) Run(d time.Duration) error {
 		if cl.tracer.Enabled() {
 			cl.c.SetTracer(cl.tracer)
 		}
+		cl.loop.SetTracer(cl.tracer)
 		cl.c.Start()
-		lastRationale := make(map[string]string)
-		cl.eng.Every(cl.opts.ControlInterval, func() {
-			for _, name := range cl.c.Apps() {
-				o, err := cl.c.Observe(name)
-				if err != nil {
-					panic(err)
-				}
-				ctrl := cl.ctrl[name]
-				d := ctrl.Decide(o)
-				cl.lastDecision[name] = d
-				cl.prevAdapts[name] = control.TraceDecision(cl.tracer, o, d, ctrl, cl.prevAdapts[name])
-				if err := cl.c.ApplyDecision(name, d); err != nil {
-					panic(err)
-				}
-				// Journal the controller's reasoning whenever it changes.
-				if ex, ok := ctrl.(control.Explainer); ok {
-					if r := ex.Rationale(); r != "" && r != lastRationale[name] {
-						lastRationale[name] = r
-						cl.c.RecordEvent("autoscale", name, r)
-					}
-				}
-			}
-		})
+		cl.loop.Start()
 	}
 	cl.eng.Run(cl.eng.Now() + d)
-	return nil
+	return cl.runErr
 }
 
 // Now returns the current virtual time.
@@ -452,6 +458,10 @@ type Report struct {
 	// HPCMeanWait is the mean queue time of completed rigid jobs.
 	HPCMeanWait time.Duration
 	Preemptions uint64
+	// Robustness counters; all zero in fault-free runs.
+	DegradedPeriods  uint64 // control periods spent holding the last safe point
+	ActuationRetries uint64 // transiently failed actuations retried with backoff
+	Abandoned        uint64 // decisions given up after the retry budget
 }
 
 // String renders the report for terminals.
@@ -466,6 +476,10 @@ func (r Report) String() string {
 	if r.BatchJobsCompleted > 0 || r.HPCJobsCompleted > 0 {
 		fmt.Fprintf(&b, "  batch jobs done %d, hpc jobs done %d, preemptions %d\n",
 			r.BatchJobsCompleted, r.HPCJobsCompleted, r.Preemptions)
+	}
+	if r.DegradedPeriods > 0 || r.ActuationRetries > 0 || r.Abandoned > 0 {
+		fmt.Fprintf(&b, "  degraded periods %d, actuation retries %d, abandoned %d\n",
+			r.DegradedPeriods, r.ActuationRetries, r.Abandoned)
 	}
 	return b.String()
 }
@@ -504,6 +518,10 @@ func (cl *Cluster) Report() Report {
 		r.HPCMeanWait, _, _ = cl.queue.Stats()
 	}
 	r.Preemptions = met.Counter("sched/preemptions").Value()
+	ls := cl.loop.Stats()
+	r.DegradedPeriods = ls.DegradedPeriods
+	r.ActuationRetries = ls.Retries
+	r.Abandoned = ls.Abandoned
 	return r
 }
 
@@ -559,6 +577,7 @@ func (cl *Cluster) EnableTracing(capacity int) *obs.Tracer {
 	// existing objects as trace events.
 	if cl.started {
 		cl.c.SetTracer(cl.tracer)
+		cl.loop.SetTracer(cl.tracer)
 	}
 	return cl.tracer
 }
@@ -583,6 +602,12 @@ type ControllerState struct {
 	Rationale string             `json:"rationale,omitempty"`
 	Replicas  int                `json:"replicas"`
 	Alloc     map[string]float64 `json:"alloc,omitempty"`
+	// Degraded reports whether the hardened loop is holding the last
+	// safe operating point for this app because its observations went
+	// blind past the staleness budget; Health is the wrapper's one-line
+	// state ("healthy", "integral frozen (...)", "degraded (...)").
+	Degraded bool   `json:"degraded,omitempty"`
+	Health   string `json:"health,omitempty"`
 	// Trace is the controller's latest decision decomposition; nil for
 	// policies that do not implement control.Traceable.
 	Trace *obs.ControlTrace `json:"trace,omitempty"`
@@ -603,7 +628,11 @@ func (cl *Cluster) ControllerStates() []ControllerState {
 		if ex, ok := ctrl.(control.Explainer); ok {
 			st.Rationale = ex.Rationale()
 		}
-		if d, ok := cl.lastDecision[name]; ok {
+		if h, ok := cl.loop.Hardened(name); ok {
+			st.Degraded = h.Degraded()
+			st.Health = h.Status()
+		}
+		if d, ok := cl.loop.LastDecision(name); ok {
 			st.Replicas = d.Replicas
 			st.Alloc = make(map[string]float64, resource.NumKinds)
 			for _, k := range resource.Kinds() {

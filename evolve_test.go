@@ -313,3 +313,71 @@ func TestStaticPolicyViolatesUnderPeak(t *testing.T) {
 		t.Errorf("static %.3f vs evolve %.3f: expected static to violate far more under a 3x peak", static, adaptive)
 	}
 }
+
+func TestChaosOptionValidation(t *testing.T) {
+	if _, err := New(Options{Chaos: "meteor-strike@0"}); err == nil {
+		t.Error("unknown chaos kind should fail New")
+	}
+	for _, plan := range []string{"node-kill", "sensor-dropout", "actuation-flake", "mixed", "metric-drop@10m:p=0.5"} {
+		if _, err := New(Options{Chaos: plan}); err != nil {
+			t.Errorf("chaos plan %q rejected: %v", plan, err)
+		}
+	}
+}
+
+// TestChaosDegradedModeSurfaces: a total sensor blackout pushes the
+// hardened loop into degraded mode, and both the controller state view
+// and the report show it.
+func TestChaosDegradedModeSurfaces(t *testing.T) {
+	c, err := New(Options{Seed: 1, Nodes: 3, Chaos: "metric-drop@10m:p=1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddService(ServiceOptions{Name: "web", BaseRate: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetLoad("web", Constant(300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	states := c.ControllerStates()
+	if len(states) != 1 {
+		t.Fatalf("controller states: %+v", states)
+	}
+	if !states[0].Degraded || !strings.Contains(states[0].Health, "degraded") {
+		t.Errorf("blackout did not surface as degraded: %+v", states[0])
+	}
+	rep := c.Report()
+	if rep.DegradedPeriods == 0 {
+		t.Error("report shows no degraded periods under a 20-minute blackout")
+	}
+	if !strings.Contains(rep.String(), "degraded periods") {
+		t.Error("report text omits the robustness line")
+	}
+}
+
+// TestChaosReplayDeterministic: the same seed and chaos plan replay to
+// identical reports.
+func TestChaosReplayDeterministic(t *testing.T) {
+	run := func() string {
+		c, err := New(Options{Seed: 7, Nodes: 3, Chaos: "mixed"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddService(ServiceOptions{Name: "web", BaseRate: 300}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetLoad("web", Diurnal(150, 900, time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		return c.Report().String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("chaos replay diverged:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}

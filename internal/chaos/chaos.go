@@ -1,0 +1,348 @@
+// Package chaos is the seeded fault-injection subsystem of the EVOLVE
+// reproduction: a Plan schedules typed faults against the simulation
+// clock — node crash/restore windows, metric-path faults (dropped,
+// frozen or spiked sensor samples) and actuation faults (scale decisions
+// rejected, delayed or partially applied) — and an Injector compiled
+// from the plan answers the cluster's interposer hooks deterministically.
+//
+// Plans have a compact text form so profiles travel through flags,
+// scenario fingerprints and config files:
+//
+//	node-crash@30m-45m:node=node-0; metric-drop@10m:p=0.2,app=web
+//
+// Every clause is kind@window[:params]. The window is from[-to] (an
+// absent "to" leaves the fault active forever; for node-crash it means
+// the node is never restored). Parse accepts either that DSL or one of
+// the named profiles (see Profiles), and Plan.String renders the
+// canonical form — Parse(plan.String()) round-trips (the fuzz target
+// holds the parser to this).
+//
+// Determinism: an Injector draws from its own RNG, seeded independently
+// of the simulation engine, so enabling chaos never perturbs the base
+// random streams (load noise, measurement jitter) and a (seed, plan)
+// pair replays bit-for-bit.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind classifies a fault.
+type Kind uint8
+
+// The fault taxonomy. Node faults target the topology, metric faults the
+// sensor path (what controllers observe — never the ground truth the
+// experiment statistics measure), actuation faults the path from a
+// controller decision to the cluster state change.
+const (
+	// NodeCrash marks a node unready at From (evicting its pods) and
+	// restores it at To; without To the node stays down.
+	NodeCrash Kind = iota
+	// MetricDrop discards a sensor sample with probability P.
+	MetricDrop
+	// MetricFreeze replaces a sensor sample with the last delivered one
+	// (stale telemetry) with probability P.
+	MetricFreeze
+	// MetricSpike multiplies a sensor sample by Mag with probability P.
+	MetricSpike
+	// ActReject rejects a scale decision with probability P; the error is
+	// transient and the control loop may retry.
+	ActReject
+	// ActDelay applies a scale decision Delay late with probability P.
+	ActDelay
+	// ActPartial applies only a Mag fraction of a decision's delta with
+	// probability P.
+	ActPartial
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"node-crash", "metric-drop", "metric-freeze", "metric-spike",
+	"act-reject", "act-delay", "act-partial",
+}
+
+// String returns the canonical kind name.
+func (k Kind) String() string {
+	if k >= numKinds {
+		return "unknown"
+	}
+	return kindNames[k]
+}
+
+// ParseKind maps a canonical name back to a Kind.
+func ParseKind(s string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// Fault is one scheduled fault. Zero targets match everything: a
+// MetricDrop with empty App and Node drops samples of every service.
+type Fault struct {
+	Kind Kind
+	// From and To bound the active window [From, To); To == 0 leaves the
+	// fault active forever. For NodeCrash they are the crash and restore
+	// instants.
+	From, To time.Duration
+	// Node targets one node: the victim of a NodeCrash, or a host filter
+	// for metric faults (the fault applies to apps with a replica there).
+	Node string
+	// App targets one service by name.
+	App string
+	// P is the per-sample / per-decision probability (defaults per kind).
+	P float64
+	// Mag is the spike factor (MetricSpike) or applied fraction
+	// (ActPartial).
+	Mag float64
+	// Delay is the actuation latency injected by ActDelay.
+	Delay time.Duration
+}
+
+// active reports whether the fault's window covers now.
+func (f Fault) active(now time.Duration) bool {
+	return now >= f.From && (f.To <= 0 || now < f.To)
+}
+
+// String renders the canonical clause form, Parse's inverse.
+func (f Fault) String() string {
+	var b strings.Builder
+	b.WriteString(f.Kind.String())
+	b.WriteByte('@')
+	b.WriteString(f.From.String())
+	if f.To > 0 {
+		b.WriteByte('-')
+		b.WriteString(f.To.String())
+	}
+	var params []string
+	if f.Node != "" {
+		params = append(params, "node="+f.Node)
+	}
+	if f.App != "" {
+		params = append(params, "app="+f.App)
+	}
+	if f.P != 1 {
+		params = append(params, "p="+strconv.FormatFloat(f.P, 'g', -1, 64))
+	}
+	if f.Mag != 0 {
+		params = append(params, "mag="+strconv.FormatFloat(f.Mag, 'g', -1, 64))
+	}
+	if f.Delay > 0 {
+		params = append(params, "delay="+f.Delay.String())
+	}
+	if len(params) > 0 {
+		b.WriteByte(':')
+		b.WriteString(strings.Join(params, ","))
+	}
+	return b.String()
+}
+
+// Plan is an ordered set of scheduled faults. Order matters: the first
+// matching metric/actuation fault wins a verdict, and the injector draws
+// its Bernoulli samples in plan order (part of the deterministic replay
+// contract).
+type Plan struct {
+	Faults []Fault
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool { return len(p.Faults) == 0 }
+
+// String renders the canonical DSL form; Parse(p.String()) reproduces p.
+func (p Plan) String() string {
+	clauses := make([]string, len(p.Faults))
+	for i, f := range p.Faults {
+		clauses[i] = f.String()
+	}
+	return strings.Join(clauses, ";")
+}
+
+// Validate reports plan construction errors.
+func (p Plan) Validate() error {
+	for i, f := range p.Faults {
+		if f.Kind >= numKinds {
+			return fmt.Errorf("chaos: fault %d: unknown kind %d", i, f.Kind)
+		}
+		if f.From < 0 || f.To < 0 {
+			return fmt.Errorf("chaos: fault %d (%s): negative window", i, f.Kind)
+		}
+		if f.To > 0 && f.To <= f.From {
+			return fmt.Errorf("chaos: fault %d (%s): window ends (%v) before it starts (%v)", i, f.Kind, f.To, f.From)
+		}
+		if !(f.P >= 0 && f.P <= 1) { // NaN fails too
+			return fmt.Errorf("chaos: fault %d (%s): probability %v outside [0,1]", i, f.Kind, f.P)
+		}
+		if math.IsNaN(f.Mag) || math.IsInf(f.Mag, 0) {
+			return fmt.Errorf("chaos: fault %d (%s): non-finite magnitude", i, f.Kind)
+		}
+		switch f.Kind {
+		case NodeCrash:
+			if f.Node == "" {
+				return fmt.Errorf("chaos: fault %d: node-crash needs node=<name>", i)
+			}
+		case MetricSpike:
+			if f.Mag <= 0 {
+				return fmt.Errorf("chaos: fault %d: metric-spike needs mag > 0", i)
+			}
+		case ActPartial:
+			if f.Mag <= 0 || f.Mag >= 1 {
+				return fmt.Errorf("chaos: fault %d: act-partial needs mag in (0,1)", i)
+			}
+		case ActDelay:
+			if f.Delay <= 0 {
+				return fmt.Errorf("chaos: fault %d: act-delay needs delay > 0", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Profiles returns the named fault profiles accepted by Parse (and the
+// evolve-sim -chaos flag), sorted by name. Each expands to a plan in the
+// DSL, so `-chaos node-kill` and the expansion behave identically.
+func Profiles() []string {
+	names := make([]string, 0, len(profiles))
+	for n := range profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// profiles are the standard robustness scenarios of the chaos table
+// (harness.Table7): one clean node loss, steady 20% sensor dropout, a
+// flaky actuation path, and everything at once.
+var profiles = map[string]string{
+	"node-kill":       "node-crash@30m-45m:node=node-0",
+	"sensor-dropout":  "metric-drop@10m:p=0.2",
+	"actuation-flake": "act-reject@10m:p=0.3",
+	"mixed": "node-crash@30m-45m:node=node-0;metric-drop@10m:p=0.2;" +
+		"act-reject@10m:p=0.25;metric-spike@20m:p=0.05,mag=1.5;act-delay@15m:p=0.2,delay=10s",
+}
+
+// Profile returns the DSL expansion of a named profile.
+func Profile(name string) (string, bool) {
+	spec, ok := profiles[strings.ToLower(strings.TrimSpace(name))]
+	return spec, ok
+}
+
+// Parse reads a plan from its text form: either a named profile or a
+// semicolon-separated clause list (see the package comment for the
+// grammar). The returned plan is validated.
+func Parse(spec string) (Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if expanded, ok := Profile(spec); ok {
+		spec = expanded
+	}
+	var p Plan
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		f, err := parseClause(clause)
+		if err != nil {
+			return Plan{}, err
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	if p.Empty() {
+		return Plan{}, fmt.Errorf("chaos: empty plan %q", spec)
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// parseClause reads one kind@window[:params] clause.
+func parseClause(clause string) (Fault, error) {
+	head, params, hasParams := strings.Cut(clause, ":")
+	kindStr, window, ok := strings.Cut(head, "@")
+	if !ok {
+		return Fault{}, fmt.Errorf("chaos: clause %q: want kind@window[:params]", clause)
+	}
+	kind, ok := ParseKind(strings.TrimSpace(kindStr))
+	if !ok {
+		return Fault{}, fmt.Errorf("chaos: clause %q: unknown fault kind %q (want one of %s)",
+			clause, kindStr, strings.Join(kindNames[:], ", "))
+	}
+	f := Fault{Kind: kind, P: 1}
+	// Per-kind parameter defaults; explicit params override below.
+	switch kind {
+	case MetricSpike:
+		f.Mag = 2
+	case ActPartial:
+		f.Mag = 0.5
+	case ActDelay:
+		f.Delay = 10 * time.Second
+	}
+	from, to, hasTo := strings.Cut(strings.TrimSpace(window), "-")
+	var err error
+	if f.From, err = parseDur(from); err != nil {
+		return Fault{}, fmt.Errorf("chaos: clause %q: bad window start: %v", clause, err)
+	}
+	if hasTo && strings.TrimSpace(to) != "" {
+		if f.To, err = parseDur(to); err != nil {
+			return Fault{}, fmt.Errorf("chaos: clause %q: bad window end: %v", clause, err)
+		}
+	}
+	if !hasParams {
+		return f, nil
+	}
+	for _, param := range strings.Split(params, ",") {
+		param = strings.TrimSpace(param)
+		if param == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(param, "=")
+		if !ok {
+			return Fault{}, fmt.Errorf("chaos: clause %q: parameter %q is not key=value", clause, param)
+		}
+		val = strings.TrimSpace(val)
+		switch strings.TrimSpace(key) {
+		case "node":
+			f.Node = val
+		case "app":
+			f.App = val
+		case "p":
+			if f.P, err = strconv.ParseFloat(val, 64); err != nil {
+				return Fault{}, fmt.Errorf("chaos: clause %q: bad p: %v", clause, err)
+			}
+		case "mag":
+			if f.Mag, err = strconv.ParseFloat(val, 64); err != nil {
+				return Fault{}, fmt.Errorf("chaos: clause %q: bad mag: %v", clause, err)
+			}
+		case "delay":
+			if f.Delay, err = parseDur(val); err != nil {
+				return Fault{}, fmt.Errorf("chaos: clause %q: bad delay: %v", clause, err)
+			}
+		default:
+			return Fault{}, fmt.Errorf("chaos: clause %q: unknown parameter %q", clause, key)
+		}
+	}
+	return f, nil
+}
+
+// parseDur parses a duration, additionally accepting bare numbers as
+// seconds ("90" == "90s") since scenario tooling often works in seconds.
+func parseDur(s string) (time.Duration, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty duration")
+	}
+	if secs, err := strconv.ParseFloat(s, 64); err == nil {
+		if math.IsNaN(secs) || math.Abs(secs) > 1e9 {
+			return 0, fmt.Errorf("duration %q out of range", s)
+		}
+		return time.Duration(secs * float64(time.Second)), nil
+	}
+	return time.ParseDuration(s)
+}

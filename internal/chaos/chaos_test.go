@@ -1,0 +1,227 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"evolve/internal/sim"
+)
+
+func TestParseClause(t *testing.T) {
+	p, err := Parse("node-crash@30m-45m:node=node-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Fault{Kind: NodeCrash, From: 30 * time.Minute, To: 45 * time.Minute, Node: "node-0", P: 1}
+	if len(p.Faults) != 1 || p.Faults[0] != want {
+		t.Fatalf("got %+v, want %+v", p.Faults, want)
+	}
+}
+
+func TestParseMultiClauseAndDefaults(t *testing.T) {
+	p, err := Parse(" metric-drop@10m:p=0.2,app=web ; act-delay@0- ; metric-spike@5m-1h:mag=3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Faults) != 3 {
+		t.Fatalf("want 3 faults, got %d", len(p.Faults))
+	}
+	if f := p.Faults[0]; f.Kind != MetricDrop || f.P != 0.2 || f.App != "web" || f.From != 10*time.Minute || f.To != 0 {
+		t.Fatalf("drop clause parsed as %+v", f)
+	}
+	if f := p.Faults[1]; f.Kind != ActDelay || f.Delay != 10*time.Second || f.P != 1 {
+		t.Fatalf("delay defaults wrong: %+v", f)
+	}
+	if f := p.Faults[2]; f.Mag != 3 || f.To != time.Hour {
+		t.Fatalf("spike clause parsed as %+v", f)
+	}
+}
+
+func TestParseBareSecondsWindow(t *testing.T) {
+	p, err := Parse("metric-freeze@90-120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := p.Faults[0]; f.From != 90*time.Second || f.To != 120*time.Second {
+		t.Fatalf("bare-seconds window parsed as %+v", f)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		";",
+		"frobnicate@10m",
+		"node-crash@10m",            // missing node
+		"node-crash@45m-30m:node=a", // window ends before start
+		"metric-drop@10m:p=1.5",
+		"metric-drop@10m:p=nope",
+		"act-partial@0:mag=1.2",
+		"metric-spike@0:mag=-1",
+		"metric-drop@10m:wat=1",
+		"metric-drop:p=0.2", // no window
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestProfilesParse(t *testing.T) {
+	for _, name := range Profiles() {
+		p, err := Parse(name)
+		if err != nil {
+			t.Fatalf("profile %s: %v", name, err)
+		}
+		if p.Empty() {
+			t.Fatalf("profile %s expands to an empty plan", name)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"node-crash@30m-45m:node=node-0",
+		"metric-drop@10m:p=0.2;metric-freeze@20m-40m:app=web;act-reject@0-1h:p=0.3",
+		"mixed",
+	}
+	for _, spec := range specs {
+		p1, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", p1.String(), err)
+		}
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("round trip of %q: %+v != %+v", spec, p1, p2)
+		}
+	}
+}
+
+// hostAlways says every app runs on every node.
+type hostAlways struct{}
+
+func (hostAlways) AppOnNode(string, string) bool { return true }
+
+func TestInjectorDeterminism(t *testing.T) {
+	plan, err := Parse("metric-drop@0:p=0.3;act-reject@0:p=0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []int {
+		inj := NewInjector(plan, 7)
+		var out []int
+		for i := 0; i < 500; i++ {
+			now := time.Duration(i) * 5 * time.Second
+			v, _ := inj.Sample("web", now, hostAlways{})
+			out = append(out, int(v))
+			if inj.Actuation("web", now).Reject {
+				out = append(out, 99)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (plan, seed) produced different verdict sequences")
+	}
+	if c := run(); !reflect.DeepEqual(a, c) {
+		t.Fatal("third run diverged")
+	}
+	// A different seed must give a different stream (overwhelmingly).
+	inj := NewInjector(plan, 8)
+	var d []int
+	for i := 0; i < 500; i++ {
+		now := time.Duration(i) * 5 * time.Second
+		v, _ := inj.Sample("web", now, hostAlways{})
+		d = append(d, int(v))
+		if inj.Actuation("web", now).Reject {
+			d = append(d, 99)
+		}
+	}
+	if reflect.DeepEqual(a, d) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestInjectorWindowsAndTargets(t *testing.T) {
+	plan, err := Parse("metric-drop@10m-20m:app=web;metric-spike@30m:mag=2,node=n-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(plan, 1)
+	if v, _ := inj.Sample("web", 5*time.Minute, hostAlways{}); v != SampleOK {
+		t.Fatal("fault fired before its window")
+	}
+	if v, _ := inj.Sample("web", 15*time.Minute, hostAlways{}); v != SampleDrop {
+		t.Fatal("drop fault inactive inside its window")
+	}
+	if v, _ := inj.Sample("db", 15*time.Minute, hostAlways{}); v != SampleOK {
+		t.Fatal("app-scoped fault hit the wrong app")
+	}
+	if v, _ := inj.Sample("web", 25*time.Minute, hostAlways{}); v != SampleOK {
+		t.Fatal("fault fired after its window closed")
+	}
+	// Node-scoped spike: only when the host checker matches.
+	if _, f := inj.Sample("web", 35*time.Minute, hostAlways{}); f != 2 {
+		t.Fatalf("spike factor = %v, want 2", f)
+	}
+	if _, f := inj.Sample("web", 35*time.Minute, nil); f != 1 {
+		t.Fatalf("node-scoped fault fired with no host checker (factor %v)", f)
+	}
+	st := inj.Stats()
+	if st.SamplesDropped != 1 || st.SamplesSpiked != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// crashRecorder records FailNode/RestoreNode calls.
+type crashRecorder struct{ log []string }
+
+func (r *crashRecorder) FailNode(n string) error    { r.log = append(r.log, "fail:"+n); return nil }
+func (r *crashRecorder) RestoreNode(n string) error { r.log = append(r.log, "restore:"+n); return nil }
+
+func TestArmSchedulesCrashWindows(t *testing.T) {
+	plan, err := Parse("node-crash@10m-20m:node=n-0;node-crash@30m:node=n-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	rec := &crashRecorder{}
+	inj := NewInjector(plan, 1)
+	inj.Arm(eng, rec)
+	eng.Run(time.Hour)
+	want := []string{"fail:n-0", "restore:n-0", "fail:n-1"}
+	if !reflect.DeepEqual(rec.log, want) {
+		t.Fatalf("crash schedule %v, want %v", rec.log, want)
+	}
+	st := inj.Stats()
+	if st.NodeCrashes != 2 || st.NodeRestores != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestInjectedErrorIsTransient(t *testing.T) {
+	err := Rejected("ApplyDecision", "web")
+	var tr interface{ Transient() bool }
+	if ok := errorsAs(err, &tr); !ok || !tr.Transient() {
+		t.Fatalf("injected error not transient: %v", err)
+	}
+	if !strings.Contains(err.Error(), "web") {
+		t.Fatalf("error message lost the app: %v", err)
+	}
+}
+
+// errorsAs is a minimal errors.As for the single-level case, avoiding an
+// import cycle with test helpers elsewhere.
+func errorsAs(err error, target *interface{ Transient() bool }) bool {
+	t, ok := err.(interface{ Transient() bool })
+	if ok {
+		*target = t
+	}
+	return ok
+}

@@ -1,0 +1,56 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"evolve/internal/sim"
+)
+
+// FuzzParsePlan holds the parser to three properties on arbitrary input:
+// it never panics, every accepted plan validates, and the canonical form
+// round-trips (Parse(plan.String()) == plan). Accepted plans are also
+// compiled and driven briefly so the injector's scheduling path sees
+// fuzzer-shaped windows and probabilities.
+func FuzzParsePlan(f *testing.F) {
+	f.Add("node-crash@30m-45m:node=node-0")
+	f.Add("metric-drop@10m:p=0.2;metric-freeze@20m-40m:app=web")
+	f.Add("act-reject@0:p=0.3;act-delay@15m:delay=10s;act-partial@0:mag=0.5")
+	f.Add("metric-spike@90-120:mag=1.5,node=n-1")
+	f.Add("sensor-dropout")
+	f.Add("node-crash@-1s:node=a")
+	f.Add("metric-drop@1e308")
+	f.Add("metric-drop@10m:p=NaN")
+	f.Fuzz(func(t *testing.T, spec string) {
+		plan, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("Parse(%q) returned an invalid plan: %v", spec, err)
+		}
+		again, err := Parse(plan.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", plan.String(), spec, err)
+		}
+		if !reflect.DeepEqual(plan, again) {
+			t.Fatalf("round trip of %q: %+v != %+v", spec, plan, again)
+		}
+		// Scheduling smoke: compile, arm, and query a few instants.
+		inj := NewInjector(plan, 1)
+		eng := sim.NewEngine(1)
+		inj.Arm(eng, nopTarget{})
+		for _, at := range []time.Duration{0, time.Minute, time.Hour} {
+			inj.Sample("web", at, hostAlways{})
+			inj.Actuation("web", at)
+		}
+		eng.Run(2 * time.Hour)
+	})
+}
+
+// nopTarget absorbs crash/restore calls during fuzzing.
+type nopTarget struct{}
+
+func (nopTarget) FailNode(string) error    { return nil }
+func (nopTarget) RestoreNode(string) error { return nil }

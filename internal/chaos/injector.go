@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"time"
+
+	"evolve/internal/sim"
+)
+
+// SampleVerdict is what happened to one telemetry sample on its way to
+// the controller.
+type SampleVerdict uint8
+
+const (
+	// SampleOK delivers the sample (possibly distorted by the returned
+	// factor).
+	SampleOK SampleVerdict = iota
+	// SampleDrop discards the sample: the controller's window gets
+	// nothing this tick.
+	SampleDrop
+	// SampleFreeze substitutes the last delivered sample (stale
+	// telemetry).
+	SampleFreeze
+)
+
+// ActVerdict is the injector's ruling on one actuation attempt. The zero
+// value lets the decision through untouched.
+type ActVerdict struct {
+	// Reject fails the actuation with a transient InjectedError.
+	Reject bool
+	// Delay postpones the actuation by this much.
+	Delay time.Duration
+	// Partial, when in (0,1), applies only that fraction of the
+	// decision's delta.
+	Partial float64
+}
+
+// NodeTarget is the topology surface Arm drives; *cluster.Cluster
+// satisfies it.
+type NodeTarget interface {
+	FailNode(name string) error
+	RestoreNode(name string) error
+}
+
+// HostChecker answers whether an app currently has a replica on a node —
+// the host test behind node-scoped metric faults. *cluster.Cluster
+// satisfies it.
+type HostChecker interface {
+	AppOnNode(app, node string) bool
+}
+
+// Stats counts what the injector actually did.
+type Stats struct {
+	SamplesDropped, SamplesFrozen, SamplesSpiked uint64
+	Rejected, Delayed, Partial                   uint64
+	NodeCrashes, NodeRestores                    uint64
+}
+
+// Injections returns the total number of injected faults.
+func (s Stats) Injections() uint64 {
+	return s.SamplesDropped + s.SamplesFrozen + s.SamplesSpiked +
+		s.Rejected + s.Delayed + s.Partial + s.NodeCrashes
+}
+
+// Injector answers the cluster's interposer hooks for one compiled plan.
+// It is not safe for concurrent use (the simulation is single-threaded).
+// The hot-path queries (Sample, Actuation) never allocate.
+type Injector struct {
+	rng    *sim.RNG
+	metric []Fault // MetricDrop / MetricFreeze / MetricSpike, plan order
+	act    []Fault // ActReject / ActDelay / ActPartial, plan order
+	nodes  []Fault // NodeCrash, plan order
+	stats  Stats
+}
+
+// NewInjector compiles a plan. The injector seeds its own RNG from seed,
+// independent of the simulation engine, so chaos-on never perturbs the
+// base random streams and (seed, plan) replays identically.
+func NewInjector(plan Plan, seed int64) *Injector {
+	inj := &Injector{rng: sim.NewRNG(seed ^ 0x63686165)} // "chao"
+	for _, f := range plan.Faults {
+		switch f.Kind {
+		case NodeCrash:
+			inj.nodes = append(inj.nodes, f)
+		case MetricDrop, MetricFreeze, MetricSpike:
+			inj.metric = append(inj.metric, f)
+		case ActReject, ActDelay, ActPartial:
+			inj.act = append(inj.act, f)
+		}
+	}
+	return inj
+}
+
+// Stats returns a snapshot of the injection counters.
+func (inj *Injector) Stats() Stats { return inj.stats }
+
+// Arm schedules the plan's node crash/restore windows onto the engine.
+// Call once at setup (before running the simulation). Unknown node names
+// make the corresponding fault a no-op — a plan may name nodes a smaller
+// scenario does not have.
+func (inj *Injector) Arm(eng *sim.Engine, target NodeTarget) {
+	for _, f := range inj.nodes {
+		node := f.Node
+		eng.At(f.From, func() {
+			if target.FailNode(node) == nil {
+				inj.stats.NodeCrashes++
+			}
+		})
+		if f.To > 0 {
+			eng.At(f.To, func() {
+				if target.RestoreNode(node) == nil {
+					inj.stats.NodeRestores++
+				}
+			})
+		}
+	}
+}
+
+// matches reports whether the fault applies to the app at now, using
+// hosts for node-scoped faults. Called in plan order so the Bernoulli
+// stream is deterministic.
+func (inj *Injector) matches(f *Fault, app string, now time.Duration, hosts HostChecker) bool {
+	if !f.active(now) {
+		return false
+	}
+	if f.App != "" && f.App != app {
+		return false
+	}
+	if f.Node != "" && (hosts == nil || !hosts.AppOnNode(app, f.Node)) {
+		return false
+	}
+	return f.P >= 1 || inj.rng.Bernoulli(f.P)
+}
+
+// Sample rules on one sensor sample for app at now. The first matching
+// drop/freeze fault wins; spike factors from matching spike faults
+// multiply into factor (1 when clean). Allocation-free.
+func (inj *Injector) Sample(app string, now time.Duration, hosts HostChecker) (v SampleVerdict, factor float64) {
+	factor = 1
+	for i := range inj.metric {
+		f := &inj.metric[i]
+		if !inj.matches(f, app, now, hosts) {
+			continue
+		}
+		switch f.Kind {
+		case MetricDrop:
+			inj.stats.SamplesDropped++
+			return SampleDrop, 1
+		case MetricFreeze:
+			inj.stats.SamplesFrozen++
+			return SampleFreeze, 1
+		case MetricSpike:
+			inj.stats.SamplesSpiked++
+			factor *= f.Mag
+		}
+	}
+	return SampleOK, factor
+}
+
+// Actuation rules on one actuation attempt for app at now. The first
+// matching fault wins. Allocation-free.
+func (inj *Injector) Actuation(app string, now time.Duration) ActVerdict {
+	for i := range inj.act {
+		f := &inj.act[i]
+		if !inj.matches(f, app, now, nil) {
+			continue
+		}
+		switch f.Kind {
+		case ActReject:
+			inj.stats.Rejected++
+			return ActVerdict{Reject: true}
+		case ActDelay:
+			inj.stats.Delayed++
+			return ActVerdict{Delay: f.Delay}
+		case ActPartial:
+			inj.stats.Partial++
+			return ActVerdict{Partial: f.Mag}
+		}
+	}
+	return ActVerdict{}
+}
+
+// InjectedError is the transient failure returned for a rejected
+// actuation; the control loop's retry path recognises it via the
+// Transient method.
+type InjectedError struct {
+	Op  string
+	App string
+}
+
+// Error implements error.
+func (e *InjectedError) Error() string {
+	return "chaos: " + e.Op + " rejected for " + e.App + " (injected fault)"
+}
+
+// Transient marks the error retryable (see control.IsTransient).
+func (e *InjectedError) Transient() bool { return true }
+
+// Rejected returns the injected-rejection error for an actuation.
+func Rejected(op, app string) error { return &InjectedError{Op: op, App: app} }

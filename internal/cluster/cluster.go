@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"evolve/internal/chaos"
 	"evolve/internal/metrics"
 	"evolve/internal/obs"
 	"evolve/internal/plo"
@@ -53,6 +54,15 @@ type appState struct {
 	winUtil       []resource.Vector
 	winSaturated  bool
 
+	// Sensor-path health since the last Observe: winTicks counts the
+	// metric ticks the window spanned (expected samples), winStale the
+	// frozen substitutes delivered. sensed caches the last sample that
+	// actually reached the sensor path, for freeze faults to replay.
+	winTicks   int
+	winStale   int
+	sensed     sensedSample
+	haveSensed bool
+
 	lastObserve time.Duration
 	migrateDebt int  // consecutive ticks with throttled resize
 	wasViolated bool // PLO state last tick, for onset/clear trace events
@@ -60,6 +70,13 @@ type appState struct {
 	// h caches the per-service metric handles (see handles.go); nil
 	// until the first tick resolves them.
 	h *appHandles
+}
+
+// sensedSample is one telemetry sample as the sensor path saw it (after
+// any chaos distortion) — what a freeze fault replays.
+type sensedSample struct {
+	sli, mean, p99, tput, offered float64
+	usage, util                   resource.Vector
 }
 
 // Cluster is the simulated substrate. Not safe for concurrent use; all
@@ -100,6 +117,12 @@ type Cluster struct {
 	started bool
 	events  eventLog
 	tracer  *obs.Tracer
+
+	// chaos is the optional fault injector on the sensor/actuation paths
+	// (nil when off); lastTick accumulates the faults absorbed since the
+	// most recent tick began (see faults.go).
+	chaos    *chaos.Injector
+	lastTick TickResult
 }
 
 // New builds a cluster on the given engine.
@@ -345,8 +368,8 @@ func (c *Cluster) bind(p *PodObject, nodeName string) error {
 			App: p.App, Object: p.Name, Node: nodeName, Alloc: p.Requests,
 		})
 	}
-	c.mustUpdate(p)
-	c.mustUpdate(n)
+	c.update(p)
+	c.update(n)
 	if p.IsTask() {
 		c.armTaskCompletion(p)
 	}
@@ -361,7 +384,7 @@ func (c *Cluster) release(p *PodObject) {
 	c.indexUnbind(p)
 	if n, ok := c.nodes[p.Node]; ok {
 		n.Allocated = snapDust(n.Allocated.Sub(p.Requests).ClampMin(0))
-		c.mustUpdate(n)
+		c.update(n)
 	}
 	p.Node = ""
 }
@@ -392,7 +415,7 @@ func (c *Cluster) evict(p *PodObject, reason string) {
 	c.release(p)
 	if p.IsTask() {
 		p.Phase = Failed
-		c.mustUpdate(p)
+		c.update(p)
 		done := p.Task.OnDone
 		name := p.Name
 		c.indexRemovePod(p)
@@ -422,7 +445,7 @@ func (c *Cluster) evict(p *PodObject, reason string) {
 			App: p.App, Object: p.Name, Detail: reason,
 		})
 	}
-	c.mustUpdate(p)
+	c.update(p)
 }
 
 // schedulePending attempts placement of every pending pod; pods that do
@@ -444,8 +467,13 @@ func (c *Cluster) schedulePending() {
 		info := sched.PodInfo{Name: p.Name, App: p.App, Requests: p.Requests, Priority: p.Priority, NodeSelector: p.NodeSelector}
 		nodeName, err := c.sch.Schedule(info, c.schedInfos)
 		if err == nil {
-			if err := c.bind(p, nodeName); err != nil {
-				panic(fmt.Sprintf("cluster: bind after successful schedule: %v", err))
+			if berr := c.bind(p, nodeName); berr != nil {
+				// The node vanished between the placement decision and the
+				// bind (mid-round failure). Absorb the fault, rebuild the
+				// snapshot without the dead node, and leave the pod pending.
+				c.bindFault(p, nodeName, berr)
+				c.refreshSchedInfos()
+				continue
 			}
 			c.schedInfoCommit(nodeName, p)
 			continue
@@ -477,8 +505,8 @@ func (c *Cluster) schedulePending() {
 					Detail: fmt.Sprintf("victims %v", plan.Victims),
 				})
 			}
-			if err := c.bind(p, plan.Node); err != nil {
-				panic(fmt.Sprintf("cluster: bind after preemption: %v", err))
+			if berr := c.bind(p, plan.Node); berr != nil {
+				c.bindFault(p, plan.Node, berr)
 			}
 			// Evictions touched several nodes; rebuild rather than patch.
 			c.refreshSchedInfos()
@@ -555,7 +583,16 @@ func (c *Cluster) FailNode(name string) error {
 	}
 	n.Allocated = resource.Vector{}
 	n.Usage = resource.Vector{}
-	c.mustUpdate(n)
+	// Drain the node from the reusable scheduler snapshot in place (the
+	// entry keeps its position — schedPodBufs aliases by index — but loses
+	// all capacity, so nothing schedules onto it this round). Without this
+	// a failure landing mid-round could re-bind the just-evicted pods onto
+	// the dead node via the stale snapshot.
+	if i, ok := c.schedIdx[name]; ok {
+		c.schedInfos[i] = sched.NodeInfo{Name: name}
+		delete(c.schedIdx, name)
+	}
+	c.update(n)
 	c.met.Counter("nodes/failures").Inc()
 	c.recordEvent("node-failed", name, "node marked unready; pods evicted")
 	if c.tracer.Enabled() {
@@ -574,7 +611,7 @@ func (c *Cluster) RestoreNode(name string) error {
 		return nil
 	}
 	n.Ready = true
-	c.mustUpdate(n)
+	c.update(n)
 	c.recordEvent("node-restored", name, "node ready again")
 	if c.tracer.Enabled() {
 		c.tracer.Record(obs.Event{At: c.now(), Kind: obs.KindSched, Verb: obs.VerbNodeRestored, Node: name})
@@ -582,9 +619,13 @@ func (c *Cluster) RestoreNode(name string) error {
 	return nil
 }
 
-func (c *Cluster) mustUpdate(obj registry.Object) {
+// update persists an object mutation to the registry. A failed write is
+// absorbed as a registry fault (counted, journaled, traced) instead of
+// crashing the control plane: the in-memory indexes are authoritative,
+// and a dropped write only makes the registry view momentarily stale.
+func (c *Cluster) update(obj registry.Object) {
 	if err := c.store.Update(obj); err != nil {
-		panic(fmt.Sprintf("cluster: registry update: %v", err))
+		c.registryFault(obj, err)
 	}
 }
 

@@ -137,6 +137,142 @@ func TestInvariantsUnderRandomOperations(t *testing.T) {
 	}
 }
 
+// TestFailScheduleRestoreChurn hammers the fail→schedule→restore cycle:
+// a node dies, its replicas re-place the same tick, the node returns, a
+// decision rebalances — hundreds of times, with the invariants checked
+// at every stage. This is the regression net for the snapshot-drain and
+// bind-fault paths.
+func TestFailScheduleRestoreChurn(t *testing.T) {
+	eng := sim.NewEngine(11)
+	cfg := DefaultConfig()
+	cfg.MeasurementNoise = 0
+	c := New(eng, cfg)
+	if err := c.AddNodes("n", 3, resource.New(16000, 64<<30, 1e9, 2e9)); err != nil {
+		t.Fatal(err)
+	}
+	spec := testService("web")
+	spec.InitialReplicas = 4
+	if err := c.CreateService(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetLoadFunc("web", func(time.Duration) float64 { return 100 }); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	eng.Run(10 * time.Second)
+
+	rng := sim.NewRNG(12)
+	for round := 0; round < 200; round++ {
+		victim := fmt.Sprintf("n-%d", rng.Intn(3))
+		if err := c.FailNode(victim); err != nil {
+			t.Fatal(err)
+		}
+		checkInvariants(t, c, round*10)
+		// Same-tick reschedule: the dead node must never be picked.
+		c.SchedulePendingNow()
+		for _, p := range c.Pods() {
+			if p.Phase == Running && p.Node == victim {
+				t.Fatalf("round %d: pod %s re-bound to failed node %s", round, p.Name, victim)
+			}
+		}
+		checkInvariants(t, c, round*10+1)
+		if err := c.RestoreNode(victim); err != nil {
+			t.Fatal(err)
+		}
+		checkInvariants(t, c, round*10+2)
+		if round%3 == 0 {
+			d := control.Decision{
+				Replicas: 2 + rng.Intn(5),
+				Alloc:    resource.New(rng.Uniform(500, 4000), 1<<30, 10e6, 10e6),
+			}
+			if err := c.ApplyDecision("web", d); err != nil {
+				t.Fatal(err)
+			}
+			checkInvariants(t, c, round*10+3)
+		}
+		eng.Run(eng.Now() + time.Duration(1+rng.Intn(10))*time.Second)
+		checkInvariants(t, c, round*10+4)
+	}
+	// No replica may have leaked: desired vs live pods reconcile.
+	app, err := c.App("web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live := len(c.appPods("web")); live != app.DesiredReplicas {
+		t.Errorf("live replicas %d != desired %d after churn", live, app.DesiredReplicas)
+	}
+}
+
+// TestEvictPreemptUnderNodeFailure drives randomized fault sequences
+// against a mixed workload where a high-priority service preempts
+// low-priority tasks, while nodes keep failing and recovering. Every
+// step re-checks the accounting invariants; preemption against a
+// half-dead topology is where stale-snapshot bugs live.
+func TestEvictPreemptUnderNodeFailure(t *testing.T) {
+	for seed := int64(21); seed <= 23; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			eng := sim.NewEngine(seed)
+			rng := sim.NewRNG(seed + 7)
+			cfg := DefaultConfig()
+			c := New(eng, cfg)
+			// Small nodes: preemption pressure is constant.
+			if err := c.AddNodes("n", 3, resource.New(8000, 32<<30, 1e9, 2e9)); err != nil {
+				t.Fatal(err)
+			}
+			hi := testService("critical")
+			hi.Priority = 1000
+			if err := c.CreateService(hi); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.SetLoadFunc("critical", func(time.Duration) float64 { return 150 }); err != nil {
+				t.Fatal(err)
+			}
+			c.Start()
+
+			taskSeq := 0
+			for step := 0; step < 300; step++ {
+				switch rng.Intn(6) {
+				case 0: // flood low-priority tasks to fill nodes
+					for i := 0; i < 3; i++ {
+						taskSeq++
+						task := testTask(fmt.Sprintf("filler%d", taskSeq), 3000, 60000)
+						task.Priority = 0
+						if err := c.SubmitTask(task); err != nil {
+							t.Fatal(err)
+						}
+					}
+				case 1: // scale the critical service: forces preemption
+					d := control.Decision{
+						Replicas: 2 + rng.Intn(6),
+						Alloc:    resource.New(rng.Uniform(1000, 4000), 2<<30, 10e6, 10e6),
+					}
+					if err := c.ApplyDecision("critical", d); err != nil {
+						t.Fatal(err)
+					}
+				case 2: // node failure mid-flight
+					_ = c.FailNode(fmt.Sprintf("n-%d", rng.Intn(3)))
+				case 3: // sometimes a second concurrent failure
+					_ = c.FailNode(fmt.Sprintf("n-%d", rng.Intn(3)))
+					if rng.Intn(2) == 0 {
+						_ = c.RestoreNode(fmt.Sprintf("n-%d", rng.Intn(3)))
+					}
+				case 4: // recovery
+					_ = c.RestoreNode(fmt.Sprintf("n-%d", rng.Intn(3)))
+				case 5: // time passes; ticks schedule and preempt
+					eng.Run(eng.Now() + time.Duration(1+rng.Intn(20))*time.Second)
+				}
+				checkInvariants(t, c, step)
+			}
+			for i := 0; i < 3; i++ {
+				_ = c.RestoreNode(fmt.Sprintf("n-%d", i))
+			}
+			eng.Run(eng.Now() + time.Hour)
+			checkInvariants(t, c, 301)
+		})
+	}
+}
+
 // TestObservationInvariants checks observation sanity over a live run:
 // utilisation non-negative, ready <= desired replicas, interval sums to
 // elapsed time.

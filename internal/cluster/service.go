@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"time"
 
+	"evolve/internal/chaos"
 	"evolve/internal/control"
 	"evolve/internal/obs"
 	"evolve/internal/plo"
@@ -86,7 +88,11 @@ func (c *Cluster) addReplica(st *appState) *PodObject {
 		CreatedAt:    c.now(),
 	}
 	if err := c.store.Create(p); err != nil {
-		panic(fmt.Sprintf("cluster: replica create: %v", err))
+		// Absorb the failed create (the replica simply does not come up
+		// this round) rather than crashing the control plane; the next
+		// decision retries. Callers tolerate the nil.
+		c.registryFault(p, err)
+		return nil
 	}
 	c.pods[p.Name] = p
 	c.indexAddPod(p)
@@ -110,6 +116,63 @@ func (c *Cluster) ApplyDecision(app string, d control.Decision) error {
 	if !ok {
 		return fmt.Errorf("cluster: unknown service %s", app)
 	}
+	if c.chaos != nil {
+		if v := c.chaos.Actuation(app, c.now()); v != (chaos.ActVerdict{}) {
+			return c.chaoticApply(st, d, v)
+		}
+	}
+	return c.applyDecision(st, d)
+}
+
+// chaoticApply carries out an actuation under an injected fault verdict:
+// reject it (transient error, the loop retries), delay it, or apply only
+// a fraction of the decision's delta.
+func (c *Cluster) chaoticApply(st *appState, d control.Decision, v chaos.ActVerdict) error {
+	app := st.obj.Spec.Name
+	switch {
+	case v.Reject:
+		c.met.Counter("chaos/act-rejected").Inc()
+		c.recordEvent("chaos-inject", app, "actuation rejected (injected fault)")
+		if c.tracer.Enabled() {
+			c.tracer.Record(obs.Event{
+				At: c.now(), Kind: obs.KindFault, Verb: obs.VerbInject, App: app,
+				Detail: "actuation rejected", NewReplicas: d.Replicas, NewAlloc: d.Alloc,
+			})
+		}
+		return chaos.Rejected("ApplyDecision", app)
+	case v.Delay > 0:
+		c.met.Counter("chaos/act-delayed").Inc()
+		c.recordEvent("chaos-inject", app, fmt.Sprintf("actuation delayed by %v (injected fault)", v.Delay))
+		if c.tracer.Enabled() {
+			c.tracer.Record(obs.Event{
+				At: c.now(), Kind: obs.KindFault, Verb: obs.VerbInject, App: app,
+				Detail:      fmt.Sprintf("actuation delayed by %v", v.Delay),
+				NewReplicas: d.Replicas, NewAlloc: d.Alloc,
+			})
+		}
+		c.eng.After(v.Delay, func() { _ = c.applyDecision(st, d) })
+		return nil
+	default: // partial
+		frac := v.Partial
+		cur := control.Decision{Replicas: st.obj.DesiredReplicas, Alloc: st.obj.Alloc}
+		d.Replicas = cur.Replicas + int(math.Round(float64(d.Replicas-cur.Replicas)*frac))
+		d.Alloc = cur.Alloc.Add(d.Alloc.Sub(cur.Alloc).Scale(frac))
+		c.met.Counter("chaos/act-partial").Inc()
+		c.recordEvent("chaos-inject", app, fmt.Sprintf("actuation applied at %.0f%% (injected fault)", frac*100))
+		if c.tracer.Enabled() {
+			c.tracer.Record(obs.Event{
+				At: c.now(), Kind: obs.KindFault, Verb: obs.VerbInject, App: app,
+				Detail:      fmt.Sprintf("actuation applied at %.0f%%", frac*100),
+				NewReplicas: d.Replicas, NewAlloc: d.Alloc,
+			})
+		}
+		return c.applyDecision(st, d)
+	}
+}
+
+// applyDecision is the fault-free actuation body.
+func (c *Cluster) applyDecision(st *appState, d control.Decision) error {
+	app := st.obj.Spec.Name
 	if d.Replicas < 1 {
 		d.Replicas = 1
 	}
@@ -135,12 +198,16 @@ func (c *Cluster) ApplyDecision(app string, d control.Decision) error {
 	}
 	st.obj.DesiredReplicas = d.Replicas
 	st.obj.Alloc = d.Alloc
-	c.mustUpdate(st.obj)
+	c.update(st.obj)
 
 	pods := c.appPods(app)
 	// Horizontal: add or remove replicas (newest first on the way down).
 	for len(pods) < d.Replicas {
-		pods = append(pods, c.addReplica(st))
+		p := c.addReplica(st)
+		if p == nil {
+			break // create absorbed as a registry fault; retried next period
+		}
+		pods = append(pods, p)
 	}
 	for len(pods) > d.Replicas {
 		last := pods[len(pods)-1]
@@ -154,7 +221,7 @@ func (c *Cluster) ApplyDecision(app string, d control.Decision) error {
 	for _, p := range pods {
 		if p.Phase == Pending {
 			p.Requests = d.Alloc
-			c.mustUpdate(p)
+			c.update(p)
 			continue
 		}
 		granted := c.resizeInPlace(p, d.Alloc)
@@ -189,8 +256,8 @@ func (c *Cluster) resizeInPlace(p *PodObject, desired resource.Vector) bool {
 	// is the controller's job; the substrate just applies the grant.
 	n.Allocated = snapDust(n.Allocated.Sub(p.Requests).Add(granted).ClampMin(0))
 	p.Requests = granted
-	c.mustUpdate(p)
-	c.mustUpdate(n)
+	c.update(p)
+	c.update(n)
 	full := true
 	for _, k := range resource.Kinds() {
 		if granted[k] < desired[k]*0.999 {
@@ -274,7 +341,12 @@ func (c *Cluster) Observe(app string) (control.Observation, error) {
 	obs.Usage = meanVec(st.winUsage)
 	obs.Utilisation = meanVec(st.winUtil)
 	obs.Saturated = st.winSaturated
+	obs.Samples = len(st.winSLI)
+	obs.ExpectedSamples = st.winTicks
+	obs.StaleSamples = st.winStale
 
+	st.winTicks = 0
+	st.winStale = 0
 	st.winSLI = st.winSLI[:0]
 	st.winMean = st.winMean[:0]
 	st.winP99 = st.winP99[:0]

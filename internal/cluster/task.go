@@ -47,15 +47,29 @@ func (c *Cluster) SubmitGang(specs []TaskSpec) error {
 	if err != nil {
 		return err
 	}
+	// All-or-nothing also on the commit side: if any create or bind fails
+	// partway (a node dying between the gang decision and the bind), roll
+	// back every rank already placed and report the error — the HPC queue
+	// sees the same "does not fit" contract as a failed ScheduleGang.
+	created := make([]*PodObject, 0, len(specs))
+	rollback := func(cause error) error {
+		for _, q := range created {
+			c.deletePod(q)
+		}
+		c.met.Counter("faults/gang-rollback").Inc()
+		c.recordEvent("gang-rollback", specs[0].Job, "gang commit failed (%v); %d rank(s) rolled back", cause, len(created))
+		return fmt.Errorf("cluster: gang %s aborted: %w", specs[0].Job, cause)
+	}
 	for _, s := range specs {
 		p := c.newTaskPod(s)
 		if err := c.store.Create(p); err != nil {
-			panic(fmt.Sprintf("cluster: gang pod create: %v", err))
+			return rollback(err)
 		}
 		c.pods[p.Name] = p
 		c.indexAddPod(p)
+		created = append(created, p)
 		if err := c.bind(p, assignment[p.Name]); err != nil {
-			panic(fmt.Sprintf("cluster: gang bind: %v", err))
+			return rollback(err)
 		}
 	}
 	c.met.Counter("sched/gangs").Inc()
@@ -123,7 +137,7 @@ func (c *Cluster) completeTask(p *PodObject) {
 	node := p.Node
 	c.release(p)
 	p.Phase = Succeeded
-	c.mustUpdate(p)
+	c.update(p)
 	done := p.Task.OnDone
 	name := p.Name
 	c.indexRemovePod(p)

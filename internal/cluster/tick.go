@@ -3,6 +3,7 @@ package cluster
 import (
 	"time"
 
+	"evolve/internal/chaos"
 	"evolve/internal/obs"
 	"evolve/internal/perf"
 	"evolve/internal/plo"
@@ -20,6 +21,7 @@ import (
 // pending, topology unchanged) a tick performs no allocations
 // (TestTickSteadyStateAllocs enforces this).
 func (c *Cluster) tick() {
+	c.lastTick = TickResult{At: c.now()}
 	c.schedulePending()
 
 	// Node interference from last tick's usage (telemetry lag). The
@@ -69,7 +71,7 @@ func (c *Cluster) tick() {
 			for _, p := range pods {
 				if !p.Usage.IsZero() {
 					p.Usage = resource.Vector{}
-					c.mustUpdate(p)
+					c.update(p)
 				}
 			}
 		} else {
@@ -87,7 +89,7 @@ func (c *Cluster) tick() {
 			// Push per-pod usage for next tick's interference.
 			for _, p := range running {
 				p.Usage = result.Usage
-				c.mustUpdate(p)
+				c.update(p)
 			}
 		}
 
@@ -109,13 +111,52 @@ func (c *Cluster) tick() {
 		}
 		st.tracker.Observe(sli)
 
-		st.winSLI = append(st.winSLI, sli)
-		st.winMean = append(st.winMean, meanLat)
-		st.winP99 = append(st.winP99, p99Lat)
-		st.winThroughput = append(st.winThroughput, throughput)
-		st.winOffered = append(st.winOffered, lambda)
-		st.winUsage = append(st.winUsage, result.Usage)
-		st.winUtil = append(st.winUtil, result.Utilisation)
+		// Sensor path: what the controllers will see at the next Observe.
+		// Chaos interposes here — the ground truth above (PLO tracker,
+		// metric series, violation counters) always records reality; only
+		// the controller-facing window can lose, freeze or distort samples.
+		// With no injector this is the straight-through path plus one
+		// counter increment and a nil check.
+		st.winTicks++
+		s := sensedSample{sli: sli, mean: meanLat, p99: p99Lat, tput: throughput, offered: lambda, usage: result.Usage, util: result.Utilisation}
+		deliver, stale := true, false
+		if c.chaos != nil {
+			switch v, factor := c.chaos.Sample(spec.Name, now, c); v {
+			case chaos.SampleDrop:
+				deliver = false
+				c.lastTick.SamplesDropped++
+			case chaos.SampleFreeze:
+				if st.haveSensed {
+					s, stale = st.sensed, true
+					c.lastTick.SamplesStale++
+				} else {
+					// Nothing to freeze to yet: the sample is simply lost.
+					deliver = false
+					c.lastTick.SamplesDropped++
+				}
+			default:
+				if factor != 1 {
+					s.sli *= factor
+					s.mean *= factor
+					s.p99 *= factor
+					s.tput *= factor
+				}
+			}
+		}
+		if deliver {
+			st.winSLI = append(st.winSLI, s.sli)
+			st.winMean = append(st.winMean, s.mean)
+			st.winP99 = append(st.winP99, s.p99)
+			st.winThroughput = append(st.winThroughput, s.tput)
+			st.winOffered = append(st.winOffered, s.offered)
+			st.winUsage = append(st.winUsage, s.usage)
+			st.winUtil = append(st.winUtil, s.util)
+			if stale {
+				st.winStale++
+			} else {
+				st.sensed, st.haveSensed = s, true
+			}
+		}
 		if result.Saturated {
 			st.winSaturated = true
 		}
@@ -169,7 +210,7 @@ func (c *Cluster) tick() {
 			}
 		}
 		n.Usage = usage
-		c.mustUpdate(n)
+		c.update(n)
 		if !n.Ready {
 			continue
 		}

@@ -7,6 +7,7 @@
 package control
 
 import (
+	"errors"
 	"time"
 
 	"evolve/internal/obs"
@@ -57,6 +58,15 @@ type Observation struct {
 	// point in the period; usage-derived statistics are biased then.
 	Saturated bool
 
+	// Observation health: how much telemetry actually arrived this
+	// period. ExpectedSamples counts the metric ticks the window spanned;
+	// Samples the ones that were delivered; StaleSamples how many of the
+	// delivered ones were stale substitutes (frozen sensor readings). A
+	// fault-free window has Samples == ExpectedSamples and no stale ones.
+	Samples         int
+	ExpectedSamples int
+	StaleSamples    int
+
 	// Replicas is the desired replica count; ReadyReplicas the number
 	// currently running.
 	Replicas      int
@@ -73,6 +83,14 @@ type Observation struct {
 // PerfError returns the normalised PLO error for this observation:
 // positive when the application needs more resources.
 func (o Observation) PerfError() float64 { return o.PLO.Error(o.SLI) }
+
+// Blind reports whether the window carried no usable telemetry: every
+// expected sample was either dropped or a stale substitute. Deciding on
+// a blind observation means deciding on noise; the Hardened wrapper
+// freezes the controller instead.
+func (o Observation) Blind() bool {
+	return o.ExpectedSamples > 0 && o.Samples-o.StaleSamples <= 0
+}
 
 // Decision is what a controller wants the cluster to converge to.
 type Decision struct {
@@ -163,6 +181,15 @@ func TraceDecision(tr *obs.Tracer, o Observation, d Decision, c Controller, prev
 		})
 	}
 	return adapts
+}
+
+// IsTransient reports whether an actuation error is retryable: the error
+// (or one it wraps) implements Transient() bool and returns true.
+// Injected chaos rejections are transient; a controller handing the
+// cluster an invalid decision is not.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
 }
 
 // NoopController holds the current state forever; useful as a fallback

@@ -1,0 +1,164 @@
+package control
+
+import (
+	"strings"
+	"testing"
+
+	"evolve/internal/resource"
+)
+
+// countingController scales by +1 replica every sighted decision, so the
+// tests can see exactly when the inner controller ran.
+type countingController struct {
+	calls int
+}
+
+func (c *countingController) Name() string { return "counting" }
+
+func (c *countingController) Decide(o Observation) Decision {
+	c.calls++
+	return Decision{Replicas: o.Replicas + 1, Alloc: o.Alloc}
+}
+
+func sighted(replicas int) Observation {
+	return Observation{
+		App: "web", Replicas: replicas, ReadyReplicas: replicas,
+		Alloc:   resource.New(1000, 1<<30, 1e6, 1e6),
+		Samples: 4, ExpectedSamples: 4,
+	}
+}
+
+func blind(replicas int) Observation {
+	o := sighted(replicas)
+	o.Samples, o.StaleSamples = 0, 0
+	return o
+}
+
+func TestObservationBlind(t *testing.T) {
+	cases := []struct {
+		samples, expected, stale int
+		want                     bool
+	}{
+		{4, 4, 0, false}, // healthy
+		{0, 4, 0, true},  // all dropped
+		{4, 4, 4, true},  // all frozen substitutes
+		{2, 4, 1, false}, // partial but usable
+		{0, 0, 0, false}, // window spanned no metric ticks: not evidence of blindness
+		{4, 4, 3, false}, // one fresh sample is enough
+	}
+	for _, c := range cases {
+		o := Observation{Samples: c.samples, ExpectedSamples: c.expected, StaleSamples: c.stale}
+		if got := o.Blind(); got != c.want {
+			t.Errorf("Blind(samples=%d expected=%d stale=%d) = %v, want %v",
+				c.samples, c.expected, c.stale, got, c.want)
+		}
+	}
+}
+
+// TestHardenedSightedPassthrough: with healthy telemetry the wrapper is
+// transparent and reports no status.
+func TestHardenedSightedPassthrough(t *testing.T) {
+	inner := &countingController{}
+	h := Harden(inner, HardenConfig{})
+	for i := 0; i < 5; i++ {
+		d := h.Decide(sighted(3))
+		if d.Replicas != 4 {
+			t.Fatalf("decision %d: Replicas = %d, want 4 (inner passthrough)", i, d.Replicas)
+		}
+	}
+	if inner.calls != 5 {
+		t.Errorf("inner ran %d times, want 5", inner.calls)
+	}
+	if h.Degraded() || h.BlindPeriods() != 0 || h.Status() != "" {
+		t.Errorf("healthy wrapper reports degraded=%v blind=%d status=%q",
+			h.Degraded(), h.BlindPeriods(), h.Status())
+	}
+}
+
+// TestHardenedBlindFreezesInner: blind periods within the budget hold in
+// place without consulting the inner controller (integral freeze), and
+// sight restores normal operation.
+func TestHardenedBlindFreezesInner(t *testing.T) {
+	inner := &countingController{}
+	h := Harden(inner, HardenConfig{MaxBlind: 3})
+	h.Decide(sighted(3)) // prime lastSafe at 4 replicas
+
+	for i := 0; i < 3; i++ {
+		d := h.Decide(blind(4))
+		if d.Replicas != 4 {
+			t.Fatalf("blind period %d: Replicas = %d, want hold at 4", i+1, d.Replicas)
+		}
+		if h.Degraded() {
+			t.Fatalf("degraded after %d blind periods, budget is 3", i+1)
+		}
+	}
+	if inner.calls != 1 {
+		t.Errorf("inner ran %d times during blindness, want 1 (frozen)", inner.calls)
+	}
+	if !strings.Contains(h.Status(), "integral frozen") {
+		t.Errorf("status = %q, want integral-frozen notice", h.Status())
+	}
+
+	d := h.Decide(sighted(4))
+	if d.Replicas != 5 || inner.calls != 2 {
+		t.Errorf("after recovery: Replicas = %d (want 5), inner calls = %d (want 2)", d.Replicas, inner.calls)
+	}
+	if h.BlindPeriods() != 0 || h.Degraded() {
+		t.Errorf("recovery did not reset health: blind=%d degraded=%v", h.BlindPeriods(), h.Degraded())
+	}
+	if !strings.Contains(h.Status(), "recovered") {
+		t.Errorf("status after recovery = %q, want recovery notice", h.Status())
+	}
+}
+
+// TestHardenedDegradesToLastSafe: past the budget the wrapper enters
+// degraded mode and never scales below the last sighted decision, even
+// if the plant has meanwhile drifted lower.
+func TestHardenedDegradesToLastSafe(t *testing.T) {
+	inner := &countingController{}
+	h := Harden(inner, HardenConfig{MaxBlind: 2})
+	h.Decide(sighted(5)) // lastSafe: 6 replicas
+
+	// Plant drifts down to 2 replicas while the controller is blind.
+	var d Decision
+	for i := 0; i < 4; i++ {
+		d = h.Decide(blind(2))
+	}
+	if !h.Degraded() {
+		t.Fatal("not degraded after 4 blind periods with budget 2")
+	}
+	if d.Replicas != 6 {
+		t.Errorf("degraded Replicas = %d, want 6 (last safe), not the drifted 2", d.Replicas)
+	}
+	if inner.calls != 1 {
+		t.Errorf("inner ran %d times, want 1", inner.calls)
+	}
+	if !strings.Contains(h.Status(), "degraded") {
+		t.Errorf("status = %q, want degraded notice", h.Status())
+	}
+
+	// Degraded alloc is the component-wise max of current and last safe.
+	o := blind(2)
+	o.Alloc = resource.New(500, 2<<30, 1e6, 1e6) // cpu below safe, memory above
+	d = h.Decide(o)
+	safe := resource.New(1000, 1<<30, 1e6, 1e6)
+	if d.Alloc[resource.CPU] != safe[resource.CPU] {
+		t.Errorf("degraded cpu = %v, want last-safe %v", d.Alloc[resource.CPU], safe[resource.CPU])
+	}
+	if d.Alloc[resource.Memory] != float64(2<<30) {
+		t.Errorf("degraded memory = %v, want current %v (max wins)", d.Alloc[resource.Memory], float64(2<<30))
+	}
+}
+
+// TestHardenedDegradedWithoutSafePoint: a wrapper that was never sighted
+// can only hold in place.
+func TestHardenedDegradedWithoutSafePoint(t *testing.T) {
+	h := Harden(&countingController{}, HardenConfig{MaxBlind: 1})
+	var d Decision
+	for i := 0; i < 3; i++ {
+		d = h.Decide(blind(2))
+	}
+	if !h.Degraded() || d.Replicas != 2 {
+		t.Errorf("degraded=%v Replicas=%d, want degraded hold at 2", h.Degraded(), d.Replicas)
+	}
+}

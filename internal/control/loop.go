@@ -1,0 +1,290 @@
+package control
+
+import (
+	"fmt"
+	"time"
+
+	"evolve/internal/obs"
+	"evolve/internal/sim"
+)
+
+// Plant is the actuation surface the control loop drives; the cluster
+// substrate satisfies it. Observe aggregates telemetry since the last
+// call; ApplyDecision may fail transiently (see IsTransient), in which
+// case the loop retries with backoff.
+type Plant interface {
+	Apps() []string
+	Observe(app string) (Observation, error)
+	ApplyDecision(app string, d Decision) error
+}
+
+// Recorder is optionally implemented by plants with an operational
+// journal; the loop writes controller rationale and degraded-mode
+// transitions to it.
+type Recorder interface {
+	RecordEvent(kind, object, message string)
+}
+
+// RetryConfig bounds the actuation retry ladder.
+type RetryConfig struct {
+	// MaxAttempts is how many retries follow a failed actuation before
+	// the loop abandons the decision (the next control period supersedes
+	// it anyway). Default 3.
+	MaxAttempts int
+	// Base is the first backoff; attempt n waits Base·2ⁿ. Default 2s.
+	Base time.Duration
+	// Cap bounds the backoff. Default 30s.
+	Cap time.Duration
+	// Jitter is the ± fraction applied to each backoff. Default 0.25.
+	Jitter float64
+}
+
+// DefaultRetryConfig returns the standard backoff ladder: 2s, 4s, 8s
+// (±25%), then abandon.
+func DefaultRetryConfig() RetryConfig {
+	return RetryConfig{MaxAttempts: 3, Base: 2 * time.Second, Cap: 30 * time.Second, Jitter: 0.25}
+}
+
+// LoopConfig parameterises a control loop.
+type LoopConfig struct {
+	// Interval is the control period.
+	Interval time.Duration
+	// Seed drives the retry jitter. The loop's RNG is independent of the
+	// simulation engine's streams, so retries (which only happen under
+	// faults) never perturb fault-free runs.
+	Seed int64
+	// Harden and Retry take defaults when zero.
+	Harden HardenConfig
+	Retry  RetryConfig
+}
+
+// LoopStats counts what the loop did.
+type LoopStats struct {
+	// Decisions is the number of control decisions taken.
+	Decisions uint64
+	// DegradedPeriods counts control periods spent in degraded mode;
+	// DegradedTransitions counts entries into it.
+	DegradedPeriods, DegradedTransitions uint64
+	// Retries counts scheduled actuation retries; Abandoned counts
+	// decisions given up after the retry budget.
+	Retries, Abandoned uint64
+}
+
+// Loop is the periodic controller driver shared by the public facade and
+// the experiment harness: observe every app, decide through a Hardened
+// wrapper (integral freeze while blind, hold-last-safe past the
+// staleness budget), trace, actuate, and retry failed actuations with
+// exponential backoff and jitter. One Loop drives one plant.
+type Loop struct {
+	eng    *sim.Engine
+	plant  Plant
+	cfg    LoopConfig
+	tracer *obs.Tracer
+	rng    *sim.RNG
+
+	ctrl          map[string]*Hardened
+	lastDecision  map[string]Decision
+	prevAdapts    map[string]int
+	lastRationale map[string]string
+	retryGen      map[string]uint64
+
+	stats   LoopStats
+	onFatal func(error)
+	started bool
+}
+
+// NewLoop builds a loop over the plant. Call Add for every app, then
+// Start once.
+func NewLoop(eng *sim.Engine, plant Plant, cfg LoopConfig) *Loop {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 15 * time.Second
+	}
+	if cfg.Retry.MaxAttempts <= 0 {
+		cfg.Retry.MaxAttempts = DefaultRetryConfig().MaxAttempts
+	}
+	if cfg.Retry.Base <= 0 {
+		cfg.Retry.Base = DefaultRetryConfig().Base
+	}
+	if cfg.Retry.Cap <= 0 {
+		cfg.Retry.Cap = DefaultRetryConfig().Cap
+	}
+	if cfg.Retry.Jitter <= 0 {
+		cfg.Retry.Jitter = DefaultRetryConfig().Jitter
+	}
+	return &Loop{
+		eng:   eng,
+		plant: plant,
+		cfg:   cfg,
+		// The loop RNG must not fork from the engine: forking draws from
+		// the engine stream and would shift every downstream component's
+		// randomness, breaking seed-compatibility with pre-loop runs.
+		rng:           sim.NewRNG(cfg.Seed ^ 0x6c6f6f70), // "loop"
+		tracer:        obs.Nop(),
+		ctrl:          make(map[string]*Hardened),
+		lastDecision:  make(map[string]Decision),
+		prevAdapts:    make(map[string]int),
+		lastRationale: make(map[string]string),
+		retryGen:      make(map[string]uint64),
+		onFatal:       func(err error) { panic(err) },
+	}
+}
+
+// SetTracer installs the decision tracer (obs.Nop to disable).
+func (l *Loop) SetTracer(t *obs.Tracer) {
+	if t == nil {
+		t = obs.Nop()
+	}
+	l.tracer = t
+}
+
+// OnFatal installs the handler for non-transient loop errors (observe
+// failures, invalid decisions). The default panics, matching what an
+// unhandled control-plane bug did before the loop existed; embedders
+// install a handler that stops the engine and fails the run.
+func (l *Loop) OnFatal(fn func(error)) {
+	if fn != nil {
+		l.onFatal = fn
+	}
+}
+
+// Add registers the controller for an app, wrapping it in the
+// degraded-mode Hardened state machine. Replacing a controller resets
+// its health state.
+func (l *Loop) Add(app string, c Controller) {
+	l.ctrl[app] = Harden(c, l.cfg.Harden)
+}
+
+// Controller returns the inner (unwrapped) controller for an app.
+func (l *Loop) Controller(app string) (Controller, bool) {
+	h, ok := l.ctrl[app]
+	if !ok {
+		return nil, false
+	}
+	return h.inner, true
+}
+
+// Hardened returns the degraded-mode wrapper for an app.
+func (l *Loop) Hardened(app string) (*Hardened, bool) {
+	h, ok := l.ctrl[app]
+	return h, ok
+}
+
+// LastDecision returns the most recent decision taken for an app.
+func (l *Loop) LastDecision(app string) (Decision, bool) {
+	d, ok := l.lastDecision[app]
+	return d, ok
+}
+
+// Stats returns a snapshot of the loop counters.
+func (l *Loop) Stats() LoopStats { return l.stats }
+
+// Start arms the periodic control step. Idempotent.
+func (l *Loop) Start() {
+	if l.started {
+		return
+	}
+	l.started = true
+	l.eng.Every(l.cfg.Interval, l.step)
+}
+
+// step runs one control period over every app, in the plant's (sorted)
+// app order so the decision sequence is deterministic.
+func (l *Loop) step() {
+	rec, _ := l.plant.(Recorder)
+	for _, app := range l.plant.Apps() {
+		h, ok := l.ctrl[app]
+		if !ok {
+			continue
+		}
+		o, err := l.plant.Observe(app)
+		if err != nil {
+			l.onFatal(fmt.Errorf("control: observe %s: %w", app, err))
+			return
+		}
+		wasDegraded := h.Degraded()
+		d := h.Decide(o)
+		l.stats.Decisions++
+		l.lastDecision[app] = d
+		l.prevAdapts[app] = TraceDecision(l.tracer, o, d, h.inner, l.prevAdapts[app])
+		if h.Degraded() != wasDegraded {
+			l.traceHealth(h, o, wasDegraded, rec)
+		}
+		if h.Degraded() {
+			l.stats.DegradedPeriods++
+		}
+		// A new decision supersedes any outstanding retries for the app.
+		l.retryGen[app]++
+		l.actuate(app, d, 0, l.retryGen[app])
+		if rec != nil {
+			if ex, ok := h.inner.(Explainer); ok {
+				if r := ex.Rationale(); r != "" && r != l.lastRationale[app] {
+					l.lastRationale[app] = r
+					rec.RecordEvent("autoscale", app, r)
+				}
+			}
+		}
+	}
+}
+
+// traceHealth records a degraded-mode transition onto the tracer, the
+// journal and the stats.
+func (l *Loop) traceHealth(h *Hardened, o Observation, wasDegraded bool, rec Recorder) {
+	verb := obs.VerbDegraded
+	if wasDegraded {
+		verb = obs.VerbRecovered
+	} else {
+		l.stats.DegradedTransitions++
+	}
+	if l.tracer.Enabled() {
+		l.tracer.Record(obs.Event{
+			At: o.Now, Kind: obs.KindFault, Verb: verb, App: o.App,
+			Detail: h.Status(), Replicas: o.Replicas, Ready: o.ReadyReplicas,
+		})
+	}
+	if rec != nil {
+		rec.RecordEvent("degraded-mode", o.App, h.Status())
+	}
+}
+
+// actuate applies a decision, scheduling a backoff retry on transient
+// failure. A retry fires only if no newer decision for the app has been
+// taken meanwhile (gen check).
+func (l *Loop) actuate(app string, d Decision, attempt int, gen uint64) {
+	err := l.plant.ApplyDecision(app, d)
+	if err == nil {
+		return
+	}
+	if !IsTransient(err) {
+		l.onFatal(fmt.Errorf("control: apply decision %s: %w", app, err))
+		return
+	}
+	if attempt >= l.cfg.Retry.MaxAttempts {
+		l.stats.Abandoned++
+		if l.tracer.Enabled() {
+			l.tracer.Record(obs.Event{
+				At: l.eng.Now(), Kind: obs.KindFault, Verb: obs.VerbAbandon, App: app,
+				Detail:      fmt.Sprintf("actuation abandoned after %d attempts: %v", attempt+1, err),
+				NewReplicas: d.Replicas, NewAlloc: d.Alloc,
+			})
+		}
+		return
+	}
+	backoff := l.cfg.Retry.Base << uint(attempt)
+	if backoff > l.cfg.Retry.Cap {
+		backoff = l.cfg.Retry.Cap
+	}
+	backoff = time.Duration(l.rng.Jitter(float64(backoff), l.cfg.Retry.Jitter))
+	l.stats.Retries++
+	if l.tracer.Enabled() {
+		l.tracer.Record(obs.Event{
+			At: l.eng.Now(), Kind: obs.KindFault, Verb: obs.VerbRetry, App: app,
+			Detail: fmt.Sprintf("attempt %d failed (%v); retrying in %v", attempt+1, err, backoff),
+		})
+	}
+	l.eng.After(backoff, func() {
+		if l.retryGen[app] != gen {
+			return // superseded by a newer decision
+		}
+		l.actuate(app, d, attempt+1, gen)
+	})
+}

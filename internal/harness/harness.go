@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"evolve/internal/batch"
+	"evolve/internal/chaos"
 	"evolve/internal/cluster"
 	"evolve/internal/control"
 	"evolve/internal/cost"
@@ -67,6 +68,11 @@ type Scenario struct {
 	HPCPolicy       hpc.Policy
 	// MeasurementNoise overrides the cluster default when > 0.
 	MeasurementNoise float64
+	// Chaos is a fault-injection plan (a chaos.Parse spec or profile
+	// name, e.g. "sensor-dropout" or "metric-drop@10m:p=0.2"); empty
+	// means fault-free. The injector is seeded from Seed, so chaos runs
+	// replay bit-for-bit.
+	Chaos string
 }
 
 // Validate reports scenario construction errors.
@@ -103,6 +109,11 @@ func (s Scenario) Validate() error {
 		}
 		if err := workload.Validate(a.Pattern, s.Duration); err != nil {
 			return fmt.Errorf("harness: app %s: %w", a.Spec.Name, err)
+		}
+	}
+	if s.Chaos != "" {
+		if _, err := chaos.Parse(s.Chaos); err != nil {
+			return fmt.Errorf("harness: scenario %s: %w", s.Name, err)
 		}
 	}
 	return nil
@@ -157,6 +168,16 @@ type Result struct {
 	// the allocation bill in dollars and the energy draw in watt-hours.
 	Dollars  float64
 	WattHour float64
+
+	// Robustness outcomes (all zero in fault-free runs): what the chaos
+	// injector did to the run and how the hardened control loop coped.
+	SamplesDropped  uint64 // sensor samples discarded before the controller
+	SamplesStale    uint64 // frozen substitutes delivered instead
+	ActuationFaults uint64 // injected actuation rejections/delays/partials
+	NodeCrashes     uint64 // injected node-crash windows that landed
+	Retries         uint64 // actuation retries the loop scheduled
+	Abandoned       uint64 // decisions given up after the retry budget
+	DegradedPeriods uint64 // control periods spent in degraded mode
 
 	// The full cluster for figure extraction.
 	Cluster *cluster.Cluster
@@ -277,35 +298,38 @@ func runScenario(sc Scenario, pol Policy, hooks []Hook, tr *obs.Tracer) (*Result
 		eng.At(h.At, func() { do(c) })
 	}
 
-	c.Start()
-	// Control loop.
-	tracer := c.Tracer()
-	prevAdapts := make(map[string]int, len(sc.Apps))
-	eng.Every(sc.ControlInterval, func() {
-		for _, name := range c.Apps() {
-			o, err := c.Observe(name)
-			if err != nil {
-				fail(fmt.Errorf("harness: observe %s: %w", name, err))
-				return
-			}
-			ctrl := controllers[name]
-			d := ctrl.Decide(o)
-			prevAdapts[name] = control.TraceDecision(tracer, o, d, ctrl, prevAdapts[name])
-			if err := c.ApplyDecision(name, d); err != nil {
-				fail(fmt.Errorf("harness: apply decision %s: %w", name, err))
-				return
-			}
+	// Chaos: compile and install the fault plan, seeded from the scenario
+	// seed so (seed, plan) replays identically.
+	if sc.Chaos != "" {
+		plan, err := chaos.Parse(sc.Chaos)
+		if err != nil {
+			return nil, fmt.Errorf("harness: scenario %s: %w", sc.Name, err)
 		}
-	})
+		inj := chaos.NewInjector(plan, sc.Seed)
+		c.SetChaos(inj)
+		inj.Arm(eng, c)
+	}
+
+	c.Start()
+	// Control loop: the shared hardened driver (degraded-mode wrapper,
+	// retry ladder). On fault-free runs it traces and decides exactly as
+	// the old inline loop did.
+	loop := control.NewLoop(eng, c, control.LoopConfig{Interval: sc.ControlInterval, Seed: sc.Seed})
+	loop.SetTracer(c.Tracer())
+	loop.OnFatal(func(err error) { fail(fmt.Errorf("harness: control: %w", err)) })
+	for name, ctrl := range controllers {
+		loop.Add(name, ctrl)
+	}
+	loop.Start()
 
 	eng.Run(sc.Duration)
 	if runErr != nil {
 		return nil, fmt.Errorf("harness: scenario %s under %s: %w", sc.Name, pol.Name, runErr)
 	}
-	return summarise(sc, pol, c, runner, queue), nil
+	return summarise(sc, pol, c, runner, queue, loop), nil
 }
 
-func summarise(sc Scenario, pol Policy, c *cluster.Cluster, runner *batch.Runner, queue *hpc.Queue) *Result {
+func summarise(sc Scenario, pol Policy, c *cluster.Cluster, runner *batch.Runner, queue *hpc.Queue, loop *control.Loop) *Result {
 	from, to := sc.Warmup, sc.Duration
 	met := c.Metrics()
 	res := &Result{Scenario: sc.Name, Policy: pol.Name, Cluster: c}
@@ -350,6 +374,18 @@ func summarise(sc Scenario, pol Policy, c *cluster.Cluster, runner *batch.Runner
 	bill := cost.Summarise(met, sc.NodeCapacity.Scale(0.94), sc.Nodes, from, to,
 		cost.DefaultPricing(), cost.DefaultPowerModel())
 	res.Dollars, res.WattHour = bill.Dollars, bill.WattHour
+
+	if inj := c.Chaos(); inj != nil {
+		st := inj.Stats()
+		res.SamplesDropped = st.SamplesDropped
+		res.SamplesStale = st.SamplesFrozen
+		res.ActuationFaults = st.Rejected + st.Delayed + st.Partial
+		res.NodeCrashes = st.NodeCrashes
+	}
+	ls := loop.Stats()
+	res.Retries = ls.Retries
+	res.Abandoned = ls.Abandoned
+	res.DegradedPeriods = ls.DegradedPeriods
 	return res
 }
 

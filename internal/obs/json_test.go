@@ -51,8 +51,13 @@ func TestEventJSONRoundTrip(t *testing.T) {
 			Seq: 6, At: 47 * time.Minute, Kind: KindPLO, Verb: VerbOnset,
 			App: "web", SLI: 0.25, Objective: 0.1, PerfErr: 1.5,
 		},
+		{
+			Seq: 7, At: 48 * time.Minute, Kind: KindFault, Verb: VerbDegraded,
+			App: "web", Detail: "blind for 5 periods: holding last safe allocation",
+			Replicas: 6, Ready: 4,
+		},
 		// Minimal event: nothing but the header survives.
-		{Seq: 7, At: 0, Kind: KindSched, Verb: VerbEvict},
+		{Seq: 8, At: 0, Kind: KindSched, Verb: VerbEvict},
 	}
 	for i, ev := range events {
 		line := AppendJSON(nil, &ev)

@@ -41,10 +41,14 @@ const (
 	KindRegistry
 	// KindPLO is a violation transition: onset or clear.
 	KindPLO
+	// KindFault is a robustness event: an injected fault, an absorbed
+	// internal fault (registry/bind failure), a degraded-mode transition
+	// or an actuation retry.
+	KindFault
 	numKinds
 )
 
-var kindNames = [numKinds]string{"control", "gain", "sched", "registry", "plo"}
+var kindNames = [numKinds]string{"control", "gain", "sched", "registry", "plo", "fault"}
 
 // String returns the canonical kind name.
 func (k Kind) String() string {
@@ -81,6 +85,16 @@ const (
 	VerbDeleted      = "deleted"
 	VerbOnset        = "onset"
 	VerbClear        = "clear"
+
+	// KindFault verbs: an injected chaos fault landing, an internal fault
+	// absorbed instead of crashing, a controller entering/leaving
+	// degraded mode, and the actuation retry ladder.
+	VerbInject    = "inject"
+	VerbFault     = "fault"
+	VerbDegraded  = "degraded"
+	VerbRecovered = "recovered"
+	VerbRetry     = "retry"
+	VerbAbandon   = "abandon"
 )
 
 // PIDTerm is the decomposition of one PID controller update: the shaped
