@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json check fuzz-smoke chaos-soak
+.PHONY: build test race vet bench bench-json bench-sched check fuzz-smoke chaos-soak
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,15 @@ bench:
 # bench-json regenerates the committed BENCH_*.json trajectory record
 # from the full evaluation run (see cmd/evolve-bench).
 bench-json:
-	$(GO) run ./cmd/evolve-bench -json > BENCH_2.json
+	$(GO) run ./cmd/evolve-bench -json > BENCH_5.json
+
+# bench-sched is the scheduler hot-path regression smoke: the sched
+# benchmarks at a fixed iteration count (so -benchtime noise cannot mask
+# a panic or a blow-up) plus the steady-state allocation gates — a
+# regression in either fails the job.
+bench-sched:
+	$(GO) test ./internal/sched -run 'SteadyStateAllocs' -bench . -benchtime 100x -count 1 -v
+	$(GO) test ./internal/cluster -run 'TestTickSteadyStateAllocs' -bench 'BenchmarkScheduleGang|BenchmarkSchedulePending/pods-500$$' -benchtime 20x -count 1
 
 # fuzz-smoke gives the chaos-plan parser a short fuzzing budget: long
 # enough to catch parse/round-trip regressions, short enough for CI.

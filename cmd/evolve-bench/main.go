@@ -91,12 +91,41 @@ type report struct {
 // summary closes a -json stream: total wall-clock plus runner counters,
 // the bench trajectory future PRs compare against.
 type summary struct {
-	ID          string  `json:"id"`
-	TotalWallMS float64 `json:"total_wall_ms"`
-	Workers     int     `json:"workers"`
-	Runs        uint64  `json:"runs"`
-	CacheHits   uint64  `json:"cache_hits"`
-	Uncacheable uint64  `json:"uncacheable"`
+	ID          string     `json:"id"`
+	TotalWallMS float64    `json:"total_wall_ms"`
+	Workers     int        `json:"workers"`
+	Runs        uint64     `json:"runs"`
+	CacheHits   uint64     `json:"cache_hits"`
+	Uncacheable uint64     `json:"uncacheable"`
+	SchedIndex  schedIndex `json:"sched_index"`
+}
+
+// schedIndex records the scheduler feasibility index's effectiveness on
+// a fixed mixed workload (see harness.SchedIndexStats): how many node
+// probes the per-resource prefixes saved, and whether the parallel score
+// fan-out engaged on this machine.
+type schedIndex struct {
+	Nodes         int     `json:"nodes"`
+	Pods          int     `json:"pods"`
+	Probed        uint64  `json:"probed"`
+	Pruned        uint64  `json:"pruned"`
+	PrunedFrac    float64 `json:"pruned_frac"`
+	ParallelCalls uint64  `json:"parallel_calls"`
+}
+
+// measureSchedIndex runs the fixed index-effectiveness workload.
+func measureSchedIndex() schedIndex {
+	const nodes, pods = 512, 5000
+	st := harness.SchedIndexStats(nodes, pods)
+	si := schedIndex{
+		Nodes: nodes, Pods: pods,
+		Probed: st.Probed, Pruned: st.Pruned,
+		ParallelCalls: st.ParallelCalls,
+	}
+	if total := st.Probed + st.Pruned; total > 0 {
+		si.PrunedFrac = float64(st.Pruned) / float64(total)
+	}
+	return si
 }
 
 func main() {
@@ -213,6 +242,7 @@ func main() {
 			Runs:        st.Runs,
 			CacheHits:   st.CacheHits,
 			Uncacheable: st.Uncacheable,
+			SchedIndex:  measureSchedIndex(),
 		}); err != nil {
 			fatal(err)
 		}

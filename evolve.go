@@ -81,6 +81,13 @@ type Options struct {
 	// injector is seeded from Seed, so a (seed, plan) pair replays
 	// bit-for-bit. Empty means fault-free.
 	Chaos string
+	// ScoreWorkers opts scheduler scoring into the parallel fan-out:
+	// placements probing at least sched.DefaultParallelThreshold
+	// candidate nodes score across this many concurrent shards.
+	// Placements are byte-identical at any value; 0 or 1 stays
+	// sequential. Only worth enabling on multi-core machines with
+	// clusters of hundreds of nodes.
+	ScoreWorkers int
 }
 
 // PoolOptions declares one labeled node pool; its nodes carry the label
@@ -226,6 +233,7 @@ func New(opts Options) (*Cluster, error) {
 	if opts.MeasurementNoise > 0 {
 		ccfg.MeasurementNoise = opts.MeasurementNoise
 	}
+	ccfg.ScoreWorkers = opts.ScoreWorkers
 	c := cluster.New(eng, ccfg)
 	if len(opts.Pools) > 0 {
 		for _, pool := range opts.Pools {

@@ -78,34 +78,74 @@ func BenchmarkTick(b *testing.B) {
 	}
 }
 
+// benchSchedulePending is one BenchmarkSchedulePending case: a backlog
+// of `pods` unbound replicas drained in one round over `nodes` nodes.
+func benchSchedulePending(b *testing.B, pods, nodes int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng := sim.NewEngine(7)
+		c := New(eng, DefaultConfig())
+		if err := c.AddNodes("n", nodes, resource.New(64000, 256<<30, 4e9, 8e9)); err != nil {
+			b.Fatal(err)
+		}
+		services := pods / 25
+		if services == 0 {
+			services = 1
+		}
+		for s := 0; s < services; s++ {
+			spec := testService(fmt.Sprintf("svc-%d", s))
+			spec.InitialReplicas = pods / services
+			spec.MaxReplicas = pods
+			spec.InitialAlloc = resource.New(500, 1<<30, 10e6, 10e6)
+			if err := c.CreateService(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		c.SchedulePendingNow()
+	}
+}
+
 // BenchmarkSchedulePending measures draining a full pending backlog: the
-// cluster starts with every replica unbound, and one call places them all.
+// cluster starts with every replica unbound, and one call places them
+// all. The nodes-512 case fixes the node count at the parallel-scoring
+// threshold scale while the backlog stays at 5000 pods.
 func BenchmarkSchedulePending(b *testing.B) {
 	for _, pods := range benchSizes {
 		b.Run(fmt.Sprintf("pods-%d", pods), func(b *testing.B) {
+			benchSchedulePending(b, pods, pods/8+1)
+		})
+	}
+	b.Run("pods-5000/nodes-512", func(b *testing.B) {
+		benchSchedulePending(b, 5000, 512)
+	})
+}
+
+// BenchmarkScheduleGang measures hypothetical all-or-nothing gang
+// placement over the public snapshot (the EASY-backfill query path):
+// nothing commits, so every iteration answers the same question.
+func BenchmarkScheduleGang(b *testing.B) {
+	for _, ranks := range []int{8, 64} {
+		b.Run(fmt.Sprintf("ranks-%d", ranks), func(b *testing.B) {
+			c, _ := newBenchCluster(b, 500)
+			infos := c.NodeInfos()
+			gang := make([]sched.PodInfo, ranks)
+			for i := range gang {
+				gang[i] = sched.PodInfo{
+					Name:     fmt.Sprintf("rank-%03d", i),
+					App:      "mpi",
+					Requests: resource.New(2000, 4<<30, 20e6, 20e6),
+				}
+			}
+			dst := make([]string, len(gang))
+			s := c.Scheduler()
 			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				eng := sim.NewEngine(7)
-				c := New(eng, DefaultConfig())
-				if err := c.AddNodes("n", pods/8+1, resource.New(64000, 256<<30, 4e9, 8e9)); err != nil {
+				if err := s.ScheduleGangInto(dst, gang, infos); err != nil {
 					b.Fatal(err)
 				}
-				services := pods / 25
-				if services == 0 {
-					services = 1
-				}
-				for s := 0; s < services; s++ {
-					spec := testService(fmt.Sprintf("svc-%d", s))
-					spec.InitialReplicas = pods / services
-					spec.MaxReplicas = pods
-					spec.InitialAlloc = resource.New(500, 1<<30, 10e6, 10e6)
-					if err := c.CreateService(spec); err != nil {
-						b.Fatal(err)
-					}
-				}
-				b.StartTimer()
-				c.SchedulePendingNow()
 			}
 		})
 	}

@@ -25,6 +25,14 @@ type Config struct {
 	// MeasurementNoise adds multiplicative jitter to SLI measurements
 	// (fraction, e.g. 0.05); real telemetry is never clean.
 	MeasurementNoise float64
+	// ScoreWorkers opts placement scoring into the parallel fan-out: the
+	// given number of shards score concurrently once a single placement
+	// probes at least ScoreThreshold candidate nodes. 0 or 1 keeps
+	// scoring sequential. Placements are byte-identical either way.
+	ScoreWorkers int
+	// ScoreThreshold is the candidate count that engages the fan-out
+	// (default sched.DefaultParallelThreshold).
+	ScoreThreshold int
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -104,10 +112,11 @@ type Cluster struct {
 
 	// Reusable scratch. The simulation is single-threaded and the tick
 	// never re-enters itself, so one buffer of each suffices; reuse is
-	// what makes the steady-state tick allocation-free.
-	schedInfos   []sched.NodeInfo
-	schedPodBufs [][]sched.PodInfo
-	schedIdx     map[string]int
+	// what makes the steady-state tick allocation-free. snap is the
+	// reusable scheduling view with its feasibility index (see
+	// sched.Snapshot): rebuilt once per scheduling round, patched in
+	// place on every bind, drained in place on node failure.
+	snap         *sched.Snapshot
 	scratchQueue []*PodObject
 	scratchRun   []*PodObject
 	slowdown     map[string]float64
@@ -130,20 +139,24 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 	if cfg.MetricsInterval <= 0 {
 		cfg.MetricsInterval = 5 * time.Second
 	}
+	sch := sched.New(cfg.SchedulerPolicy)
+	if cfg.ScoreWorkers > 1 {
+		sch.SetParallel(cfg.ScoreWorkers, cfg.ScoreThreshold)
+	}
 	return &Cluster{
 		eng:   eng,
 		rng:   eng.RNG().Fork(),
 		store: registry.NewStore(),
 		met:   metrics.NewRegistry(),
 		cfg:   cfg,
-		sch:   sched.New(cfg.SchedulerPolicy),
+		sch:   sch,
 		nodes: make(map[string]*NodeObject),
 		pods:  make(map[string]*PodObject),
 		apps:  make(map[string]*appState),
 
 		byNode:   make(map[string][]*PodObject),
 		byApp:    make(map[string][]*PodObject),
-		schedIdx: make(map[string]int),
+		snap:     sched.NewSnapshot(),
 		slowdown: make(map[string]float64),
 		tracer:   obs.Nop(),
 	}
@@ -292,7 +305,7 @@ func (c *Cluster) Scheduler() *sched.Scheduler { return c.sch }
 // Each call returns freshly allocated slices, so callers (gang
 // scheduling, the public NodeInfos, queueing layers) may hold the result
 // across cluster mutations; the pending-pod loop uses the reusable
-// scratch snapshot in refreshSchedInfos instead.
+// indexed snapshot in refreshSnapshot instead.
 func (c *Cluster) nodeInfos() []sched.NodeInfo {
 	infos := make([]sched.NodeInfo, 0, len(c.nodeList))
 	for _, n := range c.nodeList {
@@ -462,20 +475,20 @@ func (c *Cluster) schedulePending() {
 	}
 	queue := append(c.scratchQueue[:0], c.pending...)
 	c.scratchQueue = queue
-	c.refreshSchedInfos()
+	c.refreshSnapshot()
 	for _, p := range queue {
 		info := sched.PodInfo{Name: p.Name, App: p.App, Requests: p.Requests, Priority: p.Priority, NodeSelector: p.NodeSelector}
-		nodeName, err := c.sch.Schedule(info, c.schedInfos)
+		nodeName, err := c.sch.ScheduleOn(info, c.snap)
 		if err == nil {
 			if berr := c.bind(p, nodeName); berr != nil {
 				// The node vanished between the placement decision and the
 				// bind (mid-round failure). Absorb the fault, rebuild the
 				// snapshot without the dead node, and leave the pod pending.
 				c.bindFault(p, nodeName, berr)
-				c.refreshSchedInfos()
+				c.refreshSnapshot()
 				continue
 			}
-			c.schedInfoCommit(nodeName, p)
+			c.snap.Commit(nodeName, info)
 			continue
 		}
 		c.met.Counter("sched/unschedulable").Inc()
@@ -490,7 +503,7 @@ func (c *Cluster) schedulePending() {
 		if p.Priority <= 0 {
 			continue
 		}
-		if plan := c.sch.Preempt(info, c.schedInfos); plan != nil {
+		if plan := c.sch.Preempt(info, c.snap.Nodes()); plan != nil {
 			for _, victim := range plan.Victims {
 				if vp, ok := c.pods[victim]; ok {
 					c.evict(vp, "preempted")
@@ -509,61 +522,34 @@ func (c *Cluster) schedulePending() {
 				c.bindFault(p, plan.Node, berr)
 			}
 			// Evictions touched several nodes; rebuild rather than patch.
-			c.refreshSchedInfos()
+			c.refreshSnapshot()
 		}
 	}
 }
 
-// refreshSchedInfos rebuilds the reusable scheduler snapshot
-// (c.schedInfos) from the incremental indexes: O(nodes + bound pods),
-// no sorting, no steady-state allocation. schedIdx maps node name to
-// snapshot position for the post-bind patch.
-func (c *Cluster) refreshSchedInfos() {
-	clear(c.schedIdx)
-	infos := c.schedInfos[:0]
+// refreshSnapshot rebuilds the reusable scheduling snapshot (and its
+// feasibility index) from the incremental indexes: O(nodes + bound pods)
+// to load plus O(kinds · nodes log nodes) to index, no steady-state
+// allocation. Binds patch the snapshot incrementally via Commit; only
+// multi-node changes (preemption evictions, mid-round bind faults) pay
+// for a rebuild.
+func (c *Cluster) refreshSnapshot() {
+	c.snap.Reset()
 	for _, n := range c.nodeList {
 		if !n.Ready {
 			continue
 		}
-		i := len(infos)
-		var buf []sched.PodInfo
-		if i < len(c.schedPodBufs) {
-			buf = c.schedPodBufs[i][:0]
-		}
-		for _, p := range c.byNode[n.Name] {
-			buf = append(buf, sched.PodInfo{Name: p.Name, App: p.App, Requests: p.Requests, Priority: p.Priority})
-		}
-		if i < len(c.schedPodBufs) {
-			c.schedPodBufs[i] = buf
-		} else {
-			c.schedPodBufs = append(c.schedPodBufs, buf)
-		}
-		infos = append(infos, sched.NodeInfo{
+		c.snap.AddNode(sched.NodeInfo{
 			Name:        n.Name,
 			Allocatable: n.Allocatable,
 			Allocated:   n.Allocated,
 			Labels:      n.Meta.Labels,
-			Pods:        buf,
 		})
-		c.schedIdx[n.Name] = i
+		for _, p := range c.byNode[n.Name] {
+			c.snap.AddPod(sched.PodInfo{Name: p.Name, App: p.App, Requests: p.Requests, Priority: p.Priority})
+		}
 	}
-	c.schedInfos = infos
-}
-
-// schedInfoCommit patches the scheduler snapshot after a bind: refresh
-// the node's allocation and append the newly bound pod. The scheduler
-// never depends on intra-node pod order, so appending is equivalent to
-// a rebuild.
-func (c *Cluster) schedInfoCommit(nodeName string, p *PodObject) {
-	i, ok := c.schedIdx[nodeName]
-	if !ok {
-		return
-	}
-	c.schedInfos[i].Allocated = c.nodes[nodeName].Allocated
-	c.schedInfos[i].Pods = append(c.schedInfos[i].Pods, sched.PodInfo{
-		Name: p.Name, App: p.App, Requests: p.Requests, Priority: p.Priority,
-	})
-	c.schedPodBufs[i] = c.schedInfos[i].Pods
+	c.snap.Build()
 }
 
 // FailNode marks a node unready and evicts its pods; service replicas
@@ -583,15 +569,13 @@ func (c *Cluster) FailNode(name string) error {
 	}
 	n.Allocated = resource.Vector{}
 	n.Usage = resource.Vector{}
-	// Drain the node from the reusable scheduler snapshot in place (the
-	// entry keeps its position — schedPodBufs aliases by index — but loses
-	// all capacity, so nothing schedules onto it this round). Without this
-	// a failure landing mid-round could re-bind the just-evicted pods onto
-	// the dead node via the stale snapshot.
-	if i, ok := c.schedIdx[name]; ok {
-		c.schedInfos[i] = sched.NodeInfo{Name: name}
-		delete(c.schedIdx, name)
-	}
+	// Drain the node from the reusable scheduling snapshot in place: the
+	// entry keeps its name (error totals stay stable) but loses all
+	// capacity and its feasibility-index slots, so nothing schedules onto
+	// it this round. Without this a failure landing mid-round could
+	// re-bind the just-evicted pods onto the dead node via the stale
+	// snapshot.
+	c.snap.Fail(name)
 	c.update(n)
 	c.met.Counter("nodes/failures").Inc()
 	c.recordEvent("node-failed", name, "node marked unready; pods evicted")

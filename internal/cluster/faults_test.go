@@ -10,6 +10,7 @@ import (
 	"evolve/internal/obs"
 	"evolve/internal/registry"
 	"evolve/internal/resource"
+	"evolve/internal/sched"
 )
 
 // TestRegistryFaultAbsorbed: a registry write failing behind the
@@ -222,20 +223,36 @@ func TestFailNodeDrainsSchedulerSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.SchedulePendingNow()
-	c.refreshSchedInfos()
-	idx, ok := c.schedIdx["node-0"]
-	if !ok {
-		t.Fatal("node-0 missing from snapshot index")
+	c.refreshSnapshot()
+	if _, ok := c.snap.Lookup("node-0"); !ok {
+		t.Fatal("node-0 missing from snapshot")
 	}
+	live := c.snap.Live()
 	if err := c.FailNode("node-0"); err != nil {
 		t.Fatal(err)
 	}
-	if _, still := c.schedIdx["node-0"]; still {
-		t.Error("failed node still in schedIdx")
+	if _, still := c.snap.Lookup("node-0"); still {
+		t.Error("failed node still live in snapshot")
 	}
-	drained := c.schedInfos[idx]
+	if c.snap.Live() != live-1 {
+		t.Errorf("snapshot live count %d, want %d", c.snap.Live(), live-1)
+	}
+	// The entry is drained in place, not removed: error totals and
+	// positions stay stable.
+	var drained *sched.NodeInfo
+	for i := range c.snap.Nodes() {
+		if c.snap.Nodes()[i].Name == "node-0" {
+			drained = &c.snap.Nodes()[i]
+		}
+	}
+	if drained == nil {
+		t.Fatal("drained entry vanished from the snapshot node list")
+	}
 	if !drained.Allocatable.IsZero() || len(drained.Pods) != 0 {
 		t.Errorf("snapshot entry not drained: %+v", drained)
+	}
+	if err := c.snap.CheckInvariants(); err != nil {
+		t.Errorf("snapshot invariants after FailNode: %v", err)
 	}
 	// The evicted replicas went pending; a fresh scheduling round must
 	// place them on the surviving node only.
@@ -244,6 +261,42 @@ func TestFailNodeDrainsSchedulerSnapshot(t *testing.T) {
 		if p.Phase == Running && p.Node == "node-0" {
 			t.Errorf("pod %s scheduled onto failed node", p.Name)
 		}
+	}
+	checkInvariants(t, c, 0)
+}
+
+// TestChaosNodeKillIndexConsistency: under the node-kill chaos profile
+// the feasibility index never offers the failed node while it is down,
+// stays internally consistent, and picks the node up again after
+// restore. Extends TestFailNodeDrainsSchedulerSnapshot to the chaos
+// path (extra replicas force scheduling rounds during the outage).
+func TestChaosNodeKillIndexConsistency(t *testing.T) {
+	c := chaosCluster(t, "node-kill")
+	if err := c.ApplyDecision("web", control.Decision{Replicas: 6, Alloc: resource.New(500, 1<<30, 5e6, 5e6)}); err != nil {
+		t.Fatal(err)
+	}
+	// Into the 30m–45m crash window: node-0 is down.
+	c.Engine().Run(35 * time.Minute)
+	if _, live := c.snap.Lookup("node-0"); live {
+		t.Error("failed node live in the snapshot during the crash window")
+	}
+	if err := c.snap.CheckInvariants(); err != nil {
+		t.Errorf("snapshot invariants during outage: %v", err)
+	}
+	for _, p := range c.Pods() {
+		if p.Phase == Running && p.Node == "node-0" {
+			t.Errorf("pod %s running on the failed node", p.Name)
+		}
+	}
+	// Past the window: the node restores and rejoins the index, and the
+	// next scheduling round may use it again.
+	c.Engine().Run(50 * time.Minute)
+	c.refreshSnapshot()
+	if _, live := c.snap.Lookup("node-0"); !live {
+		t.Error("restored node missing from the rebuilt snapshot")
+	}
+	if err := c.snap.CheckInvariants(); err != nil {
+		t.Errorf("snapshot invariants after restore: %v", err)
 	}
 	checkInvariants(t, c, 0)
 }

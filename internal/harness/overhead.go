@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"evolve/internal/control"
@@ -67,23 +68,38 @@ func MeasureDecisionLatency(apps, iters int) time.Duration {
 	return elapsed / time.Duration(total)
 }
 
-// MeasureScheduleLatency times one placement decision over a cluster of
-// the given node count.
-func MeasureScheduleLatency(nodes, iters int) time.Duration {
+// overheadSnapshot builds the scheduler and indexed snapshot the
+// placement measurements run against: the same node distribution the
+// brute-force measurement always used, loaded into the snapshot path the
+// cluster's pending-pod loop takes, with the parallel score fan-out
+// armed at GOMAXPROCS (a no-op below the engagement threshold and on
+// single-core machines; placements are byte-identical either way).
+func overheadSnapshot(nodes int) (*sched.Scheduler, *sched.Snapshot) {
 	s := sched.New(sched.PolicySpread)
-	infos := make([]sched.NodeInfo, nodes)
+	s.SetParallel(runtime.GOMAXPROCS(0), 0)
+	snap := sched.NewSnapshot()
+	snap.Reset()
 	rng := sim.NewRNG(7)
-	for i := range infos {
-		infos[i] = sched.NodeInfo{
+	for i := 0; i < nodes; i++ {
+		snap.AddNode(sched.NodeInfo{
 			Name:        fmt.Sprintf("node-%04d", i),
 			Allocatable: StandardNode(),
 			Allocated:   StandardNode().Scale(rng.Uniform(0.1, 0.8)),
-		}
+		})
 	}
+	snap.Build()
+	return s, snap
+}
+
+// MeasureScheduleLatency times one placement decision over a cluster of
+// the given node count: a ScheduleOn call against a steady indexed
+// snapshot, which is what the cluster pays per pending pod.
+func MeasureScheduleLatency(nodes, iters int) time.Duration {
+	s, snap := overheadSnapshot(nodes)
 	pod := sched.PodInfo{Name: "p", App: "svc", Requests: resource.New(1000, 2<<30, 10e6, 10e6), Priority: 100}
 	start := time.Now()
 	for i := 0; i < iters; i++ {
-		if _, err := s.Schedule(pod, infos); err != nil {
+		if _, err := s.ScheduleOn(pod, snap); err != nil {
 			panic(err)
 		}
 	}
@@ -91,6 +107,34 @@ func MeasureScheduleLatency(nodes, iters int) time.Duration {
 		return 0
 	}
 	return time.Since(start) / time.Duration(iters)
+}
+
+// SchedIndexStats drives a mixed bind workload (varied pod sizes, so the
+// feasibility index has real pruning to do) over a cluster of the given
+// node count and returns the scheduler's probe counters — the
+// index-effectiveness record evolve-bench embeds in its JSON summary.
+func SchedIndexStats(nodes, pods int) sched.Stats {
+	s, snap := overheadSnapshot(nodes)
+	rng := sim.NewRNG(11)
+	for i := 0; i < pods; i++ {
+		// Mix small pods with near-node-sized ones: the latter only fit on
+		// the emptiest nodes, which is where prefix pruning bites.
+		cpu := rng.Uniform(200, 2000)
+		if i%4 == 0 {
+			cpu = rng.Uniform(8000, 15000)
+		}
+		pod := sched.PodInfo{
+			Name:     fmt.Sprintf("p-%04d", i),
+			App:      fmt.Sprintf("svc-%d", i%7),
+			Requests: resource.New(cpu, cpu*(1<<30)/1000, 10e6, 10e6),
+		}
+		name, err := s.ScheduleOn(pod, snap)
+		if err != nil {
+			continue // cluster full for this size: still a counted probe
+		}
+		snap.Commit(name, pod)
+	}
+	return s.Stats()
 }
 
 // Table4 reports control-plane overhead: per-decision and per-placement
@@ -108,7 +152,7 @@ func Table4() *Table {
 		d := MeasureDecisionLatency(apps, 2000/maxIntH(apps/10, 1))
 		t.AddRow("autoscaler decision", fmt.Sprintf("%d apps", apps), d.String())
 	}
-	for _, nodes := range []int{10, 100, 500} {
+	for _, nodes := range []int{10, 100, 500, 5000} {
 		d := MeasureScheduleLatency(nodes, 2000)
 		t.AddRow("pod placement", fmt.Sprintf("%d nodes", nodes), d.String())
 	}
@@ -124,7 +168,7 @@ func Figure6() *Figure {
 		XLabel:  "scale (apps or nodes)",
 		Columns: []string{"decision ns/op", "placement ns/op"},
 	}
-	scales := []int{10, 25, 50, 100, 250, 500, 1000}
+	scales := []int{10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
 	for _, n := range scales {
 		dec := MeasureDecisionLatency(n, 4000/maxIntH(n/10, 1))
 		pl := MeasureScheduleLatency(n, 1000)

@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultParallelThreshold is the candidate count below which a
+// parallel-enabled scheduler still scores sequentially: sharding a small
+// node set costs more in hand-off than the scoring saves.
+const DefaultParallelThreshold = 512
+
+// parallelCfg holds the opt-in parallel score fan-out settings.
+type parallelCfg struct {
+	workers  int // shards per placement; <=1 disables the fan-out
+	minNodes int // minimum candidate count to engage it
+}
+
+// SetParallel enables the parallel score fan-out: placements probing at
+// least minNodes candidates are split across workers shards scored on a
+// shared pool. workers <= 1 disables it; minNodes <= 0 selects
+// DefaultParallelThreshold. Placements are byte-identical with the
+// fan-out on or off — the per-node scores do not depend on sharding and
+// the reduction uses the same (score, name) total order as the
+// sequential path.
+func (s *Scheduler) SetParallel(workers, minNodes int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if minNodes <= 0 {
+		minNodes = DefaultParallelThreshold
+	}
+	s.par = parallelCfg{workers: workers, minNodes: minNodes}
+}
+
+// shardJob asks the pool to probe one candidate shard. The scheduler and
+// snapshot are only read; the pod lives in scheduler scratch so the
+// caller's argument never escapes.
+type shardJob struct {
+	s    *Scheduler
+	snap *Snapshot
+	cand []int32
+	out  *shardBest
+	wg   *sync.WaitGroup
+}
+
+// shardBest is one shard's result, padded so adjacent results do not
+// share a cache line while workers write them concurrently.
+type shardBest struct {
+	idx   int32
+	score float64
+	_     [48]byte
+}
+
+// pool is the process-wide score worker pool, started on first use and
+// sized to GOMAXPROCS. Sharing one pool across schedulers keeps
+// goroutine count bounded no matter how many simulations run.
+var pool struct {
+	once sync.Once
+	jobs chan *shardJob
+}
+
+func poolInit() {
+	pool.jobs = make(chan *shardJob, 4*runtime.GOMAXPROCS(0))
+	for i := 0; i < runtime.GOMAXPROCS(0); i++ {
+		go func() {
+			for j := range pool.jobs {
+				j.out.idx, j.out.score = j.s.bestOf(&j.s.parPod, j.snap, j.cand)
+				j.wg.Done()
+			}
+		}()
+	}
+}
+
+// parallelBest is bestOf split across the worker pool: candidates are
+// cut into contiguous shards, every shard reports its local best, and
+// the reduction walks the shard results with the same strict (score
+// desc, name asc) total order the sequential loop uses — node names are
+// unique, so the global argmax is unique and the result cannot depend on
+// the sharding. The caller scores the first shard itself rather than
+// idling on Wait.
+func (s *Scheduler) parallelBest(pod *PodInfo, snap *Snapshot, cand []int32) int32 {
+	pool.once.Do(poolInit)
+	w := s.par.workers
+	if w > len(cand) {
+		w = len(cand)
+	}
+	s.parPod = *pod
+	if cap(s.parRes) < w {
+		s.parRes = make([]shardBest, w)
+		s.parJobs = make([]shardJob, w)
+	}
+	res := s.parRes[:w]
+	jobs := s.parJobs[:w]
+	chunk := (len(cand) + w - 1) / w
+	s.parWG.Add(w - 1)
+	for i := 1; i < w; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(cand) {
+			hi = len(cand)
+		}
+		jobs[i] = shardJob{s: s, snap: snap, cand: cand[lo:hi], out: &res[i], wg: &s.parWG}
+		pool.jobs <- &jobs[i]
+	}
+	res[0].idx, res[0].score = s.bestOf(&s.parPod, snap, cand[:chunk])
+	s.parWG.Wait()
+	best, bestScore := res[0].idx, res[0].score
+	for i := 1; i < w; i++ {
+		e, score := res[i].idx, res[i].score
+		if e < 0 {
+			continue
+		}
+		if best < 0 || score > bestScore ||
+			(score == bestScore && snap.nodes[e].Name < snap.nodes[best].Name) {
+			best, bestScore = e, score
+		}
+	}
+	return best
+}

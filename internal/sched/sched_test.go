@@ -23,18 +23,20 @@ func pod(name string, cpuMilli float64) PodInfo {
 func TestFitFilter(t *testing.T) {
 	f := FitFilter{}
 	n := node("n1", 4000, 3500)
-	if err := f.Filter(pod("p", 400), n); err != nil {
-		t.Errorf("should fit: %v", err)
+	p := pod("p", 400)
+	if r := f.Filter(&p, &n); r != ReasonNone {
+		t.Errorf("should fit: %v", r)
 	}
-	err := f.Filter(pod("p", 600), n)
-	if err == nil || !strings.Contains(err.Error(), "cpu") {
-		t.Errorf("want insufficient cpu, got %v", err)
+	p = pod("p", 600)
+	r := f.Filter(&p, &n)
+	if r == ReasonNone || !strings.Contains(string(r), "cpu") {
+		t.Errorf("want insufficient cpu, got %v", r)
 	}
-	// Multiple shortages named.
+	// Multiple shortages named, in canonical kind order.
 	tiny := NodeInfo{Name: "tiny", Allocatable: resource.New(100, 1<<20, 1, 1)}
-	err = f.Filter(pod("p", 600), tiny)
-	if err == nil || !strings.Contains(err.Error(), "memory") {
-		t.Errorf("want memory in %v", err)
+	r = f.Filter(&p, &tiny)
+	if r != "insufficient cpu,memory,diskio,netio" {
+		t.Errorf("want every shortage named, got %q", r)
 	}
 }
 
@@ -115,7 +117,7 @@ func TestBalancedAllocationAvoidsLopsided(t *testing.T) {
 	a := NodeInfo{Name: "a", Allocatable: resource.New(1000, 1000, 1000, 1000), Allocated: resource.New(800, 100, 100, 100)}
 	b := NodeInfo{Name: "b", Allocatable: resource.New(1000, 1000, 1000, 1000), Allocated: resource.New(300, 300, 300, 300)}
 	req := PodInfo{Requests: resource.New(100, 100, 100, 100)}
-	if p.Score(req, a) >= p.Score(req, b) {
+	if p.Score(&req, &a) >= p.Score(&req, &b) {
 		t.Error("balanced plugin should prefer the balanced node")
 	}
 }
@@ -259,24 +261,29 @@ func TestSelectorFilter(t *testing.T) {
 	n := node("n1", 4000, 0)
 	n.Labels = map[string]string{"pool": "hpc", "disk": "nvme"}
 	free := pod("p", 100)
-	if err := f.Filter(free, n); err != nil {
-		t.Errorf("no selector should match: %v", err)
+	if r := f.Filter(&free, &n); r != ReasonNone {
+		t.Errorf("no selector should match: %v", r)
 	}
 	sel := pod("p", 100)
 	sel.NodeSelector = map[string]string{"pool": "hpc"}
-	if err := f.Filter(sel, n); err != nil {
-		t.Errorf("matching selector rejected: %v", err)
+	if r := f.Filter(&sel, &n); r != ReasonNone {
+		t.Errorf("matching selector rejected: %v", r)
 	}
 	sel.NodeSelector = map[string]string{"pool": "hpc", "disk": "nvme"}
-	if err := f.Filter(sel, n); err != nil {
-		t.Errorf("multi-label selector rejected: %v", err)
+	if r := f.Filter(&sel, &n); r != ReasonNone {
+		t.Errorf("multi-label selector rejected: %v", r)
 	}
 	sel.NodeSelector = map[string]string{"pool": "svc"}
-	if err := f.Filter(sel, n); err == nil {
+	if r := f.Filter(&sel, &n); r == ReasonNone {
 		t.Error("mismatched selector should be rejected")
 	}
+	// The rich per-node message names the smallest unmatched key.
+	if msg := f.Explain(&sel, &n); msg != "selector pool=svc unmatched" {
+		t.Errorf("Explain = %q", msg)
+	}
 	sel.NodeSelector = map[string]string{"gpu": "a100"}
-	if err := f.Filter(sel, node("bare", 4000, 0)); err == nil {
+	bare := node("bare", 4000, 0)
+	if r := f.Filter(&sel, &bare); r == ReasonNone {
 		t.Error("selector against unlabeled node should be rejected")
 	}
 }
