@@ -92,18 +92,18 @@ func (s *Scheduler) parallelBest(pod *PodInfo, snap *Snapshot, cand []int32) int
 	}
 	res := s.parRes[:w]
 	jobs := s.parJobs[:w]
-	chunk := (len(cand) + w - 1) / w
+	// Shard i covers cand[i*n/w : (i+1)*n/w]: the remainder is spread
+	// across shards, every shard is non-empty (w <= n), and no bound can
+	// run past the slice — ceil-sized chunks would, once w approaches n.
+	n := len(cand)
 	s.parWG.Add(w - 1)
 	for i := 1; i < w; i++ {
-		lo := i * chunk
-		hi := lo + chunk
-		if hi > len(cand) {
-			hi = len(cand)
-		}
+		lo := i * n / w
+		hi := (i + 1) * n / w
 		jobs[i] = shardJob{s: s, snap: snap, cand: cand[lo:hi], out: &res[i], wg: &s.parWG}
 		pool.jobs <- &jobs[i]
 	}
-	res[0].idx, res[0].score = s.bestOf(&s.parPod, snap, cand[:chunk])
+	res[0].idx, res[0].score = s.bestOf(&s.parPod, snap, cand[:n/w])
 	s.parWG.Wait()
 	best, bestScore := res[0].idx, res[0].score
 	for i := 1; i < w; i++ {

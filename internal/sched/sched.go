@@ -66,8 +66,12 @@ func (n *NodeInfo) Free() resource.Vector {
 // invAllocatable caches the reciprocal of each allocatable dimension so
 // the score hot path multiplies instead of divides. Zero-capacity
 // dimensions get a zero reciprocal; the fit filter has already rejected
-// any pod demanding capacity there, so the share contribution is 0 in
-// both formulations.
+// any pod demanding capacity there, so the pod's contribution is 0 in
+// both formulations. Precondition: Allocated must also be 0 on any
+// zero-capacity dimension — a nonzero Allocated there would score as
+// share 0 here but dominant share +Inf through Vector.Div in the plugin
+// chain. The cluster never produces such nodes, and
+// Snapshot.CheckInvariants rejects them.
 func invAllocatable(alloc resource.Vector) resource.Vector {
 	var inv resource.Vector
 	for i := range alloc {

@@ -76,8 +76,13 @@ func (sn *Snapshot) Reset() {
 // AddNode appends a node to the snapshot. info.Pods is aliased until the
 // first Commit touches the entry (copy-on-write); callers that keep
 // mutating the source slice should pass a copy or use AddPod. Call Build
-// after the last AddNode.
+// after the last AddNode. Node names must be unique: a duplicate would
+// silently shadow the earlier entry in byName while both stay probeable
+// through the index, so AddNode panics rather than corrupt the snapshot.
 func (sn *Snapshot) AddNode(info NodeInfo) {
+	if _, dup := sn.byName[info.Name]; dup {
+		panic("sched: duplicate node name " + info.Name)
+	}
 	e := int32(len(sn.nodes))
 	sn.nodes = append(sn.nodes, info)
 	sn.free = append(sn.free, info.Free())
@@ -306,6 +311,14 @@ func (sn *Snapshot) CheckInvariants() error {
 		if _, live := sn.byName[sn.nodes[e].Name]; live {
 			if want := invAllocatable(sn.nodes[e].Allocatable); sn.inv[e] != want {
 				return fmt.Errorf("sched: entry %d inv cache %v, want %v", e, sn.inv[e], want)
+			}
+			// invAllocatable precondition: no allocation on a zero-capacity
+			// dimension, or fused and plugin-chain scores diverge.
+			for k := range sn.nodes[e].Allocatable {
+				if sn.nodes[e].Allocatable[k] == 0 && sn.nodes[e].Allocated[k] > 0 {
+					return fmt.Errorf("sched: entry %d (%s) allocated %v of zero-capacity kind %d",
+						e, sn.nodes[e].Name, sn.nodes[e].Allocated[k], k)
+				}
 			}
 		}
 	}

@@ -179,6 +179,58 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestParallelSmallCandidateSets: worker counts near or above the
+// candidate count must not panic and must keep choosing the sequential
+// winner. Regression test for the ceil-chunk shard split, where shard
+// lo = i*ceil(n/w) could run past the candidate slice (e.g. workers=7,
+// 10 candidates ⇒ cand[12:10]).
+func TestParallelSmallCandidateSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, workers := range []int{2, 3, 7, 10, 16, 64} {
+		for nodes := 1; nodes <= 12; nodes++ {
+			seq, par := New(PolicySpread), New(PolicySpread)
+			par.SetParallel(workers, 1)
+			snapSeq, snapPar := NewSnapshot(), NewSnapshot()
+			snapSeq.Reset()
+			snapPar.Reset()
+			for i := 0; i < nodes; i++ {
+				n := randNode(rng, i)
+				snapSeq.AddNode(n)
+				snapPar.AddNode(n)
+			}
+			snapSeq.Build()
+			snapPar.Build()
+			for i := 0; i < 20; i++ {
+				p := randPod(rng, i)
+				a, errA := seq.ScheduleOn(p, snapSeq)
+				b, errB := par.ScheduleOn(p, snapPar)
+				if a != b || (errA == nil) != (errB == nil) {
+					t.Fatalf("workers=%d nodes=%d step %d: sequential (%q,%v), parallel (%q,%v)",
+						workers, nodes, i, a, errA, b, errB)
+				}
+				if errA == nil {
+					snapSeq.Commit(a, p)
+					snapPar.Commit(b, p)
+				}
+			}
+		}
+	}
+}
+
+// TestAddNodeDuplicatePanics: a duplicate node name would corrupt the
+// byName↔order correspondence, so AddNode must refuse it loudly.
+func TestAddNodeDuplicatePanics(t *testing.T) {
+	snap := NewSnapshot()
+	snap.Reset()
+	snap.AddNode(NodeInfo{Name: "node-a", Allocatable: resource.New(1, 1, 1, 1)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddNode accepted a duplicate node name")
+		}
+	}()
+	snap.AddNode(NodeInfo{Name: "node-a", Allocatable: resource.New(2, 2, 2, 2)})
+}
+
 // TestParallelThreshold: below minNodes the fan-out must stay off.
 func TestParallelThreshold(t *testing.T) {
 	s := New(PolicySpread)
