@@ -160,8 +160,19 @@ func BenchmarkFigure5Converged(b *testing.B) {
 }
 
 func BenchmarkFigure6Scalability(b *testing.B) {
+	// One small point per shard count: the benchmark tracks kernel tick
+	// cost without paying the full 1M-pod ladder per iteration.
+	cfg := harness.ScaleConfig{
+		Seed:   benchSeed,
+		Shards: []int{1, 4},
+		Points: []harness.ScalePoint{{Nodes: 500, Pods: 5000}},
+		Ticks:  4,
+	}
 	for i := 0; i < b.N; i++ {
-		fig := harness.Figure6()
+		fig, _, err := harness.Figure6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if err := fig.Render(io.Discard); err != nil {
 			b.Fatal(err)
 		}

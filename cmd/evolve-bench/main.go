@@ -43,7 +43,26 @@ type item struct {
 	run  func(r *harness.Runner, seed int64) (renderable, error)
 }
 
-func items() []item {
+// benchOpts carries the flags that shape individual items.
+type benchOpts struct {
+	shards int  // shard counts to sweep in figure6: 0 = {1,4,8}, N = {1,N}
+	quick  bool // reduced figure6 ladder (the CI scale)
+
+	// scaleRows collects figure6's raw per-run rows for the -json
+	// summary and BENCH_6.json.
+	scaleRows []harness.ScaleRow
+}
+
+// scaleConfig resolves the figure6 sweep from the flags.
+func (o *benchOpts) scaleConfig(seed int64) harness.ScaleConfig {
+	cfg := harness.DefaultScaleConfig(seed, o.quick)
+	if o.shards > 0 {
+		cfg.Shards = []int{1, o.shards}
+	}
+	return cfg
+}
+
+func items(opts *benchOpts) []item {
 	tbl := func(id string, f func(r *harness.Runner, seed int64) (*harness.Table, error)) item {
 		return item{id, "table", func(r *harness.Runner, seed int64) (renderable, error) { return f(r, seed) }}
 	}
@@ -69,7 +88,11 @@ func items() []item {
 		}),
 		fig("figure4", func(_ *harness.Runner, seed int64) (*harness.Figure, error) { return harness.Figure4(seed) }),
 		fig("figure5", harness.Figure5),
-		fig("figure6", func(*harness.Runner, int64) (*harness.Figure, error) { return harness.Figure6(), nil }),
+		fig("figure6", func(_ *harness.Runner, seed int64) (*harness.Figure, error) {
+			f, rows, err := harness.Figure6(opts.scaleConfig(seed))
+			opts.scaleRows = rows
+			return f, err
+		}),
 		fig("figure7", harness.Figure7),
 		fig("figure8", harness.Figure8),
 		fig("figure9", harness.Figure9),
@@ -98,6 +121,11 @@ type summary struct {
 	CacheHits   uint64     `json:"cache_hits"`
 	Uncacheable uint64     `json:"uncacheable"`
 	SchedIndex  schedIndex `json:"sched_index"`
+	// Shards echoes the -shards flag (0 = default {1,4,8} sweep); Scale
+	// holds figure6's raw rows — wall-clock, ns/op and per-shard event
+	// counts per (topology, shard count) run — when figure6 was selected.
+	Shards int                `json:"shards"`
+	Scale  []harness.ScaleRow `json:"scale,omitempty"`
 }
 
 // schedIndex records the scheduler feasibility index's effectiveness on
@@ -137,7 +165,11 @@ func main() {
 	traceDir := flag.String("trace-dir", "", "directory for per-run decision traces (<scenario>__<policy>.jsonl; omit to skip)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	shards := flag.Int("shards", 0, "figure6: sweep shard counts {1,N} instead of the default {1,4,8}")
+	quick := flag.Bool("quick", false, "figure6: reduced topology ladder (the CI scale)")
 	flag.Parse()
+
+	opts := &benchOpts{shards: *shards, quick: *quick}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -164,7 +196,7 @@ func main() {
 		}()
 	}
 
-	all := items()
+	all := items(opts)
 	known := make(map[string]bool, len(all))
 	for _, it := range all {
 		known[it.id] = true
@@ -243,6 +275,8 @@ func main() {
 			CacheHits:   st.CacheHits,
 			Uncacheable: st.Uncacheable,
 			SchedIndex:  measureSchedIndex(),
+			Shards:      *shards,
+			Scale:       opts.scaleRows,
 		}); err != nil {
 			fatal(err)
 		}

@@ -33,6 +33,9 @@ type FileConfig struct {
 	// Chaos is a fault-injection plan: a named profile or a chaos-DSL
 	// string (see Options.Chaos). Empty means fault-free.
 	Chaos string `json:"chaos"`
+	// Shards runs the kernel sharded (see Options.Shards); results are
+	// byte-identical at any shard count.
+	Shards int `json:"shards"`
 
 	Pools []PoolConfig `json:"pools"`
 
@@ -150,6 +153,7 @@ func NewFromConfig(r io.Reader) (*Cluster, time.Duration, error) {
 		Overprovision: fc.Overprovision,
 		HPCQueue:      fc.HPCQueue,
 		Chaos:         fc.Chaos,
+		Shards:        fc.Shards,
 	}
 	for _, p := range fc.Pools {
 		opts.Pools = append(opts.Pools, PoolOptions{Name: p.Name, Nodes: p.Nodes})

@@ -88,6 +88,16 @@ type Options struct {
 	// sequential. Only worth enabling on multi-core machines with
 	// clusters of hundreds of nodes.
 	ScoreWorkers int
+	// Shards runs the simulation kernel sharded: the tick's per-node and
+	// per-app phases split across this many shard engines under a shared
+	// clock, with batched barrier commits. Results are byte-identical at
+	// any shard count; 0 or 1 keeps the single-engine kernel. Worth
+	// enabling for large topologies (thousands of nodes and up).
+	Shards int
+	// ShardWorkers bounds how many same-timestamp shard events run
+	// concurrently (0 = GOMAXPROCS, 1 = serial rounds). Identical
+	// results at any value.
+	ShardWorkers int
 }
 
 // PoolOptions declares one labeled node pool; its nodes carry the label
@@ -234,6 +244,8 @@ func New(opts Options) (*Cluster, error) {
 		ccfg.MeasurementNoise = opts.MeasurementNoise
 	}
 	ccfg.ScoreWorkers = opts.ScoreWorkers
+	ccfg.Shards = opts.Shards
+	ccfg.ShardWorkers = opts.ShardWorkers
 	c := cluster.New(eng, ccfg)
 	if len(opts.Pools) > 0 {
 		for _, pool := range opts.Pools {
@@ -437,7 +449,7 @@ func (cl *Cluster) Run(d time.Duration) error {
 		cl.c.Start()
 		cl.loop.Start()
 	}
-	cl.eng.Run(cl.eng.Now() + d)
+	cl.c.Run(cl.eng.Now() + d)
 	return cl.runErr
 }
 

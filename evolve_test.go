@@ -289,6 +289,37 @@ func TestDeterministicReplayAcrossClusters(t *testing.T) {
 	}
 }
 
+// TestShardsOptionByteIdentical pins the public contract of
+// Options.Shards: the sharded kernel produces exactly the results of
+// the single-engine one.
+func TestShardsOptionByteIdentical(t *testing.T) {
+	run := func(shards int) (float64, string) {
+		c, err := New(Options{Seed: 11, Nodes: 6, Shards: shards, ShardWorkers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddService(ServiceOptions{Name: "svc", BaseRate: 200}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetLoad("svc", Noisy(Diurnal(100, 500, time.Hour), 0.1, 9)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		v, _ := c.Violations("svc")
+		return v, fmt.Sprintf("%+v", c.Report())
+	}
+	v1, rep1 := run(0)
+	for _, shards := range []int{2, 5} {
+		v, rep := run(shards)
+		if v != v1 || rep != rep1 {
+			t.Errorf("shards=%d diverged: violations %v vs %v, report %s vs %s",
+				shards, v, v1, rep, rep1)
+		}
+	}
+}
+
 func TestStaticPolicyViolatesUnderPeak(t *testing.T) {
 	mk := func(policy string) float64 {
 		c, err := New(Options{Seed: 12, Nodes: 4, Policy: policy})

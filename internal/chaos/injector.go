@@ -93,6 +93,21 @@ func NewInjector(plan Plan, seed int64) *Injector {
 // Stats returns a snapshot of the injection counters.
 func (inj *Injector) Stats() Stats { return inj.stats }
 
+// Absorb folds externally accumulated counters into the injector's
+// stats. The sharded cluster evaluates SampleWith against per-app
+// sinks during parallel tick phases and folds them back at the barrier;
+// the sums are order-independent, so totals match the serial path.
+func (inj *Injector) Absorb(s Stats) {
+	inj.stats.SamplesDropped += s.SamplesDropped
+	inj.stats.SamplesFrozen += s.SamplesFrozen
+	inj.stats.SamplesSpiked += s.SamplesSpiked
+	inj.stats.Rejected += s.Rejected
+	inj.stats.Delayed += s.Delayed
+	inj.stats.Partial += s.Partial
+	inj.stats.NodeCrashes += s.NodeCrashes
+	inj.stats.NodeRestores += s.NodeRestores
+}
+
 // Arm schedules the plan's node crash/restore windows onto the engine.
 // Call once at setup (before running the simulation). Unknown node names
 // make the corresponding fault a no-op — a plan may name nodes a smaller
@@ -116,9 +131,10 @@ func (inj *Injector) Arm(eng *sim.Engine, target NodeTarget) {
 }
 
 // matches reports whether the fault applies to the app at now, using
-// hosts for node-scoped faults. Called in plan order so the Bernoulli
-// stream is deterministic.
-func (inj *Injector) matches(f *Fault, app string, now time.Duration, hosts HostChecker) bool {
+// hosts for node-scoped faults and rng for the probability draw. Faults
+// are evaluated in plan order, so for a fixed rng stream the draw
+// sequence is deterministic.
+func (inj *Injector) matches(rng *sim.RNG, f *Fault, app string, now time.Duration, hosts HostChecker) bool {
 	if !f.active(now) {
 		return false
 	}
@@ -128,28 +144,43 @@ func (inj *Injector) matches(f *Fault, app string, now time.Duration, hosts Host
 	if f.Node != "" && (hosts == nil || !hosts.AppOnNode(app, f.Node)) {
 		return false
 	}
-	return f.P >= 1 || inj.rng.Bernoulli(f.P)
+	return f.P >= 1 || rng.Bernoulli(f.P)
 }
 
 // Sample rules on one sensor sample for app at now. The first matching
 // drop/freeze fault wins; spike factors from matching spike faults
-// multiply into factor (1 when clean). Allocation-free.
+// multiply into factor (1 when clean). Allocation-free. It draws from
+// the injector's own shared stream, making the verdicts depend on the
+// order apps are sampled in; callers that need order-independent
+// replay (the sharded cluster tick) use SampleWith with per-app
+// streams instead.
 func (inj *Injector) Sample(app string, now time.Duration, hosts HostChecker) (v SampleVerdict, factor float64) {
+	return inj.SampleWith(inj.rng, &inj.stats, app, now, hosts)
+}
+
+// SampleWith is Sample with the caller supplying the Bernoulli stream
+// and the stats sink. Keying the stream per app (via sim.PartitionedRNG)
+// makes each app's fault draws a pure function of (seed, app, sample
+// sequence) — independent of how apps are interleaved, and therefore
+// identical across any shard layout. A private sink lets shards
+// evaluate faults in parallel; fold sinks back with Absorb at the
+// barrier.
+func (inj *Injector) SampleWith(rng *sim.RNG, sink *Stats, app string, now time.Duration, hosts HostChecker) (v SampleVerdict, factor float64) {
 	factor = 1
 	for i := range inj.metric {
 		f := &inj.metric[i]
-		if !inj.matches(f, app, now, hosts) {
+		if !inj.matches(rng, f, app, now, hosts) {
 			continue
 		}
 		switch f.Kind {
 		case MetricDrop:
-			inj.stats.SamplesDropped++
+			sink.SamplesDropped++
 			return SampleDrop, 1
 		case MetricFreeze:
-			inj.stats.SamplesFrozen++
+			sink.SamplesFrozen++
 			return SampleFreeze, 1
 		case MetricSpike:
-			inj.stats.SamplesSpiked++
+			sink.SamplesSpiked++
 			factor *= f.Mag
 		}
 	}
@@ -161,7 +192,7 @@ func (inj *Injector) Sample(app string, now time.Duration, hosts HostChecker) (v
 func (inj *Injector) Actuation(app string, now time.Duration) ActVerdict {
 	for i := range inj.act {
 		f := &inj.act[i]
-		if !inj.matches(f, app, now, nil) {
+		if !inj.matches(inj.rng, f, app, now, nil) {
 			continue
 		}
 		switch f.Kind {

@@ -33,6 +33,17 @@ type Config struct {
 	// ScoreThreshold is the candidate count that engages the fan-out
 	// (default sched.DefaultParallelThreshold).
 	ScoreThreshold int
+	// Shards splits the tick's per-node and per-app phases across this
+	// many shard engines driven by a sim.Coordinator under the primary
+	// engine's clock. 0 or 1 keeps the single-engine path. Entities are
+	// assigned to shards by stable name hash, and all cross-shard
+	// effects are applied at phase barriers in canonical entity order,
+	// so results are byte-identical for every shard count.
+	Shards int
+	// ShardWorkers bounds how many same-timestamp shard events execute
+	// concurrently on the shared worker pool (0 = GOMAXPROCS; 1 keeps
+	// rounds serial). Results are identical either way.
+	ShardWorkers int
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -78,6 +89,25 @@ type appState struct {
 	// h caches the per-service metric handles (see handles.go); nil
 	// until the first tick resolves them.
 	h *appHandles
+
+	// Per-app random streams (sim.PartitionedRNG): noise drives the
+	// measurement jitter, chaosRNG the injector's probability draws.
+	// Keying them by app — instead of drawing from one shared stream in
+	// app order — is what makes a tick's randomness independent of how
+	// apps are partitioned across shards.
+	noise    *sim.RNG
+	chaosRNG *sim.RNG
+
+	// Parallel-phase buffers (shard.go): writes that must not land
+	// in-place from a shard goroutine are staged here and applied at
+	// the phase barrier in appList order. The single-shard path never
+	// touches them.
+	updBuf     []registry.Object // pending registry updates, pod order
+	traceEv    obs.Event         // buffered PLO onset/clear event
+	traceSet   bool
+	tickDrop   int // SamplesDropped owed to lastTick
+	tickStale  int // SamplesStale owed to lastTick
+	chaosStats chaos.Stats
 }
 
 // sensedSample is one telemetry sample as the sensor path saw it (after
@@ -91,7 +121,7 @@ type sensedSample struct {
 // access happens on the simulation goroutine.
 type Cluster struct {
 	eng   *sim.Engine
-	rng   *sim.RNG
+	prng  *sim.PartitionedRNG // per-entity stable streams (noise, chaos)
 	store *registry.Store
 	met   *metrics.Registry
 	cfg   Config
@@ -119,8 +149,14 @@ type Cluster struct {
 	snap         *sched.Snapshot
 	scratchQueue []*PodObject
 	scratchRun   []*PodObject
-	slowdown     map[string]float64
+	nodeUpd      []registry.Object // sharded path: buffered node updates
 	h            *clusterHandles
+
+	// Sharded kernel (nil / empty on the single-engine path). co drives
+	// the shard engines under the primary clock; shards holds each
+	// shard's partition of nodes and apps (see shard.go).
+	co     *sim.Coordinator
+	shards []*shardState
 
 	podSeq  uint64
 	started bool
@@ -143,9 +179,12 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 	if cfg.ScoreWorkers > 1 {
 		sch.SetParallel(cfg.ScoreWorkers, cfg.ScoreThreshold)
 	}
-	return &Cluster{
-		eng:   eng,
-		rng:   eng.RNG().Fork(),
+	c := &Cluster{
+		eng: eng,
+		// One engine draw seeds every per-entity stream; taken here, in
+		// New, so the derived streams do not depend on cluster topology
+		// or shard count.
+		prng:  sim.NewPartitionedRNG(eng.RNG().Int63()),
 		store: registry.NewStore(),
 		met:   metrics.NewRegistry(),
 		cfg:   cfg,
@@ -154,12 +193,29 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 		pods:  make(map[string]*PodObject),
 		apps:  make(map[string]*appState),
 
-		byNode:   make(map[string][]*PodObject),
-		byApp:    make(map[string][]*PodObject),
-		snap:     sched.NewSnapshot(),
-		slowdown: make(map[string]float64),
-		tracer:   obs.Nop(),
+		byNode: make(map[string][]*PodObject),
+		byApp:  make(map[string][]*PodObject),
+		snap:   sched.NewSnapshot(),
+		tracer: obs.Nop(),
 	}
+	if cfg.Shards > 1 {
+		c.initShards(cfg.Shards, cfg.ShardWorkers)
+	}
+	return c
+}
+
+// Coordinator returns the shard coordinator, or nil on the
+// single-engine path.
+func (c *Cluster) Coordinator() *sim.Coordinator { return c.co }
+
+// Run advances the simulation until the shared clock reaches the
+// absolute time until: through the coordinator when sharded, directly
+// on the engine otherwise. It returns the number of events executed.
+func (c *Cluster) Run(until time.Duration) uint64 {
+	if c.co != nil {
+		return c.co.Run(until)
+	}
+	return c.eng.Run(until)
 }
 
 // Tracer returns the cluster's decision tracer (the shared no-op tracer
@@ -610,6 +666,24 @@ func (c *Cluster) RestoreNode(name string) error {
 func (c *Cluster) update(obj registry.Object) {
 	if err := c.store.Update(obj); err != nil {
 		c.registryFault(obj, err)
+	}
+}
+
+// applyUpdates commits a batch of buffered mutations in slice order with
+// the same absorb-on-fault semantics as that many update calls: the
+// registry's version trajectory and fault accounting are identical, the
+// per-call overhead is paid once. The sharded tick's barriers use it.
+// The buffered objects always come out of the cluster's own indexes —
+// the very pointers the store holds — which is what licenses the
+// ApplyOwned fast path.
+func (c *Cluster) applyUpdates(objs []registry.Object) {
+	for len(objs) > 0 {
+		n, err := c.store.ApplyOwned(objs)
+		if err == nil {
+			return
+		}
+		c.registryFault(objs[n], err)
+		objs = objs[n+1:]
 	}
 }
 

@@ -114,18 +114,28 @@ func (c *Cluster) indexMarkPending(p *PodObject) {
 }
 
 // indexAddNode keeps nodeList name-sorted; nodes are never removed.
+// When the kernel is sharded, the node also joins its shard's
+// partition (stable name hash — see shard.go).
 func (c *Cluster) indexAddNode(n *NodeObject) {
 	i := sort.Search(len(c.nodeList), func(j int) bool { return c.nodeList[j].Name > n.Name })
 	c.nodeList = append(c.nodeList, nil)
 	copy(c.nodeList[i+1:], c.nodeList[i:])
 	c.nodeList[i] = n
+	if c.shards != nil {
+		c.shards[shardOfNode(n.Name, len(c.shards))].addNode(n)
+	}
 }
 
 // indexAddApp keeps appList name-sorted; services are never removed.
+// When the kernel is sharded, the service also joins its shard's
+// partition.
 func (c *Cluster) indexAddApp(st *appState) {
 	name := st.obj.Spec.Name
 	i := sort.Search(len(c.appList), func(j int) bool { return c.appList[j].obj.Spec.Name > name })
 	c.appList = append(c.appList, nil)
 	copy(c.appList[i+1:], c.appList[i:])
 	c.appList[i] = st
+	if c.shards != nil {
+		c.shards[shardOfApp(name, len(c.shards))].addApp(st)
+	}
 }

@@ -65,6 +65,12 @@ type NodeObject struct {
 	Allocated resource.Vector
 	// Usage is the lagged sum of pod usage, used for interference.
 	Usage resource.Vector
+
+	// Tick scratch, owned by the node's shard during parallel phases:
+	// slow is the interference slowdown computed from last tick's usage,
+	// running the bound-and-running pod count from the usage refresh.
+	slow    float64
+	running int
 }
 
 // GetMeta implements registry.Object.

@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"evolve/internal/registry"
+	"evolve/internal/resource"
+	"evolve/internal/sim"
+)
+
+// Bulk provisioning.
+//
+// The incremental mutation paths (AddNode, CreateService + scheduling)
+// keep every index sorted per insert — exactly right for the steady
+// state, quadratic when standing up a 100k-node, million-pod topology
+// before the clock starts. ProvisionBulk is the setup-time alternative:
+// append everything, sort each index once, and bring service replicas
+// up already bound — round-robin over the ready nodes from a stable
+// per-service offset — so no scheduling round has to place a million
+// pods one by one. The resulting indexes satisfy the same invariants as
+// the incremental paths (index.go); index_test.go's checker does not
+// care how they were built.
+
+// Provision describes a topology to stand up in one pass: a block of
+// identical nodes plus services whose replicas come up already placed
+// and serving.
+type Provision struct {
+	// NodePrefix/Nodes/NodeCapacity add Nodes identical nodes named
+	// prefix-0..prefix-N-1 (Nodes may be 0 to reuse existing topology).
+	NodePrefix   string
+	Nodes        int
+	NodeCapacity resource.Vector
+	// Services are deployed with InitialReplicas replicas each, bound
+	// round-robin over the ready nodes starting at a stable per-service
+	// offset. Replicas that fit nowhere stay pending.
+	Services []ServiceSpec
+}
+
+// ProvisionBulk stands the topology up before the simulation starts.
+// Setup-time only: it refuses to run once Start has armed the tick.
+// Unlike the incremental paths it journals no per-object events; with an
+// enabled tracer the registry watch still mirrors every Added object.
+func (c *Cluster) ProvisionBulk(p Provision) error {
+	if c.started {
+		return fmt.Errorf("cluster: ProvisionBulk after Start")
+	}
+	if p.Nodes > 0 && (!p.NodeCapacity.NonNegative() || p.NodeCapacity.IsZero()) {
+		return fmt.Errorf("cluster: ProvisionBulk node capacity %v invalid", p.NodeCapacity)
+	}
+	for _, spec := range p.Services {
+		if err := spec.Validate(); err != nil {
+			return err
+		}
+		if _, ok := c.apps[spec.Name]; ok {
+			return fmt.Errorf("cluster: service %s already exists", spec.Name)
+		}
+	}
+
+	// Nodes: append, sort once, rebuild the shard partitions in order.
+	for i := 0; i < p.Nodes; i++ {
+		name := fmt.Sprintf("%s-%d", p.NodePrefix, i)
+		if _, ok := c.nodes[name]; ok {
+			return fmt.Errorf("cluster: node %s already exists", name)
+		}
+		n := &NodeObject{
+			Meta:        registry.Meta{Kind: KindNode, Name: name},
+			Capacity:    p.NodeCapacity,
+			Allocatable: p.NodeCapacity.Scale(0.94),
+			Ready:       true,
+		}
+		if err := c.store.Create(n); err != nil {
+			return err
+		}
+		c.nodes[name] = n
+		c.nodeList = append(c.nodeList, n)
+	}
+	if p.Nodes > 0 {
+		sort.Slice(c.nodeList, func(i, j int) bool { return c.nodeList[i].Name < c.nodeList[j].Name })
+		c.reshardNodes()
+	}
+
+	ready := make([]*NodeObject, 0, len(c.nodeList))
+	for _, n := range c.nodeList {
+		if n.Ready {
+			ready = append(ready, n)
+		}
+	}
+
+	now := c.now()
+	touchedNodes := make(map[string]struct{})
+	var placed, unplaced uint64
+	for _, spec := range p.Services {
+		obj := &AppObject{
+			Meta:            registry.Meta{Kind: KindApp, Name: spec.Name},
+			Spec:            spec,
+			DesiredReplicas: spec.InitialReplicas,
+			Alloc:           spec.InitialAlloc,
+		}
+		if err := c.store.Create(obj); err != nil {
+			return err
+		}
+		st := c.newAppState(obj)
+		c.apps[spec.Name] = st
+		c.appList = append(c.appList, st)
+
+		// Stable start offset: each service begins its round-robin at a
+		// hash of its own name, so placement spreads services across the
+		// fleet and never depends on deployment order.
+		cursor := 0
+		if len(ready) > 0 {
+			cursor = sim.ShardOf("place/"+spec.Name, len(ready))
+		}
+		for i := 0; i < spec.InitialReplicas; i++ {
+			pod := &PodObject{
+				Meta:      registry.Meta{Kind: KindPod, Name: c.nextPodName(spec.Name)},
+				App:       spec.Name,
+				Phase:     Pending,
+				Requests:  obj.Alloc,
+				Priority:  spec.Priority,
+				CreatedAt: now,
+			}
+			if n := nextFit(ready, cursor, pod.Requests); n != nil {
+				pod.Phase = Running
+				pod.Node = n.Name
+				pod.BoundAt = now
+				pod.ReadyAt = now // provisioned replicas come up serving
+				n.Allocated = n.Allocated.Add(pod.Requests)
+				touchedNodes[n.Name] = struct{}{}
+				placed++
+			} else {
+				unplaced++
+			}
+			cursor++
+			if err := c.store.Create(pod); err != nil {
+				return err
+			}
+			c.pods[pod.Name] = pod
+			c.byName = append(c.byName, pod)
+			c.byApp[spec.Name] = append(c.byApp[spec.Name], pod)
+			if pod.Node != "" {
+				c.byNode[pod.Node] = append(c.byNode[pod.Node], pod)
+			} else {
+				c.pending = append(c.pending, pod)
+			}
+		}
+		sort.Slice(c.byApp[spec.Name], func(i, j int) bool {
+			s := c.byApp[spec.Name]
+			return byCreationLess(s[i], s[j])
+		})
+	}
+
+	// One sort per index restores the invariants of index.go.
+	if len(p.Services) > 0 {
+		sort.Slice(c.appList, func(i, j int) bool { return c.appList[i].obj.Spec.Name < c.appList[j].obj.Spec.Name })
+		c.reshardApps()
+		sort.Slice(c.byName, func(i, j int) bool { return byNameLess(c.byName[i], c.byName[j]) })
+		sort.Slice(c.pending, func(i, j int) bool { return pendingLess(c.pending[i], c.pending[j]) })
+		for name := range touchedNodes {
+			s := c.byNode[name]
+			sort.Slice(s, func(i, j int) bool { return byNameLess(s[i], s[j]) })
+		}
+	}
+	c.met.Counter("provision/pods").Add(placed)
+	c.met.Counter("provision/unplaced").Add(unplaced)
+	return nil
+}
+
+// nextFit returns the first ready node at or after cursor (wrapping)
+// with headroom for req, or nil when none fits.
+func nextFit(ready []*NodeObject, cursor int, req resource.Vector) *NodeObject {
+	for k := 0; k < len(ready); k++ {
+		n := ready[(cursor+k)%len(ready)]
+		if fits(req, n.Free()) {
+			return n
+		}
+	}
+	return nil
+}
+
+func fits(req, free resource.Vector) bool {
+	for _, k := range resource.Kinds() {
+		if req[k] > free[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// reshardNodes rebuilds every shard's node partition from the sorted
+// nodeList; appending in list order keeps each partition sorted.
+func (c *Cluster) reshardNodes() {
+	if c.shards == nil {
+		return
+	}
+	for _, sh := range c.shards {
+		sh.nodes = sh.nodes[:0]
+	}
+	for _, n := range c.nodeList {
+		sh := c.shards[shardOfNode(n.Name, len(c.shards))]
+		sh.nodes = append(sh.nodes, n)
+	}
+}
+
+// reshardApps rebuilds every shard's app partition from the sorted
+// appList.
+func (c *Cluster) reshardApps() {
+	if c.shards == nil {
+		return
+	}
+	for _, sh := range c.shards {
+		sh.apps = sh.apps[:0]
+	}
+	for _, st := range c.appList {
+		sh := c.shards[shardOfApp(st.obj.Spec.Name, len(c.shards))]
+		sh.apps = append(sh.apps, st)
+	}
+}

@@ -31,17 +31,28 @@ func (c *Cluster) CreateService(spec ServiceSpec) error {
 	if err := c.store.Create(obj); err != nil {
 		return err
 	}
-	st := &appState{
-		obj:     obj,
-		tracker: plo.NewTracker(spec.PLO),
-		loadFn:  func(time.Duration) float64 { return 0 },
-	}
+	st := c.newAppState(obj)
 	c.apps[spec.Name] = st
 	c.indexAddApp(st)
 	for i := 0; i < spec.InitialReplicas; i++ {
 		c.addReplica(st)
 	}
 	return nil
+}
+
+// newAppState builds the bookkeeping for a created service, including
+// its per-app random streams. The streams are keyed by app name, so a
+// service observes the same noise and fault draws no matter how many
+// other services exist or which shard it lands on.
+func (c *Cluster) newAppState(obj *AppObject) *appState {
+	name := obj.Spec.Name
+	return &appState{
+		obj:      obj,
+		tracker:  plo.NewTracker(obj.Spec.PLO),
+		loadFn:   func(time.Duration) float64 { return 0 },
+		noise:    c.prng.Stream("noise/" + name),
+		chaosRNG: c.prng.Stream("chaos/" + name),
+	}
 }
 
 // SetLoadFunc installs the offered-load function (ops/second over virtual

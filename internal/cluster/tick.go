@@ -24,16 +24,18 @@ func (c *Cluster) tick() {
 	c.lastTick = TickResult{At: c.now()}
 	c.schedulePending()
 
-	// Node interference from last tick's usage (telemetry lag). The
-	// slowdown map is scratch, cleared and refilled each tick.
-	clear(c.slowdown)
-	for name, n := range c.nodes {
-		s := 1.0
-		if c.cfg.Interference && n.Ready {
-			pressure, _ := n.Usage.DominantShare(n.Allocatable)
-			s = perf.InterferenceSlowdown(pressure)
-		}
-		c.slowdown[name] = s
+	if c.co != nil {
+		// Sharded kernel: the same work, decomposed into per-node and
+		// per-app phases fanned out across the shard engines (shard.go).
+		// Byte-identical to the path below for any shard count.
+		c.tickSharded()
+		return
+	}
+
+	// Node interference from last tick's usage (telemetry lag); n.slow
+	// is tick scratch on the node object.
+	for _, n := range c.nodeList {
+		c.nodeSlowdown(n)
 	}
 
 	now := c.now()
@@ -81,7 +83,7 @@ func (c *Cluster) tick() {
 			var slow float64
 			for _, p := range running {
 				alloc = alloc.Add(p.Requests)
-				slow += c.slowdown[p.Node]
+				slow += c.nodes[p.Node].slow
 			}
 			alloc = alloc.Scale(1 / float64(len(running)))
 			slow /= float64(len(running))
@@ -93,10 +95,11 @@ func (c *Cluster) tick() {
 			}
 		}
 
-		// Measurement noise on the SLIs.
+		// Measurement noise on the SLIs, drawn from the app's own keyed
+		// stream so the value does not depend on app iteration order.
 		noise := 1.0
 		if c.cfg.MeasurementNoise > 0 {
-			noise = c.rng.Jitter(1, c.cfg.MeasurementNoise)
+			noise = st.noise.Jitter(1, c.cfg.MeasurementNoise)
 		}
 		meanLat := result.MeanLatency.Seconds() * noise
 		p99Lat := result.P99Latency.Seconds() * noise
@@ -121,7 +124,7 @@ func (c *Cluster) tick() {
 		s := sensedSample{sli: sli, mean: meanLat, p99: p99Lat, tput: throughput, offered: lambda, usage: result.Usage, util: result.Utilisation}
 		deliver, stale := true, false
 		if c.chaos != nil {
-			switch v, factor := c.chaos.Sample(spec.Name, now, c); v {
+			switch v, factor := c.chaos.SampleWith(st.chaosRNG, &st.chaosStats, spec.Name, now, c); v {
 			case chaos.SampleDrop:
 				deliver = false
 				c.lastTick.SamplesDropped++
@@ -195,6 +198,12 @@ func (c *Cluster) tick() {
 		if sli > 0 {
 			st.histogram(c.met).Observe(sli)
 		}
+		if c.chaos != nil {
+			// SampleWith accumulated into the app's private sink (shared
+			// shape with the parallel path); fold it into the injector.
+			c.chaos.Absorb(st.chaosStats)
+			st.chaosStats = chaos.Stats{}
+		}
 	}
 
 	// Refresh node usage sums and cluster-level series.
@@ -233,6 +242,34 @@ func (c *Cluster) tick() {
 	// Consolidation signal: ready nodes hosting nothing could be
 	// suspended; the energy model (internal/cost) consumes this.
 	ch.emptyNodes.Add(now, float64(emptyNodes))
+}
+
+// nodeSlowdown refreshes n.slow — the interference slowdown derived
+// from last tick's usage. Shared by the serial tick and phase1 of the
+// sharded tick.
+func (c *Cluster) nodeSlowdown(n *NodeObject) {
+	s := 1.0
+	if c.cfg.Interference && n.Ready {
+		pressure, _ := n.Usage.DominantShare(n.Allocatable)
+		s = perf.InterferenceSlowdown(pressure)
+	}
+	n.slow = s
+}
+
+// phaseNodeUsage re-derives one node's usage sum and running-pod count
+// from its bound pods; the sharded tick's P3 calls it per shard, and
+// flushNodes consumes n.running for the consolidation signal.
+func (c *Cluster) phaseNodeUsage(n *NodeObject) {
+	var usage resource.Vector
+	running := 0
+	for _, p := range c.byNode[n.Name] {
+		if p.Phase == Running {
+			usage = usage.Add(p.Usage)
+			running++
+		}
+	}
+	n.Usage = usage
+	n.running = running
 }
 
 // UtilisationSummary returns the time-weighted mean cluster allocation

@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"evolve/internal/obs"
+)
+
+// The sharded kernel's headline guarantee: the same scenario replays
+// byte-identically at every shard count — Reports and trace streams
+// alike — chaos on or off. These tests pin that guarantee; shard.go
+// documents the phase/barrier discipline that earns it.
+
+// determinismScenario is a reduced-scale converged mix: interactive
+// services, batch DAGs and rigid HPC gangs contending on five nodes,
+// with measurement noise so the per-app random streams are exercised.
+func determinismScenario(seed int64, chaosPlan string) Scenario {
+	sc := BuildScenario(MixConverged, seed)
+	sc.Duration = 30 * time.Minute
+	sc.Warmup = 5 * time.Minute
+	sc.MeasurementNoise = 0.05
+	sc.Chaos = chaosPlan
+	// Resubmit the background streams on a cadence that fits the short
+	// run (the standard streams mostly land after the 30m horizon).
+	sc.BatchJobs = BatchStream(3, 7*time.Minute, 1)
+	sc.HPCJobs = HPCStream(4, 6*time.Minute, 6)
+	return sc
+}
+
+// chaosEverything lands every fault kind inside the 30m horizon.
+const chaosEverything = "node-crash@12m-18m:node=node-0;metric-drop@5m:p=0.2;" +
+	"act-reject@6m:p=0.25;metric-spike@8m:p=0.05,mag=1.5;act-delay@7m:p=0.2,delay=10s"
+
+// runFingerprint executes the scenario under the EVOLVE policy with a
+// trace sink attached and returns two byte-exact artefacts: the
+// rendered Report (minus the cluster pointer) and the full JSONL trace
+// stream. %+v formatting round-trips float64 (shortest representation
+// is injective), so string equality is bit equality.
+func runFingerprint(t *testing.T, sc Scenario) (report, trace string) {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := obs.New(1 << 15)
+	tr.SetSink(&buf)
+	res, err := runScenario(sc, StandardPolicies()[0], nil, tr)
+	if err != nil {
+		t.Fatalf("runScenario(shards=%d): %v", sc.Shards, err)
+	}
+	if err := tr.SinkErr(); err != nil {
+		t.Fatalf("trace sink: %v", err)
+	}
+	res.Cluster = nil
+	return fmt.Sprintf("%+v", *res), buf.String()
+}
+
+// TestShardedRunsByteIdentical replays the converged scenario at shard
+// counts {1, 2, 4, 7, 16}, chaos off and on, and demands byte-identical
+// Reports and trace streams against the single-engine baseline.
+func TestShardedRunsByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		plan string
+	}{
+		{"fault-free", ""},
+		{"chaos", chaosEverything},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := determinismScenario(101, tc.plan)
+			base.Shards = 1
+			wantReport, wantTrace := runFingerprint(t, base)
+			if wantTrace == "" {
+				t.Fatal("baseline produced an empty trace stream")
+			}
+			for _, shards := range []int{2, 4, 7, 16} {
+				sc := determinismScenario(101, tc.plan)
+				sc.Shards = shards
+				sc.ShardWorkers = 1
+				gotReport, gotTrace := runFingerprint(t, sc)
+				if gotReport != wantReport {
+					t.Errorf("shards=%d: Report diverged from 1-shard baseline\n got: %s\nwant: %s",
+						shards, gotReport, wantReport)
+				}
+				if gotTrace != wantTrace {
+					t.Errorf("shards=%d: trace stream diverged from 1-shard baseline (%d vs %d bytes)",
+						shards, len(gotTrace), len(wantTrace))
+				}
+			}
+		})
+	}
+}
+
+// TestShardedParallelWorkersDeterministic pins worker-count invariance:
+// with 4 shards, ticking same-timestamp shards in parallel (4 workers)
+// must produce the same bytes as serial rounds (1 worker). Under
+// `go test -race` this is also the race gate for the parallel phase
+// fan-out across the cluster, chaos and metrics layers.
+func TestShardedParallelWorkersDeterministic(t *testing.T) {
+	base := determinismScenario(202, chaosEverything)
+	base.Shards = 4
+	base.ShardWorkers = 1
+	wantReport, wantTrace := runFingerprint(t, base)
+
+	par := determinismScenario(202, chaosEverything)
+	par.Shards = 4
+	par.ShardWorkers = 4
+	gotReport, gotTrace := runFingerprint(t, par)
+
+	if gotReport != wantReport {
+		t.Errorf("parallel workers: Report diverged\n got: %s\nwant: %s", gotReport, wantReport)
+	}
+	if gotTrace != wantTrace {
+		t.Errorf("parallel workers: trace stream diverged (%d vs %d bytes)", len(gotTrace), len(wantTrace))
+	}
+}

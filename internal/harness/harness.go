@@ -73,6 +73,12 @@ type Scenario struct {
 	// means fault-free. The injector is seeded from Seed, so chaos runs
 	// replay bit-for-bit.
 	Chaos string
+	// Shards runs the cluster on the sharded kernel (cluster.Config's
+	// Shards); 0 or 1 keeps the single-engine path. Results are
+	// byte-identical either way. ShardWorkers bounds same-timestamp
+	// parallelism (0 = GOMAXPROCS).
+	Shards       int
+	ShardWorkers int
 }
 
 // Validate reports scenario construction errors.
@@ -229,6 +235,8 @@ func runScenario(sc Scenario, pol Policy, hooks []Hook, tr *obs.Tracer) (*Result
 	if sc.MeasurementNoise > 0 {
 		ccfg.MeasurementNoise = sc.MeasurementNoise
 	}
+	ccfg.Shards = sc.Shards
+	ccfg.ShardWorkers = sc.ShardWorkers
 	c := cluster.New(eng, ccfg)
 	c.SetTracer(tr)
 	if len(sc.Pools) > 0 {
@@ -322,7 +330,7 @@ func runScenario(sc Scenario, pol Policy, hooks []Hook, tr *obs.Tracer) (*Result
 	}
 	loop.Start()
 
-	eng.Run(sc.Duration)
+	c.Run(sc.Duration)
 	if runErr != nil {
 		return nil, fmt.Errorf("harness: scenario %s under %s: %w", sc.Name, pol.Name, runErr)
 	}

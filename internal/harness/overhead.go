@@ -159,27 +159,6 @@ func Table4() *Table {
 	return t
 }
 
-// Figure6 sweeps controller fleet size and node count, reporting
-// wall-clock decision and placement latency.
-func Figure6() *Figure {
-	f := &Figure{
-		ID:      "Figure 6",
-		Title:   "Control-plane scalability (wall-clock)",
-		XLabel:  "scale (apps or nodes)",
-		Columns: []string{"decision ns/op", "placement ns/op"},
-	}
-	scales := []int{10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
-	for _, n := range scales {
-		dec := MeasureDecisionLatency(n, 4000/maxIntH(n/10, 1))
-		pl := MeasureScheduleLatency(n, 1000)
-		if err := f.AddPoint(float64(n), float64(dec.Nanoseconds()), float64(pl.Nanoseconds())); err != nil {
-			panic(err) // impossible: fixed arity
-		}
-	}
-	f.Notes = append(f.Notes, "both curves should grow roughly linearly; absolute values are machine-dependent")
-	return f
-}
-
 func maxIntH(a, b int) int {
 	if a > b {
 		return a

@@ -1,0 +1,247 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"evolve/internal/cluster"
+	"evolve/internal/perf"
+	"evolve/internal/plo"
+	"evolve/internal/resource"
+	"evolve/internal/sim"
+)
+
+// Figure 6 — simulation-kernel scalability. The old control-plane
+// latency sweep moved into Table 4; Figure 6 now answers the question
+// the sharded kernel exists for: how fast does one telemetry tick run
+// as the substrate grows to 100k nodes / 1M pods, and what does
+// sharding buy at each scale? Topologies are stood up with
+// cluster.ProvisionBulk (replicas come up bound and serving, so the
+// sweep measures the kernel, not setup), then driven for a fixed
+// number of metric ticks per (point, shard count) with the wall clock
+// around Run only.
+
+// ScalePoint is one topology size of the sweep.
+type ScalePoint struct {
+	Nodes int
+	Pods  int
+}
+
+// ScaleRow is the measured outcome of one (point, shard count) run —
+// the record evolve-bench embeds in BENCH_6.json.
+type ScaleRow struct {
+	Nodes   int     `json:"nodes"`
+	Pods    int     `json:"pods"`
+	Shards  int     `json:"shards"`
+	Workers int     `json:"workers"`
+	Ticks   int     `json:"ticks"`
+	WallMS  float64 `json:"wall_ms"`
+	// MSPerTick is wall-clock per telemetry tick; NsPerPodTick the same
+	// normalised per pod — the kernel's unit cost.
+	MSPerTick    float64 `json:"ms_per_tick"`
+	NsPerPodTick float64 `json:"ns_per_pod_tick"`
+	// Events counts kernel events executed during the measured window;
+	// ShardEvents breaks them down per shard engine (empty at 1 shard).
+	Events      uint64   `json:"events"`
+	ShardEvents []uint64 `json:"shard_events,omitempty"`
+	// Speedup is wall(1 shard)/wall(this row) at the same point; 1.0 for
+	// the baseline rows.
+	Speedup float64 `json:"speedup"`
+}
+
+// ScaleConfig parameterises the Figure 6 sweep.
+type ScaleConfig struct {
+	Seed   int64
+	Shards []int        // shard counts per point; first entry is the baseline
+	Points []ScalePoint // topology ladder
+	Ticks  int          // metric ticks driven per run
+	// Workers bounds same-timestamp shard parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultScalePoints returns the topology ladder: the full Figure 6
+// ladder tops out at 100k nodes / 1M pods; quick is the reduced ladder
+// CI runs.
+func DefaultScalePoints(quick bool) []ScalePoint {
+	if quick {
+		return []ScalePoint{
+			{Nodes: 500, Pods: 5_000},
+			{Nodes: 2_000, Pods: 20_000},
+			{Nodes: 5_000, Pods: 50_000},
+		}
+	}
+	return []ScalePoint{
+		{Nodes: 1_000, Pods: 10_000},
+		{Nodes: 5_000, Pods: 50_000},
+		{Nodes: 10_000, Pods: 100_000},
+		{Nodes: 25_000, Pods: 250_000},
+		{Nodes: 50_000, Pods: 500_000},
+		{Nodes: 100_000, Pods: 1_000_000},
+	}
+}
+
+// DefaultScaleConfig is what evolve-bench runs when -shards is not
+// given: the ladder under shard counts {1, 4, 8}.
+func DefaultScaleConfig(seed int64, quick bool) ScaleConfig {
+	return ScaleConfig{
+		Seed:   seed,
+		Shards: []int{1, 4, 8},
+		Points: DefaultScalePoints(quick),
+		Ticks:  6,
+	}
+}
+
+// Figure6 runs the kernel scale sweep and returns both the rendered
+// figure (X = pods, one ms/tick column per shard count) and the raw
+// per-run rows.
+func Figure6(cfg ScaleConfig) (*Figure, []ScaleRow, error) {
+	if len(cfg.Shards) == 0 {
+		cfg.Shards = []int{1, 4, 8}
+	}
+	if len(cfg.Points) == 0 {
+		cfg.Points = DefaultScalePoints(false)
+	}
+	if cfg.Ticks <= 0 {
+		cfg.Ticks = 6
+	}
+	f := &Figure{
+		ID:     "Figure 6",
+		Title:  "Simulation-kernel scalability (wall-clock per tick)",
+		XLabel: "pods",
+	}
+	for _, s := range cfg.Shards {
+		f.Columns = append(f.Columns, fmt.Sprintf("ms/tick (%d shard)", s))
+	}
+	rows := make([]ScaleRow, 0, len(cfg.Points)*len(cfg.Shards))
+	for _, pt := range cfg.Points {
+		ys := make([]float64, 0, len(cfg.Shards))
+		var baseWall float64
+		for i, shards := range cfg.Shards {
+			row, err := runScalePoint(cfg.Seed, pt, shards, cfg.Workers, cfg.Ticks)
+			if err != nil {
+				return nil, nil, err
+			}
+			if i == 0 {
+				baseWall = row.WallMS
+			}
+			if row.WallMS > 0 {
+				row.Speedup = baseWall / row.WallMS
+			}
+			rows = append(rows, row)
+			ys = append(ys, row.MSPerTick)
+		}
+		if err := f.AddPoint(float64(pt.Pods), ys...); err != nil {
+			return nil, nil, err
+		}
+	}
+	f.Notes = append(f.Notes,
+		"provisioned via cluster.ProvisionBulk; wall clock measures Run only",
+		"absolute values are machine-dependent; shard counts replay byte-identically")
+	return f, rows, nil
+}
+
+// scaleService builds one service of the sweep topology; requests are
+// sized so density pods per node fit a standard node with headroom.
+func scaleService(name string, replicas, density int) cluster.ServiceSpec {
+	if density < 1 {
+		density = 1
+	}
+	node := StandardNode().Scale(0.94)
+	req := resource.New(500, 1<<30, 1e6, 1e6)
+	for _, k := range resource.Kinds() {
+		if cap := node[k] / float64(density) * 0.9; req[k] > cap {
+			req[k] = cap
+		}
+	}
+	return cluster.ServiceSpec{
+		Name: name,
+		Model: perf.ServiceModel{
+			BaseLatency:      2 * time.Millisecond,
+			DemandPerOp:      resource.New(10, 0, 20e3, 50e3),
+			MemFixed:         256 << 20,
+			MemPerConcurrent: 4 << 20,
+			MaxLatency:       30 * time.Second,
+		},
+		PLO:             plo.Latency(100 * time.Millisecond),
+		InitialReplicas: replicas,
+		InitialAlloc:    req,
+		MaxReplicas:     replicas + 1,
+		Priority:        100,
+	}
+}
+
+// scaleServices splits the pod budget across a service fleet that grows
+// with it (one service per ~2k pods, between 4 and 512 services).
+func scaleServices(pods, density int) []cluster.ServiceSpec {
+	apps := pods / 2048
+	if apps < 4 {
+		apps = 4
+	}
+	if apps > 512 {
+		apps = 512
+	}
+	if apps > pods {
+		apps = pods
+	}
+	per := pods / apps
+	rem := pods - per*apps
+	specs := make([]cluster.ServiceSpec, apps)
+	for i := range specs {
+		n := per
+		if i < rem {
+			n++
+		}
+		specs[i] = scaleService(fmt.Sprintf("svc-%03d", i), n, density)
+	}
+	return specs
+}
+
+// runScalePoint stands up one topology and drives it for ticks metric
+// ticks under the given shard count.
+func runScalePoint(seed int64, pt ScalePoint, shards, workers, ticks int) (ScaleRow, error) {
+	eng := sim.NewEngine(seed)
+	ccfg := cluster.DefaultConfig()
+	if shards > 1 {
+		ccfg.Shards = shards
+		ccfg.ShardWorkers = workers
+	}
+	c := cluster.New(eng, ccfg)
+	density := (pt.Pods + pt.Nodes - 1) / pt.Nodes
+	specs := scaleServices(pt.Pods, density)
+	err := c.ProvisionBulk(cluster.Provision{
+		NodePrefix:   "node",
+		Nodes:        pt.Nodes,
+		NodeCapacity: StandardNode(),
+		Services:     specs,
+	})
+	if err != nil {
+		return ScaleRow{}, fmt.Errorf("harness: scale point %d/%d: %w", pt.Nodes, pt.Pods, err)
+	}
+	if unplaced := c.Metrics().Counter("provision/unplaced").Value(); unplaced > 0 {
+		return ScaleRow{}, fmt.Errorf("harness: scale point %d/%d: %d replicas did not fit", pt.Nodes, pt.Pods, unplaced)
+	}
+	for _, spec := range specs {
+		lambda := 20 * float64(spec.InitialReplicas)
+		if err := c.SetLoadFunc(spec.Name, func(time.Duration) float64 { return lambda }); err != nil {
+			return ScaleRow{}, err
+		}
+	}
+	c.Start()
+	start := time.Now()
+	events := c.Run(time.Duration(ticks) * ccfg.MetricsInterval)
+	wall := time.Since(start)
+
+	row := ScaleRow{
+		Nodes: pt.Nodes, Pods: pt.Pods, Shards: shards, Workers: workers, Ticks: ticks,
+		WallMS:    float64(wall.Microseconds()) / 1000,
+		MSPerTick: float64(wall.Microseconds()) / 1000 / float64(ticks),
+		Events:    events,
+	}
+	if pt.Pods > 0 && ticks > 0 {
+		row.NsPerPodTick = float64(wall.Nanoseconds()) / float64(ticks) / float64(pt.Pods)
+	}
+	if co := c.Coordinator(); co != nil {
+		row.ShardEvents = co.ShardSteps(nil)
+	}
+	return row, nil
+}

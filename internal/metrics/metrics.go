@@ -350,9 +350,13 @@ func (c *Counter) Add(delta uint64) { c.n += delta }
 func (c *Counter) Value() uint64    { return c.n }
 
 // Registry names and owns a set of series, histograms and counters for one
-// simulation run. Not safe for concurrent use; the simulation is
-// single-threaded.
+// simulation run. Name resolution (Series/Histogram/Counter lookup and
+// lazy creation) is guarded by a mutex because the sharded kernel's
+// parallel tick phases may resolve instruments concurrently; writes to
+// a resolved instrument remain single-writer per instrument, which is
+// the discipline the tick phases follow.
 type Registry struct {
+	mu         sync.Mutex
 	series     map[string]*Series
 	histograms map[string]*Histogram
 	counters   map[string]*Counter
@@ -369,32 +373,38 @@ func NewRegistry() *Registry {
 
 // Series returns (creating if needed) the named series.
 func (r *Registry) Series(name string) *Series {
+	r.mu.Lock()
 	s, ok := r.series[name]
 	if !ok {
 		s = NewSeries(name)
 		r.series[name] = s
 	}
+	r.mu.Unlock()
 	return s
 }
 
 // Histogram returns (creating if needed) the named histogram. The
 // parameters are only applied on first creation.
 func (r *Registry) Histogram(name string, min, max float64, bucketsPerDecade int) *Histogram {
+	r.mu.Lock()
 	h, ok := r.histograms[name]
 	if !ok {
 		h = NewHistogram(min, max, bucketsPerDecade)
 		r.histograms[name] = h
 	}
+	r.mu.Unlock()
 	return h
 }
 
 // Counter returns (creating if needed) the named counter.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
 	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{Name: name}
 		r.counters[name] = c
 	}
+	r.mu.Unlock()
 	return c
 }
 

@@ -1,0 +1,100 @@
+package registry
+
+import "testing"
+
+// TestApplyBatchMatchesSequentialUpdates pins the batch contract: the
+// version trajectory equals that of the same Updates issued one by one.
+func TestApplyBatchMatchesSequentialUpdates(t *testing.T) {
+	seq, bat := NewStore(), NewStore()
+	var seqW, batW []*widget
+	for _, name := range []string{"a", "b", "c"} {
+		ws, wb := newWidget(name, 1), newWidget(name, 1)
+		if err := seq.Create(ws); err != nil {
+			t.Fatal(err)
+		}
+		if err := bat.Create(wb); err != nil {
+			t.Fatal(err)
+		}
+		seqW, batW = append(seqW, ws), append(batW, wb)
+	}
+	for _, w := range seqW {
+		if err := seq.Update(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	objs := make([]Object, len(batW))
+	for i, w := range batW {
+		objs[i] = w
+	}
+	if n, err := bat.ApplyBatch(objs); n != len(objs) || err != nil {
+		t.Fatalf("ApplyBatch = %d, %v", n, err)
+	}
+	for i := range seqW {
+		if seqW[i].ResourceVersion != batW[i].ResourceVersion {
+			t.Errorf("widget %d: batch version %d, sequential %d",
+				i, batW[i].ResourceVersion, seqW[i].ResourceVersion)
+		}
+	}
+}
+
+// TestApplyOwnedStampsSameTrajectory pins ApplyOwned's contract for
+// owned (pointer-shared) objects: same versions as sequential Updates,
+// no watcher notifications missed when watchers exist.
+func TestApplyOwnedStampsSameTrajectory(t *testing.T) {
+	seq, own := NewStore(), NewStore()
+	var seqW, ownW []*widget
+	for _, name := range []string{"a", "b", "c"} {
+		ws, wo := newWidget(name, 1), newWidget(name, 1)
+		if err := seq.Create(ws); err != nil {
+			t.Fatal(err)
+		}
+		if err := own.Create(wo); err != nil {
+			t.Fatal(err)
+		}
+		seqW, ownW = append(seqW, ws), append(ownW, wo)
+	}
+	for _, w := range seqW {
+		if err := seq.Update(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	objs := make([]Object, len(ownW))
+	for i, w := range ownW {
+		objs[i] = w
+	}
+	if n, err := own.ApplyOwned(objs); n != len(objs) || err != nil {
+		t.Fatalf("ApplyOwned = %d, %v", n, err)
+	}
+	for i := range seqW {
+		if seqW[i].ResourceVersion != ownW[i].ResourceVersion {
+			t.Errorf("widget %d: owned version %d, sequential %d",
+				i, ownW[i].ResourceVersion, seqW[i].ResourceVersion)
+		}
+		got, err := own.Get("widget", ownW[i].Name)
+		if err != nil || got.(*widget) != ownW[i] {
+			t.Errorf("widget %d: store lost the owned instance: %v, %v", i, got, err)
+		}
+	}
+}
+
+// TestApplyOwnedNotifiesWatchers: with a watcher installed, ApplyOwned
+// must fall back to the notifying path — one Modified event per object.
+func TestApplyOwnedNotifiesWatchers(t *testing.T) {
+	s := NewStore()
+	w := newWidget("a", 1)
+	if err := s.Create(w); err != nil {
+		t.Fatal(err)
+	}
+	var mods int
+	s.Watch("widget", func(ev Event) {
+		if ev.Type == Modified {
+			mods++
+		}
+	})
+	if n, err := s.ApplyOwned([]Object{w, w}); n != 2 || err != nil {
+		t.Fatalf("ApplyOwned = %d, %v", n, err)
+	}
+	if mods != 2 {
+		t.Errorf("Modified notifications = %d, want 2", mods)
+	}
+}

@@ -151,6 +151,67 @@ func (s *Store) Update(obj Object) error {
 	return nil
 }
 
+// ApplyBatch applies updates in the caller's order exactly as that many
+// sequential Update calls would — same version trajectory, same
+// conflict rules, same notifications — but in one tight loop with the
+// per-call overhead hoisted out. The sharded kernel's barrier uses it
+// to commit mutations buffered during a parallel tick phase in
+// canonical entity order. It stops at the first error, returning the
+// number of updates applied before it.
+func (s *Store) ApplyBatch(objs []Object) (int, error) {
+	if len(s.subs) == 0 && s.depth == 0 {
+		// No watchers: version stamping is the whole job.
+		for i, obj := range objs {
+			m := obj.GetMeta()
+			key := m.Key()
+			cur, ok := s.objects[key]
+			if !ok {
+				return i, &NotFound{key}
+			}
+			if have := cur.GetMeta().ResourceVersion; have != m.ResourceVersion {
+				return i, &Conflict{Key: key, Presented: m.ResourceVersion, Has: have}
+			}
+			s.version++
+			m.ResourceVersion = s.version
+			s.objects[key] = obj
+		}
+		return len(objs), nil
+	}
+	for i, obj := range objs {
+		if err := s.Update(obj); err != nil {
+			return i, err
+		}
+	}
+	return len(objs), nil
+}
+
+// ApplyOwned applies buffered updates to objects the caller OWNS: each
+// obj must be the live stored instance for its key (the same pointer
+// Create inserted), which the cluster's indexes guarantee by
+// construction. Under that precondition a lookup cannot miss and a
+// version conflict cannot occur, so with no watchers the whole job is
+// stamping fresh versions in order — the same version trajectory as
+// that many Updates at a fraction of the cost (no key building, no map
+// traffic). With watchers (or from inside a handler) it falls back to
+// sequential Updates so notifications fire exactly as they always did,
+// stopping at the first error like ApplyBatch. Passing an object that
+// is not the stored instance corrupts the store's view; don't.
+func (s *Store) ApplyOwned(objs []Object) (int, error) {
+	if len(s.subs) == 0 && s.depth == 0 {
+		for _, obj := range objs {
+			s.version++
+			obj.GetMeta().ResourceVersion = s.version
+		}
+		return len(objs), nil
+	}
+	for i, obj := range objs {
+		if err := s.Update(obj); err != nil {
+			return i, err
+		}
+	}
+	return len(objs), nil
+}
+
 // Delete removes an object and notifies watchers.
 func (s *Store) Delete(kind, name string) error {
 	key := kind + "/" + name

@@ -1,8 +1,9 @@
 package sched
 
 import (
-	"runtime"
 	"sync"
+
+	"evolve/internal/par"
 )
 
 // DefaultParallelThreshold is the candidate count below which a
@@ -33,15 +34,21 @@ func (s *Scheduler) SetParallel(workers, minNodes int) {
 	s.par = parallelCfg{workers: workers, minNodes: minNodes}
 }
 
-// shardJob asks the pool to probe one candidate shard. The scheduler and
-// snapshot are only read; the pod lives in scheduler scratch so the
-// caller's argument never escapes.
+// shardJob asks the shared par pool to probe one candidate shard. The
+// scheduler and snapshot are only read; the pod lives in scheduler
+// scratch so the caller's argument never escapes.
 type shardJob struct {
 	s    *Scheduler
 	snap *Snapshot
 	cand []int32
 	out  *shardBest
 	wg   *sync.WaitGroup
+}
+
+// Run implements par.Job: score one shard and record its local best.
+func (j *shardJob) Run() {
+	j.out.idx, j.out.score = j.s.bestOf(&j.s.parPod, j.snap, j.cand)
+	j.wg.Done()
 }
 
 // shardBest is one shard's result, padded so adjacent results do not
@@ -52,26 +59,6 @@ type shardBest struct {
 	_     [48]byte
 }
 
-// pool is the process-wide score worker pool, started on first use and
-// sized to GOMAXPROCS. Sharing one pool across schedulers keeps
-// goroutine count bounded no matter how many simulations run.
-var pool struct {
-	once sync.Once
-	jobs chan *shardJob
-}
-
-func poolInit() {
-	pool.jobs = make(chan *shardJob, 4*runtime.GOMAXPROCS(0))
-	for i := 0; i < runtime.GOMAXPROCS(0); i++ {
-		go func() {
-			for j := range pool.jobs {
-				j.out.idx, j.out.score = j.s.bestOf(&j.s.parPod, j.snap, j.cand)
-				j.wg.Done()
-			}
-		}()
-	}
-}
-
 // parallelBest is bestOf split across the worker pool: candidates are
 // cut into contiguous shards, every shard reports its local best, and
 // the reduction walks the shard results with the same strict (score
@@ -80,7 +67,6 @@ func poolInit() {
 // the sharding. The caller scores the first shard itself rather than
 // idling on Wait.
 func (s *Scheduler) parallelBest(pod *PodInfo, snap *Snapshot, cand []int32) int32 {
-	pool.once.Do(poolInit)
 	w := s.par.workers
 	if w > len(cand) {
 		w = len(cand)
@@ -101,7 +87,7 @@ func (s *Scheduler) parallelBest(pod *PodInfo, snap *Snapshot, cand []int32) int
 		lo := i * n / w
 		hi := (i + 1) * n / w
 		jobs[i] = shardJob{s: s, snap: snap, cand: cand[lo:hi], out: &res[i], wg: &s.parWG}
-		pool.jobs <- &jobs[i]
+		par.Submit(&jobs[i])
 	}
 	res[0].idx, res[0].score = s.bestOf(&s.parPod, snap, cand[:n/w])
 	s.parWG.Wait()

@@ -57,6 +57,7 @@ type Engine struct {
 	seq     uint64
 	events  eventHeap
 	free    []*event // recycled event structs (see type event)
+	live    int      // queued events not yet executed or cancelled
 	rng     *RNG
 	nsteps  uint64
 	stopped bool
@@ -77,8 +78,11 @@ func (e *Engine) RNG() *RNG { return e.rng }
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.nsteps }
 
-// Pending returns the number of events currently queued.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of live events currently queued. Cancelled
+// events still sitting in the heap are not counted: a coordinator
+// polling Pending (or PeekNextEventTime) must never wake a shard for
+// phantom work.
+func (e *Engine) Pending() int { return e.live }
 
 // Canceler cancels a scheduled event or periodic process.
 type Canceler func()
@@ -100,15 +104,34 @@ func (e *Engine) schedule(t Time, fn func()) *event {
 	}
 	ev.at, ev.seq, ev.fn, ev.dead = t, e.seq, fn, false
 	e.seq++
+	e.live++
 	heap.Push(&e.events, ev)
 	return ev
 }
 
-// recycle returns a popped event to the free list.
+// freeSlack is how many spare event structs the free list may hold
+// beyond the current heap size. A steady simulation keeps a small
+// working set; after a one-off burst drains, the excess is released so
+// the burst does not pin its peak heap for the rest of a long run.
+const freeSlack = 64
+
+// recycle returns a popped event to the free list, trimming the list to
+// a high-water mark relative to the live heap.
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
 	ev.gen++
 	e.free = append(e.free, ev)
+	if max := len(e.events) + freeSlack; len(e.free) > max {
+		for i := max; i < len(e.free); i++ {
+			e.free[i] = nil
+		}
+		e.free = e.free[:max]
+		if cap(e.free) > 4*max {
+			// Shed the backing array too: trimming length alone would keep
+			// the burst-sized allocation reachable forever.
+			e.free = append(make([]*event, 0, 2*max), e.free...)
+		}
+	}
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
@@ -118,9 +141,12 @@ func (e *Engine) At(t Time, fn func()) Canceler {
 	gen := ev.gen
 	return func() {
 		// The generation check makes cancelling after the event has
-		// fired (and its struct was recycled) a safe no-op.
-		if ev.gen == gen {
+		// fired (and its struct was recycled) a safe no-op; the dead
+		// check makes double-cancel (and self-cancel from inside the
+		// callback, which step has already marked dead) idempotent.
+		if ev.gen == gen && !ev.dead {
 			ev.dead = true
+			e.live--
 		}
 	}
 }
@@ -140,6 +166,8 @@ func (e *Engine) Every(interval time.Duration, fn func()) Canceler {
 		panic("sim: Every interval must be positive")
 	}
 	stopped := false
+	var cur *event // the in-flight re-arm event, so cancel can kill it
+	var curGen uint64
 	var tick func()
 	tick = func() {
 		if stopped {
@@ -149,11 +177,27 @@ func (e *Engine) Every(interval time.Duration, fn func()) Canceler {
 		if !stopped {
 			// Re-arm through the cancel-free core: a periodic process
 			// allocates nothing per firing.
-			e.schedule(e.now+interval, tick)
+			cur = e.schedule(e.now+interval, tick)
+			curGen = cur.gen
 		}
 	}
-	e.schedule(e.now+interval, tick)
-	return func() { stopped = true }
+	cur = e.schedule(e.now+interval, tick)
+	curGen = cur.gen
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		// Mark the pending re-arm dead in the heap: without this the
+		// event stays live until its timestamp, so Pending and
+		// PeekNextEventTime would report phantom work and a coordinator
+		// would wake an idle shard. Guards mirror At's Canceler; cur is
+		// already dead when cancel runs from inside fn itself.
+		if cur.gen == curGen && !cur.dead {
+			cur.dead = true
+			e.live--
+		}
+	}
 }
 
 // Stop halts event processing: the Run or RunAll call in progress
@@ -175,10 +219,61 @@ func (e *Engine) step() (executed bool) {
 		return false
 	}
 	e.now = next.at
+	// Retire the event before running it: a callback that cancels its
+	// own (already firing) event must not decrement live twice.
+	next.dead = true
+	e.live--
 	next.fn()
 	e.recycle(next)
 	e.nsteps++
 	return true
+}
+
+// HasPendingEvents reports whether any live event remains queued. It is
+// one of the three coordinator primitives (with PeekNextEventTime and
+// ProcessNextEvent) that let a sim.Coordinator drive several shard
+// engines under a shared clock without altering Run's behaviour.
+func (e *Engine) HasPendingEvents() bool { return e.live > 0 }
+
+// PeekNextEventTime returns the timestamp of the earliest live event
+// without executing it; ok is false when no live event is queued. Dead
+// events at the head of the heap are drained eagerly so a coordinator
+// never wakes a shard for cancelled work.
+func (e *Engine) PeekNextEventTime() (t Time, ok bool) {
+	for len(e.events) > 0 && e.events[0].dead {
+		e.recycle(heap.Pop(&e.events).(*event))
+	}
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// ProcessNextEvent executes exactly one live event, skipping over any
+// cancelled ones, and returns its timestamp. ok is false when the queue
+// held no live event or the engine is stopped.
+func (e *Engine) ProcessNextEvent() (t Time, ok bool) {
+	for len(e.events) > 0 && !e.stopped {
+		at := e.events[0].at
+		if e.step() {
+			return at, true
+		}
+	}
+	return 0, false
+}
+
+// Post schedules fn at absolute time t with no Canceler, the
+// allocation-free path for callers that never cancel (cross-shard
+// messages, phase fan-out). Like At, scheduling in the past panics.
+func (e *Engine) Post(t Time, fn func()) { e.schedule(t, fn) }
+
+// AdvanceTo moves the clock forward to t without executing events; a
+// coordinator uses it to keep idle shards' clocks in step with the
+// shared minimum. Moving backwards is a no-op.
+func (e *Engine) AdvanceTo(t Time) {
+	if t > e.now {
+		e.now = t
+	}
 }
 
 // Run executes events until virtual time reaches until, the queue
