@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-sched bench-shard check fuzz-smoke chaos-soak
+.PHONY: build test race vet bench bench-json bench-sched bench-shard bench-compare check fuzz-smoke chaos-soak
 
 build:
 	$(GO) build ./...
@@ -22,18 +22,27 @@ bench:
 # bench-json regenerates the committed BENCH_*.json trajectory record
 # from the full evaluation run (see cmd/evolve-bench). Figure 6 — the
 # kernel scale sweep to 100k nodes / 1M pods — dominates the wall time;
-# BENCH_6.json carries its raw rows in the trailing summary line.
+# BENCH_7.json carries its raw rows (with per-phase breakdown) in the
+# trailing summary line.
 bench-json:
-	$(GO) run ./cmd/evolve-bench -json > BENCH_6.json
+	$(GO) run ./cmd/evolve-bench -json > BENCH_7.json
 
 # bench-shard is the sharded-kernel regression smoke at CI scale: the
-# reduced Figure 6 ladder under shard counts {1, 4}, plus the
-# determinism suite that pins byte-identical replay across shard and
-# worker counts (the -race variant of the suite runs in the race job).
+# first three points of the Figure 6 ladder under shard counts {1, 4},
+# plus the determinism suite that pins byte-identical replay across
+# shard, worker and batching modes (the -race variant of the suite runs
+# in the race job).
 bench-shard:
-	$(GO) run ./cmd/evolve-bench -json -quick -shards 4 -only figure6
+	$(GO) run ./cmd/evolve-bench -json -quick -scale-points 3 -shards 4 -only figure6
 	$(GO) test ./internal/harness -run 'TestSharded' -count 1 -v
-	$(GO) test ./internal/sim -run 'TestCoordinator' -count 1
+	$(GO) test ./internal/sim -run 'TestCoordinator|TestBatched|TestProcessEventsAt' -count 1
+
+# bench-compare guards the committed scale trajectory: the current
+# record's rows must not regress ms_per_tick or shard speedup by more
+# than 15% against the previous PR's record on matching
+# (nodes, pods, shards) points.
+bench-compare:
+	$(GO) run ./cmd/bench-compare -old BENCH_6.json -new BENCH_7.json
 
 # bench-sched is the scheduler hot-path regression smoke: the sched
 # benchmarks at a fixed iteration count (so -benchtime noise cannot mask

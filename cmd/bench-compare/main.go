@@ -1,0 +1,158 @@
+// Command bench-compare diffs the kernel scale rows of two committed
+// bench trajectory records (BENCH_*.json): it matches rows on
+// (nodes, pods, shards) and fails — exit 1 — when the new record
+// regresses ms_per_tick or shard speedup by more than the tolerance.
+// CI runs it after regenerating the quick ladder so a shard-scaling
+// regression fails the PR instead of silently landing in the record.
+//
+// Usage:
+//
+//	bench-compare -old BENCH_6.json -new BENCH_7.json [-tolerance 0.15]
+//
+// Rows present on only one side are reported but never fail the run:
+// ladders legitimately grow and shrink between PRs, and absolute wall
+// times only compare within one machine anyway.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// scaleRow mirrors the fields of harness.ScaleRow that both record
+// generations carry; unknown fields are ignored so old records parse.
+type scaleRow struct {
+	Nodes     int     `json:"nodes"`
+	Pods      int     `json:"pods"`
+	Shards    int     `json:"shards"`
+	MSPerTick float64 `json:"ms_per_tick"`
+	Speedup   float64 `json:"speedup"`
+}
+
+type pointKey struct{ Nodes, Pods, Shards int }
+
+// readScale extracts the scale rows from a bench record: a JSONL stream
+// whose summary line carries them under "scale".
+func readScale(path string) (map[pointKey]scaleRow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	rows := map[pointKey]scaleRow{}
+	found := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec struct {
+			ID    string     `json:"id"`
+			Scale []scaleRow `json:"scale"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if rec.ID != "summary" {
+			continue
+		}
+		found = true
+		for _, row := range rec.Scale {
+			rows[pointKey{row.Nodes, row.Pods, row.Shards}] = row
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !found {
+		return nil, fmt.Errorf("%s: no summary line", path)
+	}
+	return rows, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline bench record (e.g. BENCH_6.json)")
+	newPath := flag.String("new", "", "candidate bench record (e.g. BENCH_7.json)")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional regression in ms_per_tick and speedup")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "bench-compare: -old and -new are required")
+		os.Exit(2)
+	}
+
+	oldRows, err := readScale(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newRows, err := readScale(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	if len(newRows) == 0 {
+		fatal(fmt.Errorf("%s carries no scale rows", *newPath))
+	}
+
+	keys := make([]pointKey, 0, len(newRows))
+	for key := range newRows {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Pods != b.Pods {
+			return a.Pods < b.Pods
+		}
+		if a.Nodes != b.Nodes {
+			return a.Nodes < b.Nodes
+		}
+		return a.Shards < b.Shards
+	})
+	failures := 0
+	compared := 0
+	for _, key := range keys {
+		nw := newRows[key]
+		old, ok := oldRows[key]
+		if !ok {
+			fmt.Printf("NEW   %6d nodes %8d pods %2d shards: %.3f ms/tick (no baseline row)\n",
+				key.Nodes, key.Pods, key.Shards, nw.MSPerTick)
+			continue
+		}
+		compared++
+		status := "ok  "
+		if old.MSPerTick > 0 && nw.MSPerTick > old.MSPerTick*(1+*tolerance) {
+			status = "FAIL"
+			failures++
+		} else if old.Speedup > 0 && nw.Speedup < old.Speedup/(1+*tolerance) {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s  %6d nodes %8d pods %2d shards: %8.3f -> %8.3f ms/tick (%+.1f%%), speedup %.2fx -> %.2fx\n",
+			status, key.Nodes, key.Pods, key.Shards,
+			old.MSPerTick, nw.MSPerTick, 100*(nw.MSPerTick-old.MSPerTick)/old.MSPerTick,
+			old.Speedup, nw.Speedup)
+	}
+	for key := range oldRows {
+		if _, ok := newRows[key]; !ok {
+			fmt.Printf("GONE  %6d nodes %8d pods %2d shards: row absent from %s\n",
+				key.Nodes, key.Pods, key.Shards, *newPath)
+		}
+	}
+	if compared == 0 {
+		fatal(fmt.Errorf("no comparable rows between %s and %s", *oldPath, *newPath))
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "bench-compare: %d row(s) regressed beyond %.0f%%\n", failures, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("bench-compare: %d row(s) within %.0f%% tolerance\n", compared, *tolerance*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench-compare:", err)
+	os.Exit(1)
+}

@@ -45,11 +45,12 @@ type item struct {
 
 // benchOpts carries the flags that shape individual items.
 type benchOpts struct {
-	shards int  // shard counts to sweep in figure6: 0 = {1,4,8}, N = {1,N}
-	quick  bool // reduced figure6 ladder (the CI scale)
+	shards      int  // shard counts to sweep in figure6: 0 = {1,4,8}, N = {1,N}
+	quick       bool // reduced figure6 ladder (the CI scale)
+	scalePoints int  // truncate the figure6 ladder to its first N points (0 = all)
 
 	// scaleRows collects figure6's raw per-run rows for the -json
-	// summary and BENCH_6.json.
+	// summary and BENCH_7.json.
 	scaleRows []harness.ScaleRow
 }
 
@@ -58,6 +59,9 @@ func (o *benchOpts) scaleConfig(seed int64) harness.ScaleConfig {
 	cfg := harness.DefaultScaleConfig(seed, o.quick)
 	if o.shards > 0 {
 		cfg.Shards = []int{1, o.shards}
+	}
+	if o.scalePoints > 0 && o.scalePoints < len(cfg.Points) {
+		cfg.Points = cfg.Points[:o.scalePoints]
 	}
 	return cfg
 }
@@ -88,8 +92,8 @@ func items(opts *benchOpts) []item {
 		}),
 		fig("figure4", func(_ *harness.Runner, seed int64) (*harness.Figure, error) { return harness.Figure4(seed) }),
 		fig("figure5", harness.Figure5),
-		fig("figure6", func(_ *harness.Runner, seed int64) (*harness.Figure, error) {
-			f, rows, err := harness.Figure6(opts.scaleConfig(seed))
+		fig("figure6", func(r *harness.Runner, seed int64) (*harness.Figure, error) {
+			f, rows, err := harness.Figure6(r, opts.scaleConfig(seed))
 			opts.scaleRows = rows
 			return f, err
 		}),
@@ -126,6 +130,13 @@ type summary struct {
 	// counts per (topology, shard count) run — when figure6 was selected.
 	Shards int                `json:"shards"`
 	Scale  []harness.ScaleRow `json:"scale,omitempty"`
+	// ScaleHits counts figure6 rows served from the -scale-cache
+	// directory instead of being re-run.
+	ScaleHits uint64 `json:"scale_hits,omitempty"`
+	// EffectiveWorkers is the largest resolved shard parallelism across
+	// the scale rows — what ShardWorkers=0 actually ran with on this
+	// machine (min(shards, GOMAXPROCS)).
+	EffectiveWorkers int `json:"effective_workers,omitempty"`
 }
 
 // schedIndex records the scheduler feasibility index's effectiveness on
@@ -167,9 +178,11 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	shards := flag.Int("shards", 0, "figure6: sweep shard counts {1,N} instead of the default {1,4,8}")
 	quick := flag.Bool("quick", false, "figure6: reduced topology ladder (the CI scale)")
+	scalePoints := flag.Int("scale-points", 0, "figure6: truncate the ladder to its first N points (0 = full ladder)")
+	scaleCache := flag.String("scale-cache", "", "directory for the content-addressed figure6 row cache (keyed on binary hash + run parameters; omit to always re-run)")
 	flag.Parse()
 
-	opts := &benchOpts{shards: *shards, quick: *quick}
+	opts := &benchOpts{shards: *shards, quick: *quick, scalePoints: *scalePoints}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -235,6 +248,9 @@ func main() {
 	}
 
 	runner := harness.NewRunner(*parallel)
+	if *scaleCache != "" {
+		runner.SetScaleCacheDir(*scaleCache)
+	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fatal(err)
@@ -267,16 +283,24 @@ func main() {
 	}
 	st := runner.Stats()
 	if *jsonOut {
+		effWorkers := 0
+		for _, row := range opts.scaleRows {
+			if row.EffectiveWorkers > effWorkers {
+				effWorkers = row.EffectiveWorkers
+			}
+		}
 		if err := enc.Encode(summary{
-			ID:          "summary",
-			TotalWallMS: float64(time.Since(start).Microseconds()) / 1000,
-			Workers:     runner.Workers(),
-			Runs:        st.Runs,
-			CacheHits:   st.CacheHits,
-			Uncacheable: st.Uncacheable,
-			SchedIndex:  measureSchedIndex(),
-			Shards:      *shards,
-			Scale:       opts.scaleRows,
+			ID:               "summary",
+			TotalWallMS:      float64(time.Since(start).Microseconds()) / 1000,
+			Workers:          runner.Workers(),
+			Runs:             st.Runs,
+			CacheHits:        st.CacheHits,
+			Uncacheable:      st.Uncacheable,
+			SchedIndex:       measureSchedIndex(),
+			Shards:           *shards,
+			Scale:            opts.scaleRows,
+			ScaleHits:        st.ScaleHits,
+			EffectiveWorkers: effWorkers,
 		}); err != nil {
 			fatal(err)
 		}

@@ -7,6 +7,7 @@ import (
 	"evolve/internal/chaos"
 	"evolve/internal/metrics"
 	"evolve/internal/obs"
+	"evolve/internal/perf"
 	"evolve/internal/plo"
 	"evolve/internal/registry"
 	"evolve/internal/resource"
@@ -41,9 +42,16 @@ type Config struct {
 	// so results are byte-identical for every shard count.
 	Shards int
 	// ShardWorkers bounds how many same-timestamp shard events execute
-	// concurrently on the shared worker pool (0 = GOMAXPROCS; 1 keeps
-	// rounds serial). Results are identical either way.
+	// concurrently on the shared worker pool (0 = min(Shards, GOMAXPROCS);
+	// 1 keeps rounds serial). Results are identical either way.
 	ShardWorkers int
+	// BatchedRounds lets each shard drain all its events at the shared
+	// timestamp in one coordinator round (sim.Engine.ProcessEventsAt)
+	// instead of one event per round, collapsing barrier count per tick
+	// from O(events) to O(1). The cluster's phase discipline posts no
+	// cross-shard mail mid-timestamp, so results are byte-identical in
+	// either mode; off reproduces the PR 6 round protocol exactly.
+	BatchedRounds bool
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -53,6 +61,7 @@ func DefaultConfig() Config {
 		Interference:     true,
 		SchedulerPolicy:  sched.PolicySpread,
 		MeasurementNoise: 0.03,
+		BatchedRounds:    true,
 	}
 }
 
@@ -108,6 +117,14 @@ type appState struct {
 	tickDrop   int // SamplesDropped owed to lastTick
 	tickStale  int // SamplesStale owed to lastTick
 	chaosStats chaos.Stats
+
+	// Sharded-kernel hot state (hotstate.go): hotIdx is the app's index
+	// into the dense appUsage array, rc the cached ready-replica
+	// aggregate, stamps the deferred registry version stamps owed to the
+	// flush. Unused on the single-engine path.
+	hotIdx int32
+	rc     appRunCache
+	stamps int
 }
 
 // sensedSample is one telemetry sample as the sensor path saw it (after
@@ -154,9 +171,17 @@ type Cluster struct {
 
 	// Sharded kernel (nil / empty on the single-engine path). co drives
 	// the shard engines under the primary clock; shards holds each
-	// shard's partition of nodes and apps (see shard.go).
+	// shard's partition of nodes and apps (see shard.go); hot is the
+	// dense SoA mirror the quiescent-store tick runs on (hotstate.go).
 	co     *sim.Coordinator
 	shards []*shardState
+	hot    *hotState
+
+	// phases, when non-nil, accumulates the per-tick phase timing
+	// breakdown (EnablePhaseTiming); traceBuf stages PLO trace events
+	// for batch emission at the flush barrier.
+	phases   *perf.PhaseBreakdown
+	traceBuf []obs.Event
 
 	podSeq  uint64
 	started bool
@@ -207,6 +232,21 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 // Coordinator returns the shard coordinator, or nil on the
 // single-engine path.
 func (c *Cluster) Coordinator() *sim.Coordinator { return c.co }
+
+// EnablePhaseTiming switches on the per-tick phase breakdown and
+// returns the accumulator the tick records into (see internal/perf).
+// On the sharded path the coordinator's barrier/mailbox timers are
+// enabled too. Call before Run; the breakdown can be Reset between
+// measurement windows.
+func (c *Cluster) EnablePhaseTiming() *perf.PhaseBreakdown {
+	n := 1
+	if c.co != nil {
+		n = c.co.NumShards()
+		c.co.SetTiming(true)
+	}
+	c.phases = perf.NewPhaseBreakdown(n)
+	return c.phases
+}
 
 // Run advances the simulation until the shared clock reaches the
 // absolute time until: through the coordinator when sharded, directly
@@ -391,8 +431,12 @@ func (c *Cluster) podsOnNode(node string) []*PodObject {
 	return c.byNode[node]
 }
 
-// Pods returns all live pods sorted by name.
+// Pods returns all live pods sorted by name. On the dense sharded path
+// per-pod usage is materialised lazily; this accessor syncs it first,
+// so callers always see the same usage the serial tick would have
+// written.
 func (c *Cluster) Pods() []*PodObject {
+	c.syncPodUsage()
 	return append([]*PodObject(nil), c.byName...)
 }
 

@@ -78,6 +78,7 @@ func (c *Cluster) indexAddPod(p *PodObject) {
 	c.byName = podInsert(c.byName, p, byNameLess)
 	if !p.IsTask() {
 		c.byApp[p.App] = podInsert(c.byApp[p.App], p, byCreationLess)
+		c.hotDirtyApp(p.App)
 	}
 	if p.Phase == Pending {
 		c.pending = podInsert(c.pending, p, pendingLess)
@@ -91,6 +92,7 @@ func (c *Cluster) indexRemovePod(p *PodObject) {
 	c.byName = podRemove(c.byName, p, byNameLess)
 	if !p.IsTask() {
 		c.byApp[p.App] = podRemove(c.byApp[p.App], p, byCreationLess)
+		c.hotDirtyApp(p.App)
 	}
 	c.pending = podRemove(c.pending, p, pendingLess)
 }
@@ -100,17 +102,26 @@ func (c *Cluster) indexRemovePod(p *PodObject) {
 func (c *Cluster) indexBind(p *PodObject) {
 	c.pending = podRemove(c.pending, p, pendingLess)
 	c.byNode[p.Node] = podInsert(c.byNode[p.Node], p, byNameLess)
+	c.hotDirtyNode(p.Node)
+	if !p.IsTask() {
+		c.hotDirtyApp(p.App)
+	}
 }
 
 // indexUnbind removes a pod from the node it was bound to. Call before
 // p.Node is cleared.
 func (c *Cluster) indexUnbind(p *PodObject) {
 	c.byNode[p.Node] = podRemove(c.byNode[p.Node], p, byNameLess)
+	c.hotDirtyNode(p.Node)
+	if !p.IsTask() {
+		c.hotDirtyApp(p.App)
+	}
 }
 
 // indexMarkPending re-queues an evicted service replica.
 func (c *Cluster) indexMarkPending(p *PodObject) {
 	c.pending = podInsert(c.pending, p, pendingLess)
+	c.hotDirtyApp(p.App)
 }
 
 // indexAddNode keeps nodeList name-sorted; nodes are never removed.
@@ -121,6 +132,7 @@ func (c *Cluster) indexAddNode(n *NodeObject) {
 	c.nodeList = append(c.nodeList, nil)
 	copy(c.nodeList[i+1:], c.nodeList[i:])
 	c.nodeList[i] = n
+	c.hotAddNode(n)
 	if c.shards != nil {
 		c.shards[shardOfNode(n.Name, len(c.shards))].addNode(n)
 	}
@@ -135,6 +147,7 @@ func (c *Cluster) indexAddApp(st *appState) {
 	c.appList = append(c.appList, nil)
 	copy(c.appList[i+1:], c.appList[i:])
 	c.appList[i] = st
+	c.hotAddApp(st)
 	if c.shards != nil {
 		c.shards[shardOfApp(name, len(c.shards))].addApp(st)
 	}

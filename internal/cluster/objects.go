@@ -71,6 +71,12 @@ type NodeObject struct {
 	// running the bound-and-running pod count from the usage refresh.
 	slow    float64
 	running int
+
+	// Sharded-kernel hot state (hotstate.go): slot is the node's index
+	// into the cluster's dense arrays, pc the cached running-pod
+	// composition P3 gathers from. Unused on the single-engine path.
+	slot int32
+	pc   nodePodCache
 }
 
 // GetMeta implements registry.Object.

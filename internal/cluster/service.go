@@ -267,6 +267,7 @@ func (c *Cluster) resizeInPlace(p *PodObject, desired resource.Vector) bool {
 	// is the controller's job; the substrate just applies the grant.
 	n.Allocated = snapDust(n.Allocated.Sub(p.Requests).Add(granted).ClampMin(0))
 	p.Requests = granted
+	c.hotDirtyApp(p.App)
 	c.update(p)
 	c.update(n)
 	full := true

@@ -41,6 +41,7 @@ import (
 type shardState struct {
 	c          *Cluster
 	eng        *sim.Engine
+	idx        int           // shard index, for phase-timing attribution
 	apps       []*appState   // this shard's services, name order
 	nodes      []*NodeObject // this shard's nodes, name order
 	scratchRun []*PodObject  // per-shard running-replica scratch
@@ -49,17 +50,24 @@ type shardState struct {
 	p1, p2, p3 func()
 }
 
-// initShards builds the coordinator and the (initially empty) shard
-// partitions; indexAddNode/indexAddApp route entities to their shard as
-// they are created.
+// initShards builds the coordinator, the dense hot state and the
+// (initially empty) shard partitions; indexAddNode/indexAddApp route
+// entities to their shard as they are created. workers <= 0 defaults to
+// min(n, GOMAXPROCS): more workers than shards can never run, and more
+// workers than cores only adds scheduler pressure.
 func (c *Cluster) initShards(n, workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+		if workers > n {
+			workers = n
+		}
 	}
 	c.co = sim.NewCoordinator(c.eng, n, workers)
+	c.co.SetBatched(c.cfg.BatchedRounds)
+	c.hot = &hotState{}
 	c.shards = make([]*shardState, n)
 	for i := range c.shards {
-		sh := &shardState{c: c, eng: c.co.Shard(i)}
+		sh := &shardState{c: c, eng: c.co.Shard(i), idx: i}
 		sh.p1, sh.p2, sh.p3 = sh.phase1, sh.phase2, sh.phase3
 		c.shards[i] = sh
 	}
@@ -86,26 +94,68 @@ func (sh *shardState) addApp(st *appState) {
 	sh.apps[i] = st
 }
 
-// phase1 refreshes interference slowdowns for the shard's nodes.
+// phase1 refreshes interference slowdowns for the shard's nodes,
+// mirroring each into the dense slow array P2 gathers from.
 func (sh *shardState) phase1() {
+	c := sh.c
+	var t0 time.Time
+	if c.phases != nil {
+		t0 = time.Now()
+	}
+	hot := c.hot
 	for _, n := range sh.nodes {
-		sh.c.nodeSlowdown(n)
+		c.nodeSlowdown(n)
+		hot.slow[n.slot] = n.slow
+	}
+	if c.phases != nil {
+		c.phases.AddShard(sh.idx, perf.PhaseP1, time.Since(t0).Nanoseconds())
 	}
 }
 
-// phase2 evaluates the shard's apps against their offered load.
+// phase2 evaluates the shard's apps against their offered load — on the
+// dense path (quiescent store) via the cached ready aggregates, else
+// via the staging pointer walk.
 func (sh *shardState) phase2() {
+	c := sh.c
+	var t0 time.Time
+	if c.phases != nil {
+		t0 = time.Now()
+	}
 	now := sh.eng.Now()
-	for _, st := range sh.apps {
-		sh.scratchRun = sh.c.phaseApp(st, now, sh.scratchRun)
+	if c.hot.fast {
+		for _, st := range sh.apps {
+			c.phaseAppFast(st, now)
+		}
+	} else {
+		for _, st := range sh.apps {
+			sh.scratchRun = c.phaseApp(st, now, sh.scratchRun)
+		}
+	}
+	if c.phases != nil {
+		c.phases.AddShard(sh.idx, perf.PhaseP2, time.Since(t0).Nanoseconds())
 	}
 }
 
 // phase3 re-derives per-node usage from the pods bound to the shard's
 // nodes.
 func (sh *shardState) phase3() {
-	for _, n := range sh.nodes {
-		sh.c.phaseNodeUsage(n)
+	c := sh.c
+	var t0 time.Time
+	if c.phases != nil {
+		t0 = time.Now()
+	}
+	if c.hot.fast {
+		now := sh.eng.Now()
+		for _, n := range sh.nodes {
+			c.phaseNodeUsageFast(n, now)
+		}
+	} else {
+		for _, n := range sh.nodes {
+			c.phaseNodeUsage(n)
+		}
+	}
+	if c.phases != nil {
+		c.phases.AddShard(sh.idx, perf.PhaseP3, time.Since(t0).Nanoseconds())
 	}
 }
 
@@ -119,6 +169,19 @@ func (sh *shardState) phase3() {
 // consistent cluster, exactly as it does after the serial tick.
 func (c *Cluster) tickSharded() {
 	now := c.now()
+	// The dense path requires a quiescent registry: nobody to notify,
+	// nobody observing per-object versions. A tracer (or any watcher)
+	// drops the tick back to the staging path, whose flush notifies in
+	// canonical order; pod usage deferred by earlier dense ticks is
+	// materialised first so the staging path (and the watchers) see
+	// exactly the state the serial tick would have left.
+	fast := c.store.Quiescent()
+	if !fast {
+		c.syncPodUsage()
+	}
+	c.hot.fast = fast
+
+	pb := c.phases
 	for _, sh := range c.shards {
 		sh.eng.Post(now, sh.p1)
 	}
@@ -127,12 +190,41 @@ func (c *Cluster) tickSharded() {
 		sh.eng.Post(now, sh.p2)
 	}
 	c.co.DrainShards(now)
-	c.flushApps()
+	var t0 time.Time
+	if pb != nil {
+		t0 = time.Now()
+	}
+	if fast {
+		c.flushAppsFast()
+	} else {
+		c.flushApps()
+	}
+	if pb != nil {
+		pb.Add(perf.PhaseFlushApps, time.Since(t0).Nanoseconds())
+	}
 	for _, sh := range c.shards {
 		sh.eng.Post(now, sh.p3)
 	}
 	c.co.DrainShards(now)
-	c.flushNodes(now)
+	if pb != nil {
+		t0 = time.Now()
+	}
+	if fast {
+		c.flushNodesFast(now)
+	} else {
+		c.flushNodes(now)
+	}
+	if fast {
+		c.hot.usageStale = true
+		c.hot.lastPhaseAt = now
+	}
+	if pb != nil {
+		pb.Add(perf.PhaseFlushNodes, time.Since(t0).Nanoseconds())
+		bar, mail := c.co.TakeTimings()
+		pb.Add(perf.PhaseBarrier, bar)
+		pb.Add(perf.PhaseMailbox, mail)
+		pb.Ticks++
+	}
 }
 
 // phaseApp is one app's share of P2 — the same arithmetic, stream draws
@@ -187,6 +279,16 @@ func (c *Cluster) phaseApp(st *appState, now time.Duration, scratch []*PodObject
 		}
 	}
 
+	c.phaseAppTail(st, now, lambda, len(running), result)
+	return running
+}
+
+// phaseAppTail is the telemetry half of P2 — noise, chaos sampling,
+// window appends, metric handles, PLO tracking — shared verbatim by the
+// pointer-walking and dense paths so both produce identical observable
+// numbers. ready is the serving replica count this tick.
+func (c *Cluster) phaseAppTail(st *appState, now time.Duration, lambda float64, ready int, result perf.Result) {
+	spec := st.obj.Spec
 	noise := 1.0
 	if c.cfg.MeasurementNoise > 0 {
 		noise = st.noise.Jitter(1, c.cfg.MeasurementNoise)
@@ -253,7 +355,7 @@ func (c *Cluster) phaseApp(st *appState, now time.Duration, scratch []*PodObject
 	h.throughput.Add(now, throughput)
 	h.offered.Add(now, lambda)
 	h.replicas.Add(now, float64(st.obj.DesiredReplicas))
-	h.ready.Add(now, float64(len(running)))
+	h.ready.Add(now, float64(ready))
 	for _, k := range resource.Kinds() {
 		h.alloc[k].Add(now, st.obj.Alloc[k])
 		h.usage[k].Add(now, result.Usage[k])
@@ -282,22 +384,26 @@ func (c *Cluster) phaseApp(st *appState, now time.Duration, scratch []*PodObject
 	if sli > 0 {
 		st.histogram(c.met).Observe(sli)
 	}
-	return running
 }
 
 // flushApps applies P2's staged side effects at the barrier, walking
 // appList in name order — the same order the serial loop visits apps —
 // so registry version numbers, trace events and fault tallies come out
-// identical to the single-engine path.
+// identical to the single-engine path. PLO trace events are collected
+// in that walk and recorded in one batch at the end: the registry
+// updates between them emit no trace events of their own (the watch
+// mirror skips Modified), so the recorded sequence matches the
+// interleaved serial one.
 func (c *Cluster) flushApps() {
 	chaosOn := c.chaos != nil
+	c.traceBuf = c.traceBuf[:0]
 	for _, st := range c.appList {
 		if len(st.updBuf) > 0 {
 			c.applyUpdates(st.updBuf)
 			st.updBuf = st.updBuf[:0]
 		}
 		if st.traceSet {
-			c.tracer.Record(st.traceEv)
+			c.traceBuf = append(c.traceBuf, st.traceEv)
 			st.traceSet = false
 		}
 		c.lastTick.SamplesDropped += st.tickDrop
@@ -307,6 +413,10 @@ func (c *Cluster) flushApps() {
 			c.chaos.Absorb(st.chaosStats)
 			st.chaosStats = chaos.Stats{}
 		}
+	}
+	if len(c.traceBuf) > 0 {
+		c.tracer.RecordBatch(c.traceBuf)
+		c.traceBuf = c.traceBuf[:0]
 	}
 }
 

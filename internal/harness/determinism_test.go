@@ -11,18 +11,29 @@ import (
 
 // The sharded kernel's headline guarantee: the same scenario replays
 // byte-identically at every shard count — Reports and trace streams
-// alike — chaos on or off. These tests pin that guarantee; shard.go
-// documents the phase/barrier discipline that earns it.
+// alike — chaos on or off, batched rounds on or off. These tests pin
+// that guarantee; shard.go documents the phase/barrier discipline that
+// earns it. Traced runs exercise the staging path (a live watch keeps
+// the registry non-quiescent); untraced runs exercise the dense
+// cache-backed path (hotstate.go), which must reproduce the same
+// Report bytes.
 
 // determinismScenario is a reduced-scale converged mix: interactive
 // services, batch DAGs and rigid HPC gangs contending on five nodes,
-// with measurement noise so the per-app random streams are exercised.
+// with measurement noise so the per-app random streams are exercised
+// and staggered startup delays so the hot-state readiness horizons are.
 func determinismScenario(seed int64, chaosPlan string) Scenario {
 	sc := BuildScenario(MixConverged, seed)
 	sc.Duration = 30 * time.Minute
 	sc.Warmup = 5 * time.Minute
 	sc.MeasurementNoise = 0.05
 	sc.Chaos = chaosPlan
+	// Staggered startup delays: scale-ups produce replicas that bind now
+	// but serve later, so the dense path's cached readiness horizons
+	// (rebuild-on-expiry) are load-bearing in this suite.
+	for i := range sc.Apps {
+		sc.Apps[i].Spec.StartupDelay = time.Duration(15*(1+i%3)) * time.Second
+	}
 	// Resubmit the background streams on a cadence that fits the short
 	// run (the standard streams mostly land after the 30m horizon).
 	sc.BatchJobs = BatchStream(3, 7*time.Minute, 1)
@@ -55,9 +66,25 @@ func runFingerprint(t *testing.T, sc Scenario) (report, trace string) {
 	return fmt.Sprintf("%+v", *res), buf.String()
 }
 
+// runReportOnly executes the scenario with no tracer attached — the
+// registry stays quiescent, so a sharded run takes the dense hot-state
+// path — and returns the byte-exact Report.
+func runReportOnly(t *testing.T, sc Scenario) string {
+	t.Helper()
+	res, err := runScenario(sc, StandardPolicies()[0], nil, nil)
+	if err != nil {
+		t.Fatalf("runScenario(shards=%d, untraced): %v", sc.Shards, err)
+	}
+	res.Cluster = nil
+	return fmt.Sprintf("%+v", *res)
+}
+
+var shardCounts = []int{2, 4, 7, 16}
+
 // TestShardedRunsByteIdentical replays the converged scenario at shard
-// counts {1, 2, 4, 7, 16}, chaos off and on, and demands byte-identical
-// Reports and trace streams against the single-engine baseline.
+// counts {1, 2, 4, 7, 16}, chaos off and on, batched rounds on and off,
+// and demands byte-identical Reports and trace streams against the
+// single-engine baseline.
 func TestShardedRunsByteIdentical(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -73,19 +100,67 @@ func TestShardedRunsByteIdentical(t *testing.T) {
 			if wantTrace == "" {
 				t.Fatal("baseline produced an empty trace stream")
 			}
-			for _, shards := range []int{2, 4, 7, 16} {
-				sc := determinismScenario(101, tc.plan)
-				sc.Shards = shards
-				sc.ShardWorkers = 1
-				gotReport, gotTrace := runFingerprint(t, sc)
-				if gotReport != wantReport {
-					t.Errorf("shards=%d: Report diverged from 1-shard baseline\n got: %s\nwant: %s",
-						shards, gotReport, wantReport)
+			for _, batched := range []bool{true, false} {
+				name := "batched"
+				if !batched {
+					name = "unbatched"
 				}
-				if gotTrace != wantTrace {
-					t.Errorf("shards=%d: trace stream diverged from 1-shard baseline (%d vs %d bytes)",
-						shards, len(gotTrace), len(wantTrace))
+				t.Run(name, func(t *testing.T) {
+					for _, shards := range shardCounts {
+						sc := determinismScenario(101, tc.plan)
+						sc.Shards = shards
+						sc.ShardWorkers = 1
+						sc.UnbatchedRounds = !batched
+						gotReport, gotTrace := runFingerprint(t, sc)
+						if gotReport != wantReport {
+							t.Errorf("shards=%d: Report diverged from 1-shard baseline\n got: %s\nwant: %s",
+								shards, gotReport, wantReport)
+						}
+						if gotTrace != wantTrace {
+							t.Errorf("shards=%d: trace stream diverged from 1-shard baseline (%d vs %d bytes)",
+								shards, len(gotTrace), len(wantTrace))
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestShardedUntracedByteIdentical is the dense-path gate: with no
+// tracer the registry is quiescent and the sharded tick runs on the
+// hot-state caches (deferred pod usage, counter-advance versioning).
+// Every Report must still match the untraced single-engine baseline
+// byte for byte, batched or not.
+func TestShardedUntracedByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		plan string
+	}{
+		{"fault-free", ""},
+		{"chaos", chaosEverything},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := determinismScenario(101, tc.plan)
+			base.Shards = 1
+			wantReport := runReportOnly(t, base)
+			for _, batched := range []bool{true, false} {
+				name := "batched"
+				if !batched {
+					name = "unbatched"
 				}
+				t.Run(name, func(t *testing.T) {
+					for _, shards := range shardCounts {
+						sc := determinismScenario(101, tc.plan)
+						sc.Shards = shards
+						sc.ShardWorkers = 1
+						sc.UnbatchedRounds = !batched
+						if got := runReportOnly(t, sc); got != wantReport {
+							t.Errorf("shards=%d: untraced Report diverged from 1-shard baseline\n got: %s\nwant: %s",
+								shards, got, wantReport)
+						}
+					}
+				})
 			}
 		})
 	}
@@ -93,24 +168,54 @@ func TestShardedRunsByteIdentical(t *testing.T) {
 
 // TestShardedParallelWorkersDeterministic pins worker-count invariance:
 // with 4 shards, ticking same-timestamp shards in parallel (4 workers)
-// must produce the same bytes as serial rounds (1 worker). Under
-// `go test -race` this is also the race gate for the parallel phase
-// fan-out across the cluster, chaos and metrics layers.
+// must produce the same bytes as serial rounds (1 worker), batched
+// rounds on or off. Under `go test -race` this is also the race gate
+// for the parallel phase fan-out across the cluster, chaos and metrics
+// layers.
 func TestShardedParallelWorkersDeterministic(t *testing.T) {
+	for _, batched := range []bool{true, false} {
+		name := "batched"
+		if !batched {
+			name = "unbatched"
+		}
+		t.Run(name, func(t *testing.T) {
+			base := determinismScenario(202, chaosEverything)
+			base.Shards = 4
+			base.ShardWorkers = 1
+			base.UnbatchedRounds = !batched
+			wantReport, wantTrace := runFingerprint(t, base)
+
+			par := determinismScenario(202, chaosEverything)
+			par.Shards = 4
+			par.ShardWorkers = 4
+			par.UnbatchedRounds = !batched
+			gotReport, gotTrace := runFingerprint(t, par)
+
+			if gotReport != wantReport {
+				t.Errorf("parallel workers: Report diverged\n got: %s\nwant: %s", gotReport, wantReport)
+			}
+			if gotTrace != wantTrace {
+				t.Errorf("parallel workers: trace stream diverged (%d vs %d bytes)", len(gotTrace), len(wantTrace))
+			}
+		})
+	}
+}
+
+// TestShardedParallelWorkersUntraced is the same worker-invariance gate
+// on the dense path: no tracer, quiescent registry, hot-state caches
+// live, 4 workers racing the phase fan-out.
+func TestShardedParallelWorkersUntraced(t *testing.T) {
 	base := determinismScenario(202, chaosEverything)
 	base.Shards = 4
 	base.ShardWorkers = 1
-	wantReport, wantTrace := runFingerprint(t, base)
+	wantReport := runReportOnly(t, base)
 
 	par := determinismScenario(202, chaosEverything)
 	par.Shards = 4
 	par.ShardWorkers = 4
-	gotReport, gotTrace := runFingerprint(t, par)
+	gotReport := runReportOnly(t, par)
 
 	if gotReport != wantReport {
-		t.Errorf("parallel workers: Report diverged\n got: %s\nwant: %s", gotReport, wantReport)
-	}
-	if gotTrace != wantTrace {
-		t.Errorf("parallel workers: trace stream diverged (%d vs %d bytes)", len(gotTrace), len(wantTrace))
+		t.Errorf("parallel workers (untraced): Report diverged\n got: %s\nwant: %s", gotReport, wantReport)
 	}
 }

@@ -79,6 +79,12 @@ type Scenario struct {
 	// parallelism (0 = GOMAXPROCS).
 	Shards       int
 	ShardWorkers int
+	// UnbatchedRounds disables same-timestamp event batching on the
+	// sharded coordinator (cluster.Config.BatchedRounds), reproducing
+	// the one-event-per-barrier protocol. The harness's phase-disciplined
+	// workloads are byte-identical either way; the flag exists so the
+	// determinism suite can pin that.
+	UnbatchedRounds bool
 }
 
 // Validate reports scenario construction errors.
@@ -237,6 +243,7 @@ func runScenario(sc Scenario, pol Policy, hooks []Hook, tr *obs.Tracer) (*Result
 	}
 	ccfg.Shards = sc.Shards
 	ccfg.ShardWorkers = sc.ShardWorkers
+	ccfg.BatchedRounds = !sc.UnbatchedRounds
 	c := cluster.New(eng, ccfg)
 	c.SetTracer(tr)
 	if len(sc.Pools) > 0 {

@@ -28,22 +28,32 @@ type ScalePoint struct {
 }
 
 // ScaleRow is the measured outcome of one (point, shard count) run —
-// the record evolve-bench embeds in BENCH_6.json.
+// the record evolve-bench embeds in BENCH_7.json.
 type ScaleRow struct {
-	Nodes   int     `json:"nodes"`
-	Pods    int     `json:"pods"`
-	Shards  int     `json:"shards"`
-	Workers int     `json:"workers"`
-	Ticks   int     `json:"ticks"`
-	WallMS  float64 `json:"wall_ms"`
+	Nodes   int `json:"nodes"`
+	Pods    int `json:"pods"`
+	Shards  int `json:"shards"`
+	Workers int `json:"workers"`
+	// EffectiveWorkers is the coordinator's actual round parallelism
+	// after the Workers<=0 default resolves to min(shards, GOMAXPROCS).
+	EffectiveWorkers int `json:"effective_workers"`
+	Ticks            int `json:"ticks"`
+	// Reps is how many timed repetitions ran after the warmup tick;
+	// WallMS is the fastest rep (min wall de-noises shard comparisons).
+	Reps   int     `json:"reps"`
+	WallMS float64 `json:"wall_ms"`
 	// MSPerTick is wall-clock per telemetry tick; NsPerPodTick the same
 	// normalised per pod — the kernel's unit cost.
 	MSPerTick    float64 `json:"ms_per_tick"`
 	NsPerPodTick float64 `json:"ns_per_pod_tick"`
-	// Events counts kernel events executed during the measured window;
-	// ShardEvents breaks them down per shard engine (empty at 1 shard).
+	// Events counts kernel events executed during the fastest rep;
+	// ShardEvents breaks down the whole run per shard engine (empty at
+	// 1 shard).
 	Events      uint64   `json:"events"`
 	ShardEvents []uint64 `json:"shard_events,omitempty"`
+	// Phases is the mean per-tick phase breakdown over the timed reps
+	// (sharded runs only): where a tick's wall time actually goes.
+	Phases []perf.PhaseMS `json:"phases,omitempty"`
 	// Speedup is wall(1 shard)/wall(this row) at the same point; 1.0 for
 	// the baseline rows.
 	Speedup float64 `json:"speedup"`
@@ -93,8 +103,11 @@ func DefaultScaleConfig(seed int64, quick bool) ScaleConfig {
 
 // Figure6 runs the kernel scale sweep and returns both the rendered
 // figure (X = pods, one ms/tick column per shard count) and the raw
-// per-run rows.
-func Figure6(cfg ScaleConfig) (*Figure, []ScaleRow, error) {
+// per-run rows. Rows are content-addressed through the runner's scale
+// cache (scalecache.go) when one is configured: a re-run of the same
+// binary with the same parameters serves the sweep from disk.
+func Figure6(r *Runner, cfg ScaleConfig) (*Figure, []ScaleRow, error) {
+	r = ensureRunner(r)
 	if len(cfg.Shards) == 0 {
 		cfg.Shards = []int{1, 4, 8}
 	}
@@ -114,28 +127,25 @@ func Figure6(cfg ScaleConfig) (*Figure, []ScaleRow, error) {
 	}
 	rows := make([]ScaleRow, 0, len(cfg.Points)*len(cfg.Shards))
 	for _, pt := range cfg.Points {
+		ptRows, err := runScalePointSet(r, cfg, pt)
+		if err != nil {
+			return nil, nil, err
+		}
 		ys := make([]float64, 0, len(cfg.Shards))
-		var baseWall float64
-		for i, shards := range cfg.Shards {
-			row, err := runScalePoint(cfg.Seed, pt, shards, cfg.Workers, cfg.Ticks)
-			if err != nil {
-				return nil, nil, err
+		baseWall := ptRows[0].WallMS
+		for i := range ptRows {
+			if ptRows[i].WallMS > 0 {
+				ptRows[i].Speedup = baseWall / ptRows[i].WallMS
 			}
-			if i == 0 {
-				baseWall = row.WallMS
-			}
-			if row.WallMS > 0 {
-				row.Speedup = baseWall / row.WallMS
-			}
-			rows = append(rows, row)
-			ys = append(ys, row.MSPerTick)
+			rows = append(rows, ptRows[i])
+			ys = append(ys, ptRows[i].MSPerTick)
 		}
 		if err := f.AddPoint(float64(pt.Pods), ys...); err != nil {
 			return nil, nil, err
 		}
 	}
 	f.Notes = append(f.Notes,
-		"provisioned via cluster.ProvisionBulk; wall clock measures Run only",
+		"provisioned via cluster.ProvisionBulk; wall clock is min over timed reps of Run only",
 		"absolute values are machine-dependent; shard counts replay byte-identically")
 	return f, rows, nil
 }
@@ -196,9 +206,30 @@ func scaleServices(pods, density int) []cluster.ServiceSpec {
 	return specs
 }
 
-// runScalePoint stands up one topology and drives it for ticks metric
-// ticks under the given shard count.
-func runScalePoint(seed int64, pt ScalePoint, shards, workers, ticks int) (ScaleRow, error) {
+// scaleReps is how many timed repetitions each scale row runs after the
+// warmup tick; the fastest rep is reported. One warmup tick populates
+// the dense caches and the allocator's steady state, and min-of-5
+// de-noises the 8-vs-4-shard comparison on shared CI machines — the
+// small-ladder sharded rows finish in ~10 ms per rep, short enough
+// that a single scheduler hiccup would otherwise move the min.
+const scaleReps = 5
+
+// scaleRun is one provisioned (point, shard count) cluster mid-sweep:
+// warm, phase-timed, accumulating its fastest rep.
+type scaleRun struct {
+	shards  int
+	c       *cluster.Cluster
+	interva time.Duration
+	horizon time.Duration
+	pb      *perf.PhaseBreakdown
+	wall    time.Duration
+	events  uint64
+	reps    int
+}
+
+// newScaleRun stands up one topology under the given shard count and
+// runs the untimed warmup tick (caches, free lists, branch predictors).
+func newScaleRun(seed int64, pt ScalePoint, shards, workers int) (*scaleRun, error) {
 	eng := sim.NewEngine(seed)
 	ccfg := cluster.DefaultConfig()
 	if shards > 1 {
@@ -215,33 +246,107 @@ func runScalePoint(seed int64, pt ScalePoint, shards, workers, ticks int) (Scale
 		Services:     specs,
 	})
 	if err != nil {
-		return ScaleRow{}, fmt.Errorf("harness: scale point %d/%d: %w", pt.Nodes, pt.Pods, err)
+		return nil, fmt.Errorf("harness: scale point %d/%d: %w", pt.Nodes, pt.Pods, err)
 	}
 	if unplaced := c.Metrics().Counter("provision/unplaced").Value(); unplaced > 0 {
-		return ScaleRow{}, fmt.Errorf("harness: scale point %d/%d: %d replicas did not fit", pt.Nodes, pt.Pods, unplaced)
+		return nil, fmt.Errorf("harness: scale point %d/%d: %d replicas did not fit", pt.Nodes, pt.Pods, unplaced)
 	}
 	for _, spec := range specs {
 		lambda := 20 * float64(spec.InitialReplicas)
 		if err := c.SetLoadFunc(spec.Name, func(time.Duration) float64 { return lambda }); err != nil {
-			return ScaleRow{}, err
+			return nil, err
 		}
 	}
 	c.Start()
-	start := time.Now()
-	events := c.Run(time.Duration(ticks) * ccfg.MetricsInterval)
-	wall := time.Since(start)
+	run := &scaleRun{shards: shards, c: c, interva: ccfg.MetricsInterval}
+	run.horizon = run.interva
+	c.Run(run.horizon)
+	if shards > 1 {
+		run.pb = c.EnablePhaseTiming()
+	}
+	return run, nil
+}
 
+// rep drives ticks metric ticks and keeps the fastest rep's wall time.
+func (sr *scaleRun) rep(ticks int) {
+	sr.horizon += time.Duration(ticks) * sr.interva
+	start := time.Now()
+	ev := sr.c.Run(sr.horizon)
+	w := time.Since(start)
+	if sr.reps == 0 || w < sr.wall {
+		sr.wall, sr.events = w, ev
+	}
+	sr.reps++
+}
+
+// row freezes the run into its BENCH record row.
+func (sr *scaleRun) row(pt ScalePoint, workers, ticks int) ScaleRow {
 	row := ScaleRow{
-		Nodes: pt.Nodes, Pods: pt.Pods, Shards: shards, Workers: workers, Ticks: ticks,
-		WallMS:    float64(wall.Microseconds()) / 1000,
-		MSPerTick: float64(wall.Microseconds()) / 1000 / float64(ticks),
-		Events:    events,
+		Nodes: pt.Nodes, Pods: pt.Pods, Shards: sr.shards, Workers: workers,
+		EffectiveWorkers: 1, Ticks: ticks, Reps: sr.reps,
+		WallMS:    float64(sr.wall.Microseconds()) / 1000,
+		MSPerTick: float64(sr.wall.Microseconds()) / 1000 / float64(ticks),
+		Events:    sr.events,
 	}
 	if pt.Pods > 0 && ticks > 0 {
-		row.NsPerPodTick = float64(wall.Nanoseconds()) / float64(ticks) / float64(pt.Pods)
+		row.NsPerPodTick = float64(sr.wall.Nanoseconds()) / float64(ticks) / float64(pt.Pods)
 	}
-	if co := c.Coordinator(); co != nil {
+	if co := sr.c.Coordinator(); co != nil {
 		row.ShardEvents = co.ShardSteps(nil)
+		row.EffectiveWorkers = co.Workers()
 	}
-	return row, nil
+	if sr.pb != nil {
+		row.Phases = sr.pb.PerTickMS()
+	}
+	return row
+}
+
+// runScalePointSet measures every shard count of one topology point with
+// the timed reps interleaved across shard counts (rep 0 of each run,
+// then rep 1 of each, ...). The rows of one point exist to be compared
+// against each other — speedup columns, the 8-vs-4 regression gate —
+// and running each row's reps back-to-back lets a transient noise
+// window on a shared machine land entirely inside one row, skewing
+// exactly that comparison. Interleaving spreads any window across all
+// shard counts; min-of-reps then discards it everywhere equally. All
+// clusters of the point stay provisioned until its rows freeze, which
+// peaks at shard-count × topology resident — fine even at the 1M-pod
+// top of the ladder. Cached rows skip provisioning entirely.
+func runScalePointSet(r *Runner, cfg ScaleConfig, pt ScalePoint) ([]ScaleRow, error) {
+	rows := make([]ScaleRow, len(cfg.Shards))
+	keys := make([]string, len(cfg.Shards))
+	runs := make([]*scaleRun, len(cfg.Shards))
+	live := false
+	for i, shards := range cfg.Shards {
+		keys[i] = scaleRowKey(cfg.Seed, pt, shards, cfg.Workers, cfg.Ticks)
+		if row, hit := r.cachedScaleRow(keys[i]); hit {
+			rows[i] = row
+			continue
+		}
+		run, err := newScaleRun(cfg.Seed, pt, shards, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		runs[i] = run
+		live = true
+	}
+	if !live {
+		return rows, nil
+	}
+	for rep := 0; rep < scaleReps; rep++ {
+		for _, run := range runs {
+			if run != nil {
+				run.rep(cfg.Ticks)
+			}
+		}
+	}
+	for i, run := range runs {
+		if run == nil {
+			continue
+		}
+		rows[i] = run.row(pt, cfg.Workers, cfg.Ticks)
+		r.storeScaleRow(keys[i], rows[i])
+		runs[i] = nil // release the topology before the next point provisions
+	}
+	return rows, nil
 }

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Scale-row cache. The Figure 6 sweep dominates evolve-bench wall time
+// (the 100k-node / 1M-pod ladder is tens of seconds of the roughly
+// eighty the whole bench takes), yet its rows are a pure function of
+// (binary, seed, topology, shard count, workers, ticks): the kernel is
+// deterministic and the wall-clock numbers only change when the code
+// does. Content-addressing the rows on exactly those inputs lets a
+// re-run of the bench — or a CI job iterating on an unrelated table —
+// skip the sweep entirely. Timing noise is the one thing re-running
+// would change, which is why caching is opt-in (SetScaleCacheDir /
+// evolve-bench -scale-cache) and keyed on the executable hash: any
+// rebuild invalidates every row.
+
+// buildFingerprint hashes the running executable, memoised for the
+// process lifetime. It returns "" (uncacheable) when the binary cannot
+// be identified — notably under `go run`, whose temporary binaries are
+// still hashable and differ per build, which is exactly right.
+var buildFingerprint = sync.OnceValue(func() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return ""
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(h.Sum(nil))
+})
+
+// scaleRowKey derives the content address of one scale run. Empty means
+// uncacheable (no build fingerprint).
+func scaleRowKey(seed int64, pt ScalePoint, shards, workers, ticks int) string {
+	fp := buildFingerprint()
+	if fp == "" {
+		return ""
+	}
+	h := sha256.Sum256([]byte(fmt.Sprintf(
+		"%s|seed=%d|nodes=%d|pods=%d|shards=%d|workers=%d|ticks=%d",
+		fp, seed, pt.Nodes, pt.Pods, shards, workers, ticks)))
+	return hex.EncodeToString(h[:])
+}
+
+// SetScaleCacheDir enables the on-disk scale-row cache rooted at dir
+// (created on first store). Rows are keyed on the executable hash plus
+// every run parameter, so a stale hit is impossible without a hash
+// collision; pass "" to disable.
+func (r *Runner) SetScaleCacheDir(dir string) {
+	r.mu.Lock()
+	r.scaleDir = dir
+	r.mu.Unlock()
+}
+
+// cachedScaleRow loads a previously stored row. The second result
+// reports a usable hit.
+func (r *Runner) cachedScaleRow(key string) (ScaleRow, bool) {
+	r.mu.Lock()
+	dir := r.scaleDir
+	r.mu.Unlock()
+	if dir == "" || key == "" {
+		return ScaleRow{}, false
+	}
+	data, err := os.ReadFile(filepath.Join(dir, key+".json"))
+	if err != nil {
+		return ScaleRow{}, false
+	}
+	var row ScaleRow
+	if err := json.Unmarshal(data, &row); err != nil {
+		return ScaleRow{}, false
+	}
+	r.mu.Lock()
+	r.stats.ScaleHits++
+	r.mu.Unlock()
+	return row, true
+}
+
+// storeScaleRow persists a freshly measured row; cache errors are
+// deliberately silent (a broken cache must never fail the sweep).
+func (r *Runner) storeScaleRow(key string, row ScaleRow) {
+	r.mu.Lock()
+	dir := r.scaleDir
+	r.mu.Unlock()
+	if dir == "" || key == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(row)
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(dir, key+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(dir, key+".json"))
+}

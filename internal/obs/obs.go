@@ -232,6 +232,27 @@ func (t *Tracer) Record(ev Event) {
 		return
 	}
 	t.mu.Lock()
+	t.recordLocked(ev)
+	t.mu.Unlock()
+}
+
+// RecordBatch stores a slice of events under one lock acquisition,
+// preserving their order. Equivalent to calling Record per event; the
+// sharded tick uses it to emit a barrier's worth of trace events
+// without taking the mutex per app.
+func (t *Tracer) RecordBatch(evs []Event) {
+	if !t.Enabled() || len(evs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	for _, ev := range evs {
+		t.recordLocked(ev)
+	}
+	t.mu.Unlock()
+}
+
+// recordLocked is Record's body; t.mu must be held.
+func (t *Tracer) recordLocked(ev Event) {
 	t.seq++
 	ev.Seq = t.seq
 	if t.wrapped {
@@ -250,7 +271,6 @@ func (t *Tracer) Record(ev Event) {
 			t.sinkErr = err
 		}
 	}
-	t.mu.Unlock()
 }
 
 // SetSink installs a writer that receives every subsequent event as one

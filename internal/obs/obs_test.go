@@ -268,3 +268,47 @@ func TestKindRoundTrip(t *testing.T) {
 		t.Error("out-of-range kind did not stringify as unknown")
 	}
 }
+
+// RecordBatch must be byte-equivalent to per-event Record calls: same
+// sequence numbers, same ring content, same sink stream.
+func TestRecordBatchMatchesRecord(t *testing.T) {
+	one, bat := New(8), New(8)
+	var oneSink, batSink bytes.Buffer
+	one.SetSink(&oneSink)
+	bat.SetSink(&batSink)
+
+	evs := make([]Event, 5)
+	for i := range evs {
+		evs[i] = mkEvent(i, KindPLO, VerbOnset, "web")
+	}
+	for _, ev := range evs {
+		one.Record(ev)
+	}
+	bat.RecordBatch(evs)
+
+	if oneSink.String() != batSink.String() {
+		t.Errorf("sink streams diverged:\n one: %q\n bat: %q", oneSink.String(), batSink.String())
+	}
+	a, b := one.Snapshot(Filter{}), bat.Snapshot(Filter{})
+	if len(a) != len(b) {
+		t.Fatalf("snapshot lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("event %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Batch must not have mutated the caller's slice (Seq is stamped on
+	// the copy).
+	for i, ev := range evs {
+		if ev.Seq != 0 {
+			t.Errorf("RecordBatch stamped Seq=%d into caller's event %d", ev.Seq, i)
+		}
+	}
+	// Empty and nop cases are no-ops.
+	bat.RecordBatch(nil)
+	if bat.Events() != 5 {
+		t.Errorf("empty batch changed Events to %d", bat.Events())
+	}
+	Nop().RecordBatch(evs)
+}

@@ -1,0 +1,64 @@
+package perf
+
+import "testing"
+
+func TestPhaseBreakdownAccumulation(t *testing.T) {
+	b := NewPhaseBreakdown(3)
+	// Serial phases accumulate in TotalNs.
+	b.Add(PhaseFlushApps, 100)
+	b.Add(PhaseFlushApps, 50)
+	b.Add(PhaseBarrier, 30)
+	// Parallel phases accumulate per shard and sum on read.
+	b.AddShard(0, PhaseP2, 10)
+	b.AddShard(1, PhaseP2, 20)
+	b.AddShard(2, PhaseP2, 30)
+	b.AddShard(1, PhaseP1, 7)
+
+	if got := b.PhaseTotalNs(PhaseFlushApps); got != 150 {
+		t.Errorf("flush_apps = %d, want 150", got)
+	}
+	if got := b.PhaseTotalNs(PhaseBarrier); got != 30 {
+		t.Errorf("barrier_wait = %d, want 30", got)
+	}
+	if got := b.PhaseTotalNs(PhaseP2); got != 60 {
+		t.Errorf("p2 = %d, want 60 (summed shard rows)", got)
+	}
+	if got := b.PhaseTotalNs(PhaseP1); got != 7 {
+		t.Errorf("p1 = %d, want 7", got)
+	}
+	if got := b.PhaseTotalNs(PhaseP3); got != 0 {
+		t.Errorf("p3 = %d, want 0", got)
+	}
+
+	b.Ticks = 2
+	ms := b.PerTickMS()
+	if len(ms) != NumPhases {
+		t.Fatalf("PerTickMS has %d rows, want %d", len(ms), NumPhases)
+	}
+	if ms[PhaseP2].Phase != "p2" || ms[PhaseP2].MS != 60.0/2/1e6 {
+		t.Errorf("p2 row = %+v", ms[PhaseP2])
+	}
+	if ms[PhaseFlushApps].MS != 150.0/2/1e6 {
+		t.Errorf("flush_apps ms = %v", ms[PhaseFlushApps].MS)
+	}
+
+	b.Reset()
+	if b.Ticks != 0 || b.PhaseTotalNs(PhaseP2) != 0 || b.PhaseTotalNs(PhaseFlushApps) != 0 {
+		t.Error("Reset left residue")
+	}
+	if len(b.ShardNs) != 3 {
+		t.Errorf("Reset dropped shard rows: %d", len(b.ShardNs))
+	}
+}
+
+func TestPhaseBreakdownZeroTicks(t *testing.T) {
+	b := NewPhaseBreakdown(0) // clamps to one shard row
+	if len(b.ShardNs) != 1 {
+		t.Fatalf("shard rows = %d, want 1", len(b.ShardNs))
+	}
+	b.Add(PhaseMailbox, 2e6)
+	ms := b.PerTickMS() // zero ticks divides by one, not zero
+	if ms[PhaseMailbox].MS != 2 {
+		t.Errorf("mailbox ms = %v, want 2", ms[PhaseMailbox].MS)
+	}
+}

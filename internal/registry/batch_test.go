@@ -98,3 +98,70 @@ func TestApplyOwnedNotifiesWatchers(t *testing.T) {
 		t.Errorf("Modified notifications = %d, want 2", mods)
 	}
 }
+
+// TestQuiescentAndAdvanceVersion pins the dense-path contract: a store
+// with no live watcher is quiescent, AdvanceVersion stands in for n
+// owned-object stamps, and the version trajectory of later writes
+// continues as if those stamps had happened.
+func TestQuiescentAndAdvanceVersion(t *testing.T) {
+	s := NewStore()
+	if !s.Quiescent() {
+		t.Fatal("fresh store not quiescent")
+	}
+	w := newWidget("a", 1)
+	if err := s.Create(w); err != nil {
+		t.Fatal(err)
+	}
+	v0 := w.ResourceVersion
+
+	cancel := s.Watch("", func(Event) {})
+	if s.Quiescent() {
+		t.Error("store with a live watch reports quiescent")
+	}
+	cancel()
+	if !s.Quiescent() {
+		t.Error("store not quiescent after the only watch is cancelled")
+	}
+
+	// Three phantom stamps, then a real update: the update's version must
+	// land exactly where three Updates plus one more would have put it.
+	s.AdvanceVersion(3)
+	if err := s.Update(w); err != nil {
+		t.Fatal(err)
+	}
+	if want := v0 + 4; w.ResourceVersion != want {
+		t.Errorf("version after AdvanceVersion(3)+Update = %d, want %d", w.ResourceVersion, want)
+	}
+	s.AdvanceVersion(0)
+	s.AdvanceVersion(-5) // non-positive advances are no-ops
+	prev := w.ResourceVersion
+	if err := s.Update(w); err != nil {
+		t.Fatal(err)
+	}
+	if w.ResourceVersion != prev+1 {
+		t.Errorf("non-positive AdvanceVersion moved the counter: %d -> %d", prev, w.ResourceVersion)
+	}
+}
+
+// Quiescent must also be false while a notification is on the stack —
+// a handler observing the store mid-dispatch is an observer.
+func TestQuiescentFalseInsideHandler(t *testing.T) {
+	s := NewStore()
+	fired, sawQuiescent := 0, false
+	cancel := s.Watch("widget", func(Event) {
+		fired++
+		if s.Quiescent() {
+			sawQuiescent = true
+		}
+	})
+	defer cancel()
+	if err := s.Create(newWidget("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if fired == 0 {
+		t.Fatal("watch handler never fired")
+	}
+	if sawQuiescent {
+		t.Error("Quiescent reported true inside a watch handler")
+	}
+}

@@ -212,6 +212,37 @@ func (s *Store) ApplyOwned(objs []Object) (int, error) {
 	return len(objs), nil
 }
 
+// Quiescent reports whether the store currently has no live watcher and
+// no notification in flight: no subscriber to notify, no handler on the
+// stack observing per-object versions. Dead-but-uncompacted
+// subscriptions (cancelled watches awaiting the next notify) do not
+// count. The cluster's dense tick path keys off this — when quiescent,
+// per-object version stamping on owned objects is unobservable (a
+// conflict check compares the stored instance against itself), so it
+// may be replaced by AdvanceVersion.
+func (s *Store) Quiescent() bool {
+	if s.depth != 0 {
+		return false
+	}
+	for _, sub := range s.subs {
+		if !sub.dead {
+			return false
+		}
+	}
+	return true
+}
+
+// AdvanceVersion bumps the store's version counter by n without
+// touching any object, standing in for n owned-object Updates whose
+// per-object stamps nobody can observe. Only meaningful while
+// Quiescent; the version trajectory of subsequent Creates/Updates
+// continues as if the n stamps had happened.
+func (s *Store) AdvanceVersion(n int) {
+	if n > 0 {
+		s.version += uint64(n)
+	}
+}
+
 // Delete removes an object and notifies watchers.
 func (s *Store) Delete(kind, name string) error {
 	key := kind + "/" + name

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"sync"
+	"time"
 
 	"evolve/internal/par"
 )
@@ -34,6 +35,7 @@ type Coordinator struct {
 	primary *Engine
 	shards  []*Engine
 	workers int
+	batched bool // drain all same-t events per shard per round
 
 	mail [][]func() // mail[src] = messages posted by shard src this round
 
@@ -43,18 +45,33 @@ type Coordinator struct {
 
 	rounds    uint64 // shard rounds executed
 	parRounds uint64 // rounds that fanned out to the pool
+	mailed    int    // messages the last round's barrier applied
+
+	timing    bool  // accumulate barrier/mailbox wall time
+	barrierNs int64 // wg.Wait wall time in parallel rounds
+	mailNs    int64 // drainMail wall time at round barriers
 }
 
-// stepJob runs one event on one shard engine; pointers into the
+// stepJob runs one shard engine's share of a round; pointers into the
 // coordinator's prealloc slice go to the pool, so a round allocates
-// nothing.
+// nothing. In batched mode it drains every event at t; otherwise it
+// processes exactly one. steps is written before wg.Done and read only
+// after wg.Wait, so the WaitGroup orders the accesses.
 type stepJob struct {
-	eng *Engine
-	wg  *sync.WaitGroup
+	eng     *Engine
+	wg      *sync.WaitGroup
+	t       Time
+	batched bool
+	steps   int
 }
 
 func (j *stepJob) Run() {
-	j.eng.ProcessNextEvent()
+	if j.batched {
+		j.steps = j.eng.ProcessEventsAt(j.t)
+	} else {
+		j.eng.ProcessNextEvent()
+		j.steps = 1
+	}
 	j.wg.Done()
 }
 
@@ -96,6 +113,34 @@ func (co *Coordinator) Shard(i int) *Engine { return co.shards[i] }
 // Workers returns the configured round parallelism.
 func (co *Coordinator) Workers() int { return co.workers }
 
+// SetBatched switches the round protocol between one-event-per-round
+// (false, the PR 6 baseline) and batched rounds (true): each active
+// shard drains all its events at the shared timestamp before the
+// barrier, collapsing barriers per tick from O(events) to O(1). Both
+// modes are individually deterministic at any shard/worker count; they
+// differ only in where the mailbox drain interleaves relative to
+// same-timestamp shard events, so workloads that post cross-shard mail
+// mid-timestamp may order work differently *between* modes (phase-
+// disciplined users like the cluster substrate, which exchange no
+// mid-phase mail, are byte-identical across both).
+func (co *Coordinator) SetBatched(on bool) { co.batched = on }
+
+// Batched reports whether batched rounds are enabled.
+func (co *Coordinator) Batched() bool { return co.batched }
+
+// SetTiming enables (or disables) accumulation of barrier-wait and
+// mailbox-drain wall time; TakeTimings reads and resets the counters.
+// Timing is off by default so the hot round path pays one branch.
+func (co *Coordinator) SetTiming(on bool) { co.timing = on }
+
+// TakeTimings returns the accumulated barrier-wait and mailbox-drain
+// nanoseconds since the last call, then resets both counters.
+func (co *Coordinator) TakeTimings() (barrierNs, mailNs int64) {
+	barrierNs, mailNs = co.barrierNs, co.mailNs
+	co.barrierNs, co.mailNs = 0, 0
+	return barrierNs, mailNs
+}
+
 // Rounds returns how many shard rounds have executed, and how many of
 // them fanned out to the worker pool.
 func (co *Coordinator) Rounds() (total, parallel uint64) {
@@ -123,10 +168,12 @@ func (co *Coordinator) Mail(src int, fn func()) {
 }
 
 // drainMail applies queued cross-shard messages in (source shard index,
-// FIFO) order. A message may post further mail; the drain loops until
-// empty, restarting the scan from shard 0 each pass so the order is a
-// pure function of what was posted, never of goroutine timing.
-func (co *Coordinator) drainMail() {
+// FIFO) order and returns how many ran. A message may post further
+// mail; the drain loops until empty, restarting the scan from shard 0
+// each pass so the order is a pure function of what was posted, never
+// of goroutine timing.
+func (co *Coordinator) drainMail() int {
+	total := 0
 	for {
 		applied := 0
 		for i := range co.mail {
@@ -140,15 +187,17 @@ func (co *Coordinator) drainMail() {
 				fn()
 			}
 		}
+		total += applied
 		if applied == 0 {
-			return
+			return total
 		}
 	}
 }
 
 // stepRound executes one round: every shard whose next live event sits
-// exactly at t processes one event, then the mailbox drains at the
-// barrier. It returns the number of shard events executed.
+// exactly at t processes one event (or, in batched mode, all its events
+// at t), then the mailbox drains at the barrier. It returns the number
+// of shard events executed.
 func (co *Coordinator) stepRound(t Time) int {
 	co.active = co.active[:0]
 	for i, sh := range co.shards {
@@ -161,6 +210,7 @@ func (co *Coordinator) stepRound(t Time) int {
 		return 0
 	}
 	co.rounds++
+	var executed int
 	if co.workers > 1 && n > 1 {
 		co.parRounds++
 		co.wg.Add(n - 1)
@@ -168,17 +218,48 @@ func (co *Coordinator) stepRound(t Time) int {
 			j := &co.jobs[co.active[k]]
 			j.eng = co.shards[co.active[k]]
 			j.wg = &co.wg
+			j.t = t
+			j.batched = co.batched
+			j.steps = 0
 			par.Submit(j)
 		}
-		co.shards[co.active[0]].ProcessNextEvent()
+		lead := co.shards[co.active[0]]
+		if co.batched {
+			executed = lead.ProcessEventsAt(t)
+		} else {
+			lead.ProcessNextEvent()
+			executed = 1
+		}
+		var w0 time.Time
+		if co.timing {
+			w0 = time.Now()
+		}
 		co.wg.Wait()
+		if co.timing {
+			co.barrierNs += time.Since(w0).Nanoseconds()
+		}
+		for k := 1; k < n; k++ {
+			executed += co.jobs[co.active[k]].steps
+		}
 	} else {
 		for _, i := range co.active {
-			co.shards[i].ProcessNextEvent()
+			if co.batched {
+				executed += co.shards[i].ProcessEventsAt(t)
+			} else {
+				co.shards[i].ProcessNextEvent()
+				executed++
+			}
 		}
 	}
-	co.drainMail()
-	return n
+	var m0 time.Time
+	if co.timing {
+		m0 = time.Now()
+	}
+	co.mailed = co.drainMail()
+	if co.timing {
+		co.mailNs += time.Since(m0).Nanoseconds()
+	}
+	return executed
 }
 
 // DrainShards runs rounds until no shard has a live event at exactly t,
@@ -193,6 +274,15 @@ func (co *Coordinator) DrainShards(t Time) int {
 			break
 		}
 		n += stepped
+		// In batched mode every active shard drained all its events at t
+		// — including same-timestamp follow-ups it scheduled for itself —
+		// so only a barrier message could have armed a new event at t. A
+		// mail-free round is therefore the last one; skipping the
+		// confirming peek round halves the per-phase round count for the
+		// common fan-out (one phase event per shard, no mail).
+		if co.batched && co.mailed == 0 {
+			break
+		}
 	}
 	for _, sh := range co.shards {
 		sh.AdvanceTo(t)

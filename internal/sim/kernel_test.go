@@ -205,9 +205,10 @@ func TestShardOfStableAndInRange(t *testing.T) {
 // PartitionedRNG stream; shards post cross-shard mail that mutates a
 // shared journal at the barrier. The journal string must be identical
 // for any (shard count kept fixed) worker count.
-func coordScenario(workers int) string {
+func coordScenario(workers int, batched bool) string {
 	primary := NewEngine(7)
 	co := NewCoordinator(primary, 4, workers)
+	co.SetBatched(batched)
 	prng := NewPartitionedRNG(7)
 	journal := ""
 	// Per-shard state: a counter advanced by the shard's own stream.
@@ -237,14 +238,22 @@ func coordScenario(workers int) string {
 }
 
 func TestCoordinatorDeterministicAcrossWorkers(t *testing.T) {
-	base := coordScenario(1)
-	if base == "" {
-		t.Fatal("scenario produced no journal")
-	}
-	for _, w := range []int{2, 4, 8} {
-		if got := coordScenario(w); got != base {
-			t.Errorf("workers=%d journal diverged from serial baseline", w)
+	for _, batched := range []bool{false, true} {
+		base := coordScenario(1, batched)
+		if base == "" {
+			t.Fatal("scenario produced no journal")
 		}
+		for _, w := range []int{2, 4, 8} {
+			if got := coordScenario(w, batched); got != base {
+				t.Errorf("batched=%v workers=%d journal diverged from serial baseline", batched, w)
+			}
+		}
+	}
+	// This scenario posts exactly one event per shard per timestamp, so
+	// the two round protocols interleave identically and must agree with
+	// each other too.
+	if coordScenario(1, false) != coordScenario(1, true) {
+		t.Error("batched and unbatched journals diverged on a one-event-per-round workload")
 	}
 }
 
@@ -315,5 +324,109 @@ func TestCoordinatorMailOrdering(t *testing.T) {
 	co.Run(time.Second)
 	if fmt.Sprintf("%v", got) != "[0 1 2]" {
 		t.Errorf("mail applied in order %v, want [0 1 2]", got)
+	}
+}
+
+func TestProcessEventsAt(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	e.Post(time.Second, func() { got = append(got, "a") })
+	dead := e.At(time.Second, func() { got = append(got, "cancelled") })
+	e.Post(time.Second, func() { got = append(got, "b") })
+	e.Post(2*time.Second, func() { got = append(got, "later") })
+	dead()
+
+	if n := e.ProcessEventsAt(time.Second); n != 2 {
+		t.Fatalf("ProcessEventsAt(1s) = %d executed, want 2", n)
+	}
+	if fmt.Sprintf("%v", got) != "[a b]" {
+		t.Fatalf("executed %v, want [a b] (FIFO at t, dead skipped, later untouched)", got)
+	}
+	if e.Now() != time.Second {
+		t.Errorf("clock = %v, want 1s", e.Now())
+	}
+	if at, ok := e.PeekNextEventTime(); !ok || at != 2*time.Second {
+		t.Errorf("next event = %v,%v, want 2s,true", at, ok)
+	}
+	// Nothing at 1s anymore: a second call is a no-op.
+	if n := e.ProcessEventsAt(time.Second); n != 0 {
+		t.Errorf("second ProcessEventsAt(1s) = %d, want 0", n)
+	}
+	// An event that posts a same-timestamp follow-up drains in the same
+	// call — that is what collapses a tick's fan-out to one round.
+	e.Post(2*time.Second, func() {
+		e.Post(2*time.Second, func() { got = append(got, "chained") })
+	})
+	if n := e.ProcessEventsAt(2 * time.Second); n != 3 {
+		t.Errorf("ProcessEventsAt(2s) = %d executed, want 3 (incl. chained)", n)
+	}
+	if got[len(got)-1] != "chained" {
+		t.Errorf("chained follow-up did not run: %v", got)
+	}
+}
+
+// Batched rounds must collapse a k-events-per-shard tick from k rounds
+// (k barriers) to one, without changing what each shard executes. The
+// journals are per-shard: shard events only touch their own state, and
+// cross-shard interleaving is exactly what the two protocols are free
+// to order differently.
+func TestBatchedRoundsCollapseBarriers(t *testing.T) {
+	run := func(batched bool) (journals [2]string, rounds uint64) {
+		primary := NewEngine(3)
+		co := NewCoordinator(primary, 2, 1)
+		co.SetBatched(batched)
+		primary.Every(time.Second, func() {
+			now := primary.Now()
+			for i := 0; i < co.NumShards(); i++ {
+				i := i
+				for k := 0; k < 5; k++ {
+					k := k
+					co.Shard(i).Post(now, func() {
+						journals[i] += fmt.Sprintf("%v/e%d ", now, k)
+					})
+				}
+			}
+			co.DrainShards(now)
+		})
+		co.Run(10 * time.Second)
+		total, _ := co.Rounds()
+		return journals, total
+	}
+	serialJournals, serialRounds := run(false)
+	batchedJournals, batchedRounds := run(true)
+	if serialJournals != batchedJournals {
+		t.Error("batched rounds changed a shard's execution journal")
+	}
+	if serialRounds != 10*5 {
+		t.Errorf("unbatched rounds = %d, want 50 (one per event per tick)", serialRounds)
+	}
+	if batchedRounds != 10 {
+		t.Errorf("batched rounds = %d, want 10 (one per tick)", batchedRounds)
+	}
+}
+
+// A steady-state batched round must not allocate: stepJob reuse, the
+// engine free list and the active scratch slice make DrainShards
+// allocation-free once warm.
+func TestBatchedRoundAllocs(t *testing.T) {
+	primary := NewEngine(1)
+	co := NewCoordinator(primary, 1, 1)
+	co.SetBatched(true)
+	sink := 0
+	fn := func() { sink++ }
+	var at Time
+	tick := func() {
+		at += time.Second
+		for k := 0; k < 8; k++ {
+			co.Shard(0).Post(at, fn)
+		}
+		co.DrainShards(at)
+	}
+	tick() // warm the free list and scratch slices
+	if avg := testing.AllocsPerRun(100, tick); avg != 0 {
+		t.Errorf("steady-state batched round allocates %.1f times", avg)
+	}
+	if sink == 0 {
+		t.Fatal("events did not run")
 	}
 }

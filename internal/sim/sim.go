@@ -262,6 +262,32 @@ func (e *Engine) ProcessNextEvent() (t Time, ok bool) {
 	return 0, false
 }
 
+// ProcessEventsAt executes every live event whose timestamp is exactly
+// t — including events that callbacks post back at t while the batch
+// drains — and returns the number executed. It is the batch primitive
+// behind the coordinator's batched rounds: one call empties a shard's
+// work at the shared minimum, so the round barrier is paid once per
+// timestamp instead of once per event. Events earlier than t must not
+// be queued (the coordinator only calls this at the global minimum);
+// events later than t are left in place.
+func (e *Engine) ProcessEventsAt(t Time) int {
+	n := 0
+	for len(e.events) > 0 && !e.stopped {
+		head := e.events[0]
+		if head.dead {
+			e.recycle(heap.Pop(&e.events).(*event))
+			continue
+		}
+		if head.at != t {
+			break
+		}
+		if e.step() {
+			n++
+		}
+	}
+	return n
+}
+
 // Post schedules fn at absolute time t with no Canceler, the
 // allocation-free path for callers that never cancel (cross-shard
 // messages, phase fan-out). Like At, scheduling in the past panics.
