@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-sched bench-shard bench-compare check fuzz-smoke chaos-soak
+.PHONY: build test race vet bench bench-json bench-sched bench-shard bench-compare bench-obs check fuzz-smoke chaos-soak
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,17 @@ bench-compare:
 bench-sched:
 	$(GO) test ./internal/sched -run 'SteadyStateAllocs' -bench . -benchtime 100x -count 1 -v
 	$(GO) test ./internal/cluster -run 'TestTickSteadyStateAllocs' -bench 'BenchmarkScheduleGang|BenchmarkSchedulePending/pods-500$$' -benchtime 20x -count 1
+
+# bench-obs is the observability overhead job: the span-off vs span-on
+# tick pair (BenchmarkTick vs BenchmarkTickTraced — installing a tracer
+# enables the span layer with it), the traced and untraced steady-state
+# allocation gates, and the span/latency emission tests. A traced tick
+# that starts allocating per pod, or a steady tick that records spans,
+# fails here.
+bench-obs:
+	$(GO) test ./internal/cluster -run 'TestTickSteadyStateAllocs|TestTickTracedAllocsBudget|TestPodSpansEmitted' \
+		-bench 'BenchmarkTick/|BenchmarkTickTraced/' -benchtime 20x -count 1 -v
+	$(GO) test ./internal/obs -run 'TestSpan|TestLatency' -bench 'BenchmarkObserveLatency' -benchtime 100x -count 1
 
 # fuzz-smoke gives the chaos-plan parser a short fuzzing budget: long
 # enough to catch parse/round-trip regressions, short enough for CI.

@@ -31,6 +31,9 @@ type scaleRow struct {
 	Shards    int     `json:"shards"`
 	MSPerTick float64 `json:"ms_per_tick"`
 	Speedup   float64 `json:"speedup"`
+	// Latency-tail fields (records from PR 8 on; zero in older records).
+	TickMaxMS     float64 `json:"tick_max_ms"`
+	RoundsPerTick float64 `json:"rounds_per_tick"`
 }
 
 type pointKey struct{ Nodes, Pods, Shards int }
@@ -142,6 +145,7 @@ func main() {
 				key.Nodes, key.Pods, key.Shards, *newPath)
 		}
 	}
+	printLatencySummary(keys, newRows)
 	if compared == 0 {
 		fatal(fmt.Errorf("no comparable rows between %s and %s", *oldPath, *newPath))
 	}
@@ -150,6 +154,31 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("bench-compare: %d row(s) within %.0f%% tolerance\n", compared, *tolerance*100)
+}
+
+// printLatencySummary renders the candidate record's tick-latency tail:
+// mean vs worst tick and barrier rounds per tick, for rows that carry
+// the histogram-derived fields (older records simply skip the block).
+// The tail/mean ratio is the number to watch — a flat ratio across
+// shard counts means the barrier is not stretching the worst tick.
+func printLatencySummary(keys []pointKey, rows map[pointKey]scaleRow) {
+	header := false
+	for _, key := range keys {
+		row := rows[key]
+		if row.TickMaxMS <= 0 {
+			continue
+		}
+		if !header {
+			fmt.Printf("\ntick latency (candidate record):\n")
+			header = true
+		}
+		ratio := 0.0
+		if row.MSPerTick > 0 {
+			ratio = row.TickMaxMS / row.MSPerTick
+		}
+		fmt.Printf("      %6d nodes %8d pods %2d shards: mean %8.3f ms, worst %8.3f ms (%4.1fx), %.1f rounds/tick\n",
+			key.Nodes, key.Pods, key.Shards, row.MSPerTick, row.TickMaxMS, ratio, row.RoundsPerTick)
+	}
 }
 
 func fatal(err error) {

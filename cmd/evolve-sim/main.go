@@ -10,6 +10,7 @@
 //	evolve-sim -config scenario.json -events
 //	evolve-sim -dump app/web/latency-mean -duration 1h > lat.csv
 //	evolve-sim -trace run.jsonl -duration 2h   # then: evolve-explain -trace run.jsonl -app web
+//	evolve-sim -spans spans.jsonl -duration 2h # then: evolve-timeline -spans spans.jsonl -pod web-7
 //	evolve-sim -metrics-addr :9090             # Prometheus text on /metrics after the run
 package main
 
@@ -35,6 +36,7 @@ type outputs struct {
 	serve        string
 	metricsAddr  string
 	trace        string
+	spans        string
 	traceBuf     int
 }
 
@@ -55,6 +57,7 @@ func main() {
 		serve     = flag.String("serve", "", "after the run, serve /report, /series, /metrics, /debug/trace and friends on this address (e.g. :8080)")
 		metrics   = flag.String("metrics-addr", "", "after the run, serve Prometheus /metrics on this address (e.g. :9090)")
 		trace     = flag.String("trace", "", "record the decision trace as JSONL to this file (consumed by evolve-explain)")
+		spans     = flag.String("spans", "", "record causal spans as JSONL to this file (consumed by evolve-timeline)")
 		buf       = flag.Int("trace-buf", obs.DefaultCapacity, "decision-trace ring capacity (events kept for /debug/trace)")
 		config    = flag.String("config", "", "JSON scenario file (see evolve.FileConfig); overrides the workload flags")
 		chaosPlan = flag.String("chaos", "", "fault-injection plan: a profile ("+strings.Join(chaos.Profiles(), ", ")+") or a chaos-DSL string")
@@ -64,7 +67,7 @@ func main() {
 	out := outputs{
 		list: *list, events: *events, dump: *dump,
 		serve: *serve, metricsAddr: *metrics,
-		trace: *trace, traceBuf: *buf,
+		trace: *trace, spans: *spans, traceBuf: *buf,
 	}
 
 	if *config != "" {
@@ -138,8 +141,8 @@ func main() {
 
 // finish runs the cluster for dur and emits the requested outputs.
 func finish(c *evolve.Cluster, dur time.Duration, out outputs) {
-	var traceFile *os.File
-	var traceW *bufio.Writer
+	var traceFile, spanFile *os.File
+	var traceW, spanW *bufio.Writer
 	if out.trace != "" {
 		f, err := os.Create(out.trace)
 		if err != nil {
@@ -147,7 +150,16 @@ func finish(c *evolve.Cluster, dur time.Duration, out outputs) {
 		}
 		traceFile, traceW = f, bufio.NewWriter(f)
 		c.EnableTracing(out.traceBuf).SetSink(traceW)
-	} else if out.serve != "" || out.metricsAddr != "" {
+	}
+	if out.spans != "" {
+		f, err := os.Create(out.spans)
+		if err != nil {
+			fatal(err)
+		}
+		spanFile, spanW = f, bufio.NewWriter(f)
+		c.EnableTracing(out.traceBuf).SetSpanSink(spanW)
+	}
+	if out.trace == "" && out.spans == "" && (out.serve != "" || out.metricsAddr != "") {
 		// Serving without a sink still wants /debug/trace to answer.
 		c.EnableTracing(out.traceBuf)
 	}
@@ -168,6 +180,18 @@ func finish(c *evolve.Cluster, dur time.Duration, out outputs) {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "evolve-sim: decision trace written to %s\n", out.trace)
+	}
+	if spanW != nil {
+		if err := c.Tracer().SpanSinkErr(); err != nil {
+			fatal(fmt.Errorf("span sink: %w", err))
+		}
+		if err := spanW.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := spanFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "evolve-sim: span stream written to %s\n", out.spans)
 	}
 
 	if out.list {

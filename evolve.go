@@ -464,6 +464,10 @@ type ServiceReport struct {
 	MeanSLI           float64
 	Replicas          int
 	AllocPerReplica   string
+	// BurnRate is violation-seconds consumed per error-budget second
+	// earned (SRE burn rate; 1.0 is the sustainable ceiling, see
+	// internal/plo.BurnTracker).
+	BurnRate float64
 }
 
 // Report summarises the run so far.
@@ -482,6 +486,14 @@ type Report struct {
 	DegradedPeriods  uint64 // control periods spent holding the last safe point
 	ActuationRetries uint64 // transiently failed actuations retried with backoff
 	Abandoned        uint64 // decisions given up after the retry budget
+	// Tracer health (zero/empty when tracing is off): ring totals, ring
+	// drops (capacity exhausted between snapshots) and the first latched
+	// JSONL sink error, so silent trace loss is visible in the report.
+	TraceEvents       uint64
+	TraceDropped      uint64
+	TraceSpans        uint64
+	TraceSpansDropped uint64
+	TraceSinkError    string
 }
 
 // String renders the report for terminals.
@@ -500,6 +512,10 @@ func (r Report) String() string {
 	if r.DegradedPeriods > 0 || r.ActuationRetries > 0 || r.Abandoned > 0 {
 		fmt.Fprintf(&b, "  degraded periods %d, actuation retries %d, abandoned %d\n",
 			r.DegradedPeriods, r.ActuationRetries, r.Abandoned)
+	}
+	if r.TraceDropped > 0 || r.TraceSpansDropped > 0 || r.TraceSinkError != "" {
+		fmt.Fprintf(&b, "  trace health: %d events dropped, %d spans dropped, sink error %q\n",
+			r.TraceDropped, r.TraceSpansDropped, r.TraceSinkError)
 	}
 	return b.String()
 }
@@ -528,6 +544,7 @@ func (cl *Cluster) Report() Report {
 			MeanSLI:           sli,
 			Replicas:          app.DesiredReplicas,
 			AllocPerReplica:   app.Alloc.String(),
+			BurnRate:          tr.Burn().BurnRate(),
 		})
 	}
 	r.ClusterCPUAllocated = met.Series("cluster/allocated/cpu").TimeWeightedMean(0, now)
@@ -542,6 +559,17 @@ func (cl *Cluster) Report() Report {
 	r.DegradedPeriods = ls.DegradedPeriods
 	r.ActuationRetries = ls.Retries
 	r.Abandoned = ls.Abandoned
+	if cl.tracer.Enabled() {
+		r.TraceEvents = cl.tracer.Events()
+		r.TraceDropped = cl.tracer.Dropped()
+		r.TraceSpans = cl.tracer.Spans()
+		r.TraceSpansDropped = cl.tracer.SpansDropped()
+		if err := cl.tracer.SinkErr(); err != nil {
+			r.TraceSinkError = err.Error()
+		} else if err := cl.tracer.SpanSinkErr(); err != nil {
+			r.TraceSinkError = err.Error()
+		}
+	}
 	return r
 }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -23,8 +25,17 @@ import (
 //	GET /debug/trace        decision-trace events as JSONL; filter with
 //	                        ?app= &kind= &verb= &from=10m &to=1h &limit=100
 //	                        (404 until EnableTracing is called)
+//	GET /debug/spans        causal spans as JSONL; filter with ?app=
+//	                        &object= &kind= &from=10m &to=1h &limit=100
+//	                        (404 until EnableTracing is called)
+//	GET /debug/timeline     text timeline of recorded spans; ?from= &to=
+//	                        bound the window, ?pod=<name> explains one
+//	                        pod's path to readiness instead
 //	GET /debug/controllers  per-app controller state as JSON: policy,
 //	                        rationale, last decision, PID decomposition
+//
+// Unknown or malformed query parameters on the /debug routes return 400
+// with a usage message rather than an empty 200.
 //
 // The handler reads the simulation's state; serve it between Run calls
 // (the Cluster is not safe for concurrent mutation while serving).
@@ -94,6 +105,61 @@ func (cl *Cluster) Handler() http.Handler {
 			return // client went away mid-stream; headers already sent
 		}
 	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		if !cl.tracer.Enabled() {
+			http.Error(w, "tracing disabled (call EnableTracing or pass -trace)", http.StatusNotFound)
+			return
+		}
+		f, err := spanFilter(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		if err := obs.WriteSpansJSONL(w, cl.tracer.SpanSnapshot(f)); err != nil {
+			return // client went away mid-stream; headers already sent
+		}
+	})
+	mux.HandleFunc("/debug/timeline", func(w http.ResponseWriter, r *http.Request) {
+		if !cl.tracer.Enabled() {
+			http.Error(w, "tracing disabled (call EnableTracing or pass -trace)", http.StatusNotFound)
+			return
+		}
+		q := r.URL.Query()
+		if err := checkParams(q, "pod", "from", "to"); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var from, to time.Duration
+		if v := q.Get("from"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "bad from: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			from = d
+		}
+		if v := q.Get("to"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "bad to: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			to = d
+		}
+		spans := cl.tracer.SpanSnapshot(obs.SpanFilter{})
+		if pod := q.Get("pod"); pod != "" {
+			if obs.PodChain(spans, pod) == nil {
+				http.Error(w, "no lifecycle span for pod "+pod+" (never bound, or rotated out of the ring)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = obs.ExplainPodReady(w, spans, pod)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = obs.WriteTimeline(w, spans, from, to)
+	})
 	mux.HandleFunc("/debug/controllers", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -108,33 +174,86 @@ func (cl *Cluster) Handler() http.Handler {
 // traceFilter parses /debug/trace query parameters into an obs.Filter.
 func traceFilter(r *http.Request) (obs.Filter, error) {
 	q := r.URL.Query()
+	if err := checkParams(q, "app", "verb", "kind", "from", "to", "limit"); err != nil {
+		return obs.Filter{}, err
+	}
 	f := obs.Filter{App: q.Get("app"), Verb: q.Get("verb")}
 	if k := q.Get("kind"); k != "" {
 		if _, ok := obs.ParseEventKind(k); !ok {
-			return f, errors.New("bad kind: want control, gain, sched, registry or plo")
+			return f, errors.New("bad kind: want " + strings.Join(obs.EventKindNames(), ", "))
 		}
 		f.Kind = k
 	}
-	if v := q.Get("from"); v != "" {
-		d, err := time.ParseDuration(v)
-		if err != nil {
-			return f, errors.New("bad from: " + err.Error())
-		}
-		f.From = d
-	}
-	if v := q.Get("to"); v != "" {
-		d, err := time.ParseDuration(v)
-		if err != nil {
-			return f, errors.New("bad to: " + err.Error())
-		}
-		f.To = d
-	}
-	if v := q.Get("limit"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			return f, errors.New("bad limit: want a non-negative integer")
-		}
-		f.Lim = n
+	var err error
+	if f.From, f.To, f.Lim, err = windowParams(q); err != nil {
+		return f, err
 	}
 	return f, nil
+}
+
+// spanFilter parses /debug/spans query parameters into an obs.SpanFilter.
+func spanFilter(r *http.Request) (obs.SpanFilter, error) {
+	q := r.URL.Query()
+	if err := checkParams(q, "app", "object", "kind", "from", "to", "limit"); err != nil {
+		return obs.SpanFilter{}, err
+	}
+	f := obs.SpanFilter{App: q.Get("app"), Object: q.Get("object")}
+	if k := q.Get("kind"); k != "" {
+		if _, ok := obs.ParseSpanKind(k); !ok {
+			return f, errors.New("bad kind: want " + strings.Join(obs.SpanKindNames(), ", "))
+		}
+		f.Kind = k
+	}
+	var err error
+	if f.From, f.To, f.Lim, err = windowParams(q); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+// windowParams parses the shared from/to/limit filter parameters.
+func windowParams(q url.Values) (from, to time.Duration, lim int, err error) {
+	if v := q.Get("from"); v != "" {
+		if from, err = time.ParseDuration(v); err != nil {
+			return from, to, lim, errors.New("bad from: " + err.Error())
+		}
+	}
+	if v := q.Get("to"); v != "" {
+		if to, err = time.ParseDuration(v); err != nil {
+			return from, to, lim, errors.New("bad to: " + err.Error())
+		}
+	}
+	if v := q.Get("limit"); v != "" {
+		n, aerr := strconv.Atoi(v)
+		if aerr != nil || n < 0 {
+			return from, to, lim, errors.New("bad limit: want a non-negative integer")
+		}
+		lim = n
+	}
+	return from, to, lim, nil
+}
+
+// checkParams rejects query parameters outside the allowed set, so a
+// typo ("?verbs=bind") fails with a usage message instead of silently
+// matching everything.
+func checkParams(q url.Values, allowed ...string) error {
+	var unknown []string
+	for k := range q {
+		ok := false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) == 0 {
+		return nil
+	}
+	sort.Strings(unknown)
+	return errors.New("unknown parameter(s): " + strings.Join(unknown, ", ") +
+		" (want " + strings.Join(allowed, ", ") + ")")
 }

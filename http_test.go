@@ -162,8 +162,23 @@ func TestHTTPRoutes(t *testing.T) {
 		{"/debug/trace?kind=sched&verb=bind", http.StatusOK, "application/jsonl", `"verb":"bind"`},
 		{"/debug/trace?app=svc&limit=1", http.StatusOK, "application/jsonl", `"app":"svc"`},
 		{"/debug/trace?kind=bogus", http.StatusBadRequest, "", "bad kind"},
+		{"/debug/trace?kind=bogus", http.StatusBadRequest, "", "fault"},
 		{"/debug/trace?from=xyz", http.StatusBadRequest, "", "bad from"},
 		{"/debug/trace?limit=-1", http.StatusBadRequest, "", "bad limit"},
+		{"/debug/trace?verbs=bind", http.StatusBadRequest, "", "unknown parameter(s): verbs"},
+		{"/metrics", http.StatusOK, "", "evolve_trace_spans_total"},
+		{"/metrics", http.StatusOK, "", "evolve_latency_time_to_ready_seconds_bucket"},
+		{"/metrics", http.StatusOK, "", "evolve_plo_burn_rate"},
+		{"/debug/spans", http.StatusOK, "application/jsonl", `"kind":"lifecycle"`},
+		{"/debug/spans?kind=pending&app=svc", http.StatusOK, "application/jsonl", `"kind":"pending"`},
+		{"/debug/spans?kind=bogus", http.StatusBadRequest, "", "bad kind: want lifecycle"},
+		{"/debug/spans?limit=x", http.StatusBadRequest, "", "bad limit"},
+		{"/debug/spans?pod=svc-1", http.StatusBadRequest, "", "unknown parameter(s): pod"},
+		{"/debug/timeline", http.StatusOK, "text/plain", "timeline"},
+		{"/debug/timeline?pod=svc-1", http.StatusOK, "text/plain", "pod svc-1 (app svc)"},
+		{"/debug/timeline?pod=nope", http.StatusNotFound, "", "no lifecycle span"},
+		{"/debug/timeline?from=xyz", http.StatusBadRequest, "", "bad from"},
+		{"/debug/timeline?kind=pending", http.StatusBadRequest, "", "unknown parameter(s): kind"},
 		{"/debug/controllers", http.StatusOK, "application/json", `"trace"`},
 	}
 	for _, c := range cases {
@@ -206,15 +221,17 @@ func TestHTTPTraceFilterNarrows(t *testing.T) {
 func TestHTTPTraceDisabled(t *testing.T) {
 	srv := httptest.NewServer(newServedCluster(t).Handler())
 	defer srv.Close()
-	code, body, _ := get(t, srv, "/debug/trace")
-	if code != http.StatusNotFound || !strings.Contains(body, "tracing disabled") {
-		t.Errorf("disabled trace = %d %q", code, body)
+	for _, path := range []string{"/debug/trace", "/debug/spans", "/debug/timeline"} {
+		code, body, _ := get(t, srv, path)
+		if code != http.StatusNotFound || !strings.Contains(body, "tracing disabled") {
+			t.Errorf("disabled %s = %d %q", path, code, body)
+		}
 	}
 	// /metrics and /debug/controllers still work without a tracer.
 	if code, _, _ := get(t, srv, "/metrics"); code != http.StatusOK {
 		t.Errorf("metrics without tracer = %d", code)
 	}
-	code, body, _ = get(t, srv, "/debug/controllers")
+	code, body, _ := get(t, srv, "/debug/controllers")
 	if code != http.StatusOK {
 		t.Errorf("controllers without tracer = %d", code)
 	}

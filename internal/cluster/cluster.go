@@ -95,6 +95,12 @@ type appState struct {
 	migrateDebt int  // consecutive ticks with throttled resize
 	wasViolated bool // PLO state last tick, for onset/clear trace events
 
+	// Causal anchor of the most recent applied decision (spans.go):
+	// replicas created while applying it inherit both so their bind can
+	// report the decision→effect lag. decisionSpan stays zero untraced.
+	decisionAt   time.Duration
+	decisionSpan uint64
+
 	// h caches the per-service metric handles (see handles.go); nil
 	// until the first tick resolves them.
 	h *appHandles
@@ -179,9 +185,12 @@ type Cluster struct {
 
 	// phases, when non-nil, accumulates the per-tick phase timing
 	// breakdown (EnablePhaseTiming); traceBuf stages PLO trace events
-	// for batch emission at the flush barrier.
-	phases   *perf.PhaseBreakdown
-	traceBuf []obs.Event
+	// for batch emission at the flush barrier. phasePrev remembers each
+	// phase's cumulative total at the last emitted phase span so
+	// emitPhaseSpans (spans.go) can lift per-tick deltas out of it.
+	phases    *perf.PhaseBreakdown
+	traceBuf  []obs.Event
+	phasePrev [perf.NumPhases]int64
 
 	podSeq  uint64
 	started bool
@@ -245,6 +254,7 @@ func (c *Cluster) EnablePhaseTiming() *perf.PhaseBreakdown {
 		c.co.SetTiming(true)
 	}
 	c.phases = perf.NewPhaseBreakdown(n)
+	c.phasePrev = [perf.NumPhases]int64{}
 	return c.phases
 }
 
@@ -481,6 +491,23 @@ func (c *Cluster) bind(p *PodObject, nodeName string) error {
 			App: p.App, Object: p.Name, Node: nodeName, Alloc: p.Requests,
 		})
 	}
+	// Latency accounting and span emission. The registry histograms are
+	// always on — untraced harness runs measure the same intervals the
+	// span layer annotates — and first-bind detection keys the pod's root
+	// lifecycle span plus the created→ready and decision→effect samples.
+	first := !p.everBound
+	p.everBound = true
+	lh := c.bindLatency()
+	lh.schedLat.Observe((c.now() - p.pendingSince).Seconds())
+	if first {
+		lh.readyLat.Observe((p.ReadyAt - p.CreatedAt).Seconds())
+		if p.causeAt != 0 {
+			lh.effectLat.Observe((c.now() - p.causeAt).Seconds())
+		}
+	}
+	if c.tracer.Enabled() {
+		c.emitBindSpans(p, first)
+	}
 	c.update(p)
 	c.update(n)
 	if p.IsTask() {
@@ -525,6 +552,7 @@ func (c *Cluster) deletePod(p *PodObject) {
 // evict returns a running pod to the pending queue (service replica) or
 // fails it (task); used by preemption and node failure.
 func (c *Cluster) evict(p *PodObject, reason string) {
+	node := p.Node // release clears it; spans attribute the lost segment
 	c.release(p)
 	if p.IsTask() {
 		p.Phase = Failed
@@ -541,6 +569,7 @@ func (c *Cluster) evict(p *PodObject, reason string) {
 				At: c.now(), Kind: obs.KindSched, Verb: obs.VerbEvict,
 				App: p.App, Object: name, Detail: reason,
 			})
+			c.emitSegmentSpan(p, node, reason)
 		}
 		if done != nil {
 			done(name, true)
@@ -549,6 +578,7 @@ func (c *Cluster) evict(p *PodObject, reason string) {
 	}
 	p.Phase = Pending
 	p.Usage = resource.Vector{}
+	p.pendingSince = c.now() // next bind measures the re-queue wait
 	c.indexMarkPending(p)
 	c.met.Counter("evictions/" + reason).Inc()
 	c.recordEvent("pod-evicted", p.Name, "back to pending queue (%s)", reason)
@@ -557,6 +587,7 @@ func (c *Cluster) evict(p *PodObject, reason string) {
 			At: c.now(), Kind: obs.KindSched, Verb: obs.VerbEvict,
 			App: p.App, Object: p.Name, Detail: reason,
 		})
+		c.emitSegmentSpan(p, node, reason)
 	}
 	c.update(p)
 }

@@ -26,6 +26,7 @@ type appHandles struct {
 	offered         *metrics.Series
 	replicas, ready *metrics.Series
 	sli, violation  *metrics.Series
+	burnRate        *metrics.Series
 	alloc, usage    [resource.NumKinds]*metrics.Series
 
 	// hist and violations stay nil until first needed; see above.
@@ -48,6 +49,9 @@ func (st *appState) handles(met *metrics.Registry) *appHandles {
 		ready:      met.Series(pfx + "ready"),
 		sli:        met.Series(pfx + "sli"),
 		violation:  met.Series(pfx + "violation"),
+		// Burn rate lives under plo/ so the Prometheus mapping labels it
+		// evolve_plo_burn_rate{app="…"} next to the violation counters.
+		burnRate: met.Series("plo/" + st.obj.Spec.Name + "/burn-rate"),
 	}
 	for _, k := range resource.Kinds() {
 		h.alloc[k] = met.Series(pfx + "alloc/" + k.String())
@@ -81,6 +85,12 @@ type clusterHandles struct {
 	pods             *metrics.Series
 	pending          *metrics.Series
 	emptyNodes       *metrics.Series
+
+	// Always-on latency histograms, observed at bind time (never on the
+	// steady-state tick): pending→bound wait, created→ready time, and
+	// decision-applied→first-bind lag. Lazily resolved on first bind so
+	// runs that never bind a pod carry no empty histograms.
+	schedLat, readyLat, effectLat *metrics.Histogram
 }
 
 // clusterSeries resolves (once) and returns the cluster-level handles.
@@ -98,5 +108,19 @@ func (c *Cluster) clusterSeries() *clusterHandles {
 		h.usage[k] = c.met.Series("cluster/usage/" + k.String())
 	}
 	c.h = h
+	return h
+}
+
+// bindLatency resolves (once) the bind-time latency histograms. Bounds
+// cover one sub-tick decimal decade down to hours-scale waits; values
+// outside clamp to the end buckets and quantiles clamp to the observed
+// max, so the p95 summaries stay honest at both extremes.
+func (c *Cluster) bindLatency() *clusterHandles {
+	h := c.clusterSeries()
+	if h.schedLat == nil {
+		h.schedLat = c.met.Histogram("sched/latency", 1, 1e5, 10)
+		h.readyLat = c.met.Histogram("sched/time-to-ready", 1, 1e5, 10)
+		h.effectLat = c.met.Histogram("control/decision-effect", 1, 1e5, 10)
+	}
 	return h
 }

@@ -112,6 +112,20 @@ type PodObject struct {
 	// the application's startup delay); tasks are ready at bind.
 	ReadyAt  time.Duration
 	FinishAt time.Duration // tasks: scheduled completion
+
+	// Span bookkeeping (spans.go). pendingSince marks the start of the
+	// current pending segment (creation, or the eviction that re-queued
+	// the pod) and everBound whether a first bind has happened; both are
+	// maintained unconditionally so untraced latency histograms see the
+	// same intervals traced spans do. causeAt is when the decision or
+	// gang admission that created this pod was applied (zero for initial
+	// deployment). spanID is the pod's root lifecycle span and causeSpan
+	// its causal parent; both stay zero when tracing is off.
+	pendingSince time.Duration
+	causeAt      time.Duration
+	everBound    bool
+	spanID       uint64
+	causeSpan    uint64
 }
 
 // GetMeta implements registry.Object.

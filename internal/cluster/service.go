@@ -97,6 +97,12 @@ func (c *Cluster) addReplica(st *appState) *PodObject {
 		Priority:     spec.Priority,
 		NodeSelector: spec.NodeSelector,
 		CreatedAt:    c.now(),
+		pendingSince: c.now(),
+		// Causal link to the decision being applied, if any: addReplica is
+		// only reached from initial deployment (no cause) or from inside
+		// applyDecision/migrateWorstReplica (cause freshly stamped).
+		causeAt:   st.decisionAt,
+		causeSpan: st.decisionSpan,
 	}
 	if err := c.store.Create(p); err != nil {
 		// Absorb the failed create (the replica simply does not come up
@@ -207,6 +213,19 @@ func (c *Cluster) applyDecision(st *appState, d control.Decision) error {
 			d.Alloc = capped
 		}
 	}
+	// Stamp the causal anchor before any pods are created: replicas added
+	// below inherit this instant (and span) so the decision→effect lag —
+	// decision applied to first caused bind — is measurable, traced or not.
+	st.decisionAt = c.now()
+	if c.tracer.Enabled() {
+		st.decisionSpan = c.tracer.RecordSpan(obs.Span{
+			Kind: obs.SpanDecision, App: app, Object: app,
+			Detail: fmt.Sprintf("replicas=%d", d.Replicas),
+			Shard:  c.appShard(app), Start: c.now(), End: c.now(),
+		})
+	} else {
+		st.decisionSpan = 0
+	}
 	st.obj.DesiredReplicas = d.Replicas
 	st.obj.Alloc = d.Alloc
 	c.update(st.obj)
@@ -298,6 +317,9 @@ func (c *Cluster) migrateWorstReplica(st *appState, desired resource.Vector) {
 		return
 	}
 	fromNode := worst.Node
+	if c.tracer.Enabled() {
+		c.emitSegmentSpan(worst, fromNode, "migrated")
+	}
 	c.deletePod(worst)
 	c.addReplica(st)
 	c.met.Counter("resize/migrations").Inc()

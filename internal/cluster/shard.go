@@ -182,6 +182,10 @@ func (c *Cluster) tickSharded() {
 	c.hot.fast = fast
 
 	pb := c.phases
+	var tickT0 time.Time
+	if pb != nil {
+		tickT0 = time.Now() // whole-kernel wall time, for the tick-max tail
+	}
 	for _, sh := range c.shards {
 		sh.eng.Post(now, sh.p1)
 	}
@@ -224,6 +228,12 @@ func (c *Cluster) tickSharded() {
 		pb.Add(perf.PhaseBarrier, bar)
 		pb.Add(perf.PhaseMailbox, mail)
 		pb.Ticks++
+		pb.ObserveTick(time.Since(tickT0).Nanoseconds())
+		if c.tracer.Enabled() {
+			// Phase timing plus tracing is a bench/debug configuration;
+			// lift this tick's per-phase deltas into instant spans.
+			c.emitPhaseSpans(now, pb, c.co)
+		}
 	}
 }
 
@@ -304,7 +314,10 @@ func (c *Cluster) phaseAppTail(st *appState, now time.Duration, lambda float64, 
 	case plo.Throughput:
 		sli = throughput
 	}
-	st.tracker.Observe(sli)
+	// Same burn accounting as the serial tick: the sample covers one
+	// metrics interval of service time. App-owned state only, so the
+	// shard worker may write it without staging.
+	st.tracker.ObserveFor(sli, c.cfg.MetricsInterval.Seconds())
 
 	st.winTicks++
 	s := sensedSample{sli: sli, mean: meanLat, p99: p99Lat, tput: throughput, offered: lambda, usage: result.Usage, util: result.Utilisation}
@@ -381,6 +394,7 @@ func (c *Cluster) phaseAppTail(st *appState, now time.Duration, lambda float64, 
 	}
 	h.sli.Add(now, sli)
 	h.violation.Add(now, violated)
+	h.burnRate.Add(now, st.tracker.Burn().BurnRate())
 	if sli > 0 {
 		st.histogram(c.met).Observe(sli)
 	}

@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"evolve/internal/control"
+	"evolve/internal/obs"
+	"evolve/internal/resource"
+	"evolve/internal/sim"
+)
+
+// newSpanTestCluster builds a small traced cluster: three nodes, one
+// web service with a startup delay (so bind ≠ ready and startup spans
+// exist), already started and settled for two minutes.
+func newSpanTestCluster(t *testing.T) (*Cluster, *sim.Engine, *obs.Tracer) {
+	t.Helper()
+	eng := sim.NewEngine(3)
+	c := New(eng, DefaultConfig())
+	tr := obs.New(8192)
+	c.SetTracer(tr)
+	if err := c.AddNodes("n", 3, resource.New(16000, 64<<30, 1e9, 2e9)); err != nil {
+		t.Fatal(err)
+	}
+	spec := testService("web")
+	spec.StartupDelay = 30 * time.Second
+	if err := c.CreateService(spec); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	eng.Run(2 * time.Minute)
+	return c, eng, tr
+}
+
+// TestPodSpansEmitted drives a pod through its whole lifecycle —
+// decision → create → pending → bind → startup → ready → eviction —
+// and checks the span layer narrates every leg with correct parent
+// links, and that the latency histograms carry exemplars pointing at
+// the spans that produced them.
+func TestPodSpansEmitted(t *testing.T) {
+	c, eng, tr := newSpanTestCluster(t)
+
+	// Initial replicas have lifecycle roots with no cause (no decision
+	// made them), plus pending and startup children.
+	roots := tr.SpanSnapshot(obs.SpanFilter{Kind: "lifecycle", App: "web"})
+	if len(roots) != 2 {
+		t.Fatalf("got %d lifecycle spans after deployment, want 2", len(roots))
+	}
+	for _, sp := range roots {
+		if sp.Parent != 0 {
+			t.Errorf("initial replica %s has cause span %d, want none", sp.Object, sp.Parent)
+		}
+		if sp.End-sp.Start < 30*time.Second {
+			t.Errorf("lifecycle %s spans %v, want ≥ the 30s startup delay", sp.Object, sp.End-sp.Start)
+		}
+	}
+
+	// A scale-up decision: the new replicas' lifecycle spans must parent
+	// to the decision span.
+	app, err := c.App("web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ApplyDecision("web", control.Decision{Replicas: 4, Alloc: app.Alloc}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(eng.Now() + 2*time.Minute)
+
+	decs := tr.SpanSnapshot(obs.SpanFilter{Kind: "decision", App: "web"})
+	if len(decs) != 1 {
+		t.Fatalf("got %d decision spans, want 1", len(decs))
+	}
+	dec := decs[0]
+	if dec.Detail != "replicas=4" || dec.Start != dec.End {
+		t.Fatalf("decision span wrong: %+v", dec)
+	}
+	roots = tr.SpanSnapshot(obs.SpanFilter{Kind: "lifecycle", App: "web"})
+	if len(roots) != 4 {
+		t.Fatalf("got %d lifecycle spans after scale-up, want 4", len(roots))
+	}
+	caused := 0
+	var causedPod string
+	for _, sp := range roots {
+		if sp.Parent == dec.ID {
+			caused++
+			causedPod = sp.Object
+		}
+	}
+	if caused != 2 {
+		t.Fatalf("%d lifecycle spans parent to the decision, want 2", caused)
+	}
+
+	// Every lifecycle root has a pending child covering creation → bind
+	// and a startup child covering bind → ready.
+	all := tr.SpanSnapshot(obs.SpanFilter{})
+	for _, root := range roots {
+		var pend, start bool
+		for _, sp := range all {
+			if sp.Parent != root.ID {
+				continue
+			}
+			switch sp.Kind {
+			case obs.SpanPending:
+				pend = true
+				if sp.Start != root.Start {
+					t.Errorf("pod %s: pending starts at %v, lifecycle at %v", root.Object, sp.Start, root.Start)
+				}
+			case obs.SpanStartup:
+				start = true
+				if sp.End != root.End {
+					t.Errorf("pod %s: startup ends at %v, lifecycle at %v", root.Object, sp.End, root.End)
+				}
+			}
+		}
+		if !pend || !start {
+			t.Errorf("pod %s: pending/startup children = %v/%v, want both", root.Object, pend, start)
+		}
+	}
+
+	// PodChain reconstructs the caused pod's chain: decision first, then
+	// the lifecycle root, then its segments.
+	chain := obs.PodChain(all, causedPod)
+	if chain == nil {
+		t.Fatalf("PodChain found no chain for %s", causedPod)
+	}
+	if chain[0].Kind != obs.SpanDecision || chain[1].Kind != obs.SpanLifecycle {
+		t.Fatalf("chain starts %s,%s; want decision,lifecycle", chain[0].Kind, chain[1].Kind)
+	}
+	if chain[1].Parent != chain[0].ID {
+		t.Fatalf("lifecycle parent = %d, want decision %d", chain[1].Parent, chain[0].ID)
+	}
+
+	// Kill a node: the evicted pods' running segments close with the
+	// reason, parented to their lifecycle spans.
+	if err := c.FailNode("n-0"); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(eng.Now() + time.Minute)
+	segs := tr.SpanSnapshot(obs.SpanFilter{Kind: "segment", App: "web"})
+	if len(segs) == 0 {
+		t.Fatal("no segment spans after a node failure")
+	}
+	byID := make(map[uint64]obs.Span)
+	for _, sp := range all {
+		byID[sp.ID] = sp
+	}
+	for _, sp := range segs {
+		if sp.Detail == "" || sp.Node == "" {
+			t.Errorf("segment span missing reason/node: %+v", sp)
+		}
+		if parent, ok := byID[sp.Parent]; ok && parent.Kind != obs.SpanLifecycle {
+			t.Errorf("segment parents to %s span, want lifecycle", parent.Kind)
+		}
+	}
+
+	// The exemplar histograms saw every interval; the worst observation
+	// links back to a live span.
+	var kinds []string
+	for _, h := range tr.LatencySnapshot() {
+		kinds = append(kinds, h.Name)
+		if h.Count == 0 {
+			t.Errorf("histogram %s empty", h.Name)
+		}
+		if h.Exemplar == 0 {
+			t.Errorf("histogram %s has no exemplar", h.Name)
+		}
+	}
+	for _, want := range []string{"time_to_ready", "schedule", "decision_to_effect"} {
+		found := false
+		for _, k := range kinds {
+			if k == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("latency snapshot missing %s (have %v)", want, kinds)
+		}
+	}
+
+	// The always-on registry histograms measured the same intervals
+	// (they feed Table 7's latency columns even untraced).
+	_, readyP95, effectP95 := c.LatencySummary()
+	if readyP95 < 30 {
+		t.Errorf("ready p95 = %vs, want ≥ the 30s startup delay", readyP95)
+	}
+	if effectP95 <= 0 {
+		t.Errorf("decision-to-effect p95 = %v, want > 0", effectP95)
+	}
+}
+
+// TestGangSpansEmitted pins gang admission causality: one gang span per
+// SubmitGang, every rank's lifecycle span parented to it.
+func TestGangSpansEmitted(t *testing.T) {
+	c, _, tr := newSpanTestCluster(t)
+	specs := []TaskSpec{testTask("rank-0", 1000, 5000), testTask("rank-1", 1000, 5000)}
+	if err := c.SubmitGang(specs); err != nil {
+		t.Fatal(err)
+	}
+	gangs := tr.SpanSnapshot(obs.SpanFilter{Kind: "gang"})
+	if len(gangs) != 1 {
+		t.Fatalf("got %d gang spans, want 1", len(gangs))
+	}
+	g := gangs[0]
+	if g.App != "job" || g.Detail != "ranks=2" {
+		t.Fatalf("gang span wrong: %+v", g)
+	}
+	ranks := tr.SpanSnapshot(obs.SpanFilter{Kind: "lifecycle", App: "job"})
+	if len(ranks) != 2 {
+		t.Fatalf("got %d rank lifecycle spans, want 2", len(ranks))
+	}
+	for _, sp := range ranks {
+		if sp.Parent != g.ID {
+			t.Errorf("rank %s parents to %d, want gang %d", sp.Object, sp.Parent, g.ID)
+		}
+	}
+}
+
+// TestUntracedRunRecordsNoSpans is the inverse gate: with no tracer the
+// span bookkeeping fields still advance (they feed the always-on
+// histograms) but nothing is recorded and LatencySummary still works.
+func TestUntracedRunRecordsNoSpans(t *testing.T) {
+	eng := sim.NewEngine(3)
+	c := New(eng, DefaultConfig())
+	if err := c.AddNodes("n", 2, resource.New(16000, 64<<30, 1e9, 2e9)); err != nil {
+		t.Fatal(err)
+	}
+	spec := testService("web")
+	spec.StartupDelay = 15 * time.Second
+	if err := c.CreateService(spec); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	eng.Run(2 * time.Minute)
+	_, readyP95, _ := c.LatencySummary()
+	if readyP95 < 15 {
+		t.Errorf("untraced ready p95 = %vs, want ≥ the 15s startup delay", readyP95)
+	}
+	for _, p := range c.pods {
+		if p.spanID != 0 || p.causeSpan != 0 {
+			t.Fatalf("untraced pod %s carries span IDs: %d/%d", p.Name, p.spanID, p.causeSpan)
+		}
+		if p.everBound && p.pendingSince == 0 && p.CreatedAt != 0 {
+			t.Fatalf("untraced pod %s lost its pending bookkeeping", p.Name)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"evolve/internal/obs"
 	"evolve/internal/perf"
 	"evolve/internal/registry"
 	"evolve/internal/sched"
@@ -47,6 +48,19 @@ func (c *Cluster) SubmitGang(specs []TaskSpec) error {
 	if err != nil {
 		return err
 	}
+	// Gang admission is the causal anchor for every rank: the spans of the
+	// pods created below parent to it, and their decision→effect samples
+	// measure admission→bind lag (zero here — gangs bind synchronously —
+	// but the chain still explains *why* each rank exists).
+	now := c.now()
+	var gangSpan uint64
+	if c.tracer.Enabled() {
+		gangSpan = c.tracer.RecordSpan(obs.Span{
+			Kind: obs.SpanGang, App: specs[0].Job, Object: specs[0].Job,
+			Detail: fmt.Sprintf("ranks=%d", len(specs)),
+			Shard:  -1, Start: now, End: now,
+		})
+	}
 	// All-or-nothing also on the commit side: if any create or bind fails
 	// partway (a node dying between the gang decision and the bind), roll
 	// back every rank already placed and report the error — the HPC queue
@@ -62,6 +76,7 @@ func (c *Cluster) SubmitGang(specs []TaskSpec) error {
 	}
 	for _, s := range specs {
 		p := c.newTaskPod(s)
+		p.causeSpan, p.causeAt = gangSpan, now
 		if err := c.store.Create(p); err != nil {
 			return rollback(err)
 		}
@@ -87,6 +102,7 @@ func (c *Cluster) newTaskPod(spec TaskSpec) *PodObject {
 		NodeSelector: spec.NodeSelector,
 		Task:         &specCopy,
 		CreatedAt:    c.now(),
+		pendingSince: c.now(),
 	}
 }
 
@@ -145,6 +161,9 @@ func (c *Cluster) completeTask(p *PodObject) {
 	_ = c.store.Delete(KindPod, p.Name)
 	c.met.Counter("tasks/completed").Inc()
 	c.recordEvent("task-completed", name, "finished on %s", node)
+	if c.tracer.Enabled() {
+		c.emitSegmentSpan(p, node, "completed")
+	}
 	if done != nil {
 		done(name, false)
 	}

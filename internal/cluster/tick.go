@@ -112,7 +112,9 @@ func (c *Cluster) tick() {
 		case plo.Throughput:
 			sli = throughput
 		}
-		st.tracker.Observe(sli)
+		// Each sample stands for one metrics interval of service time; the
+		// tracker's burn accounting charges it against the error budget.
+		st.tracker.ObserveFor(sli, c.cfg.MetricsInterval.Seconds())
 
 		// Sensor path: what the controllers will see at the next Observe.
 		// Chaos interposes here — the ground truth above (PLO tracker,
@@ -195,6 +197,7 @@ func (c *Cluster) tick() {
 		}
 		h.sli.Add(now, sli)
 		h.violation.Add(now, violated)
+		h.burnRate.Add(now, st.tracker.Burn().BurnRate())
 		if sli > 0 {
 			st.histogram(c.met).Observe(sli)
 		}

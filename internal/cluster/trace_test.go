@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"evolve/internal/control"
 	"evolve/internal/obs"
 	"evolve/internal/resource"
 	"evolve/internal/sim"
@@ -68,24 +69,46 @@ func TestTraceEventsEmitted(t *testing.T) {
 }
 
 // TestTickTracedAllocsBudget is the traced half of the steady-state
-// guarantee: with a tracer installed, a settled tick may only touch the
-// heap for the rare events it records — the budget is a couple of
-// objects per tick, not per pod.
+// guarantee: with a tracer installed — which enables the span layer
+// too — a settled tick may only touch the heap for the rare events it
+// records: the budget is a couple of objects per tick, not per pod.
+// Spans cost nothing here by construction: they are emitted at binds,
+// decisions and evictions, none of which a steady-state tick performs.
 func TestTickTracedAllocsBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation accounting is not meaningful under -short")
 	}
 	c, eng := newBenchCluster(t, 200)
-	c.SetTracer(obs.New(obs.DefaultCapacity))
+	tr := obs.New(obs.DefaultCapacity)
+	c.SetTracer(tr)
 	eng.Run(eng.Now() + 700*c.cfg.MetricsInterval)
 	for _, app := range c.Apps() {
 		if _, err := c.Observe(app); err != nil {
 			t.Fatal(err)
 		}
 	}
+	spansBefore := tr.Spans()
 	allocs := testing.AllocsPerRun(100, func() { c.tick() })
 	if allocs > 2 {
 		t.Errorf("traced steady-state tick allocates %.1f objects/run, want ≤2", allocs)
+	}
+	if got := tr.Spans(); got != spansBefore {
+		t.Errorf("steady-state ticks recorded %d spans, want 0", got-spansBefore)
+	}
+	// The span path is live, not disabled: a bind-producing mutation
+	// records lifecycle spans on the very same cluster.
+	app, err := c.App(c.Apps()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ApplyDecision(app.Spec.Name, control.Decision{
+		Replicas: app.DesiredReplicas + 1, Alloc: app.Alloc,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(eng.Now() + 3*c.cfg.MetricsInterval)
+	if tr.Spans() == spansBefore {
+		t.Error("scale-up recorded no spans on the traced cluster")
 	}
 }
 

@@ -87,6 +87,9 @@ type Loop struct {
 	prevAdapts    map[string]int
 	lastRationale map[string]string
 	retryGen      map[string]uint64
+	// degradedSince marks when each app entered degraded mode, so the
+	// recovery transition can record the whole episode as one span.
+	degradedSince map[string]time.Duration
 
 	stats   LoopStats
 	onFatal func(error)
@@ -125,6 +128,7 @@ func NewLoop(eng *sim.Engine, plant Plant, cfg LoopConfig) *Loop {
 		prevAdapts:    make(map[string]int),
 		lastRationale: make(map[string]string),
 		retryGen:      make(map[string]uint64),
+		degradedSince: make(map[string]time.Duration),
 		onFatal:       func(err error) { panic(err) },
 	}
 }
@@ -234,12 +238,22 @@ func (l *Loop) traceHealth(h *Hardened, o Observation, wasDegraded bool, rec Rec
 		verb = obs.VerbRecovered
 	} else {
 		l.stats.DegradedTransitions++
+		l.degradedSince[o.App] = o.Now
 	}
 	if l.tracer.Enabled() {
 		l.tracer.Record(obs.Event{
 			At: o.Now, Kind: obs.KindFault, Verb: verb, App: o.App,
 			Detail: h.Status(), Replicas: o.Replicas, Ready: o.ReadyReplicas,
 		})
+		if wasDegraded {
+			// Close the degraded episode as one completed span so the
+			// timeline shows its whole extent, not just the edge events.
+			l.tracer.RecordSpan(obs.Span{
+				Kind: obs.SpanSegment, App: o.App, Object: o.App,
+				Detail: "degraded", Shard: -1,
+				Start: l.degradedSince[o.App], End: o.Now,
+			})
+		}
 	}
 	if rec != nil {
 		rec.RecordEvent("degraded-mode", o.App, h.Status())

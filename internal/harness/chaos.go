@@ -91,11 +91,13 @@ func Table7(r *Runner, seed int64) (*Table, error) {
 		Headers: []string{
 			"chaos", "policy", "violations %", "vs fault-free",
 			"degraded periods", "retries", "samples lost", "recovery (s)",
+			"sched p95 (s)", "ready p95 (s)",
 		},
 		Notes: []string{
 			"samples lost = sensor samples dropped + frozen substitutes; ground-truth statistics are unaffected",
 			"recovery = time for ready replicas to regain their pre-crash level after the node kill",
 			"static-3x never reads a sensor, so metric faults cannot touch it; it pays for that immunity in Table 5",
+			"sched/ready p95 = bind-time latency histograms: pending-to-bound wait and created-to-ready time (faults re-queue replicas, stretching both)",
 		},
 	}
 	pols := chaosPolicies()
@@ -135,7 +137,8 @@ func Table7(r *Runner, seed int64) (*Table, error) {
 			}
 			t.AddRow(v.name, pol.Name, viol*100, rel,
 				res.DegradedPeriods, res.Retries,
-				res.SamplesDropped+res.SamplesStale, recovery)
+				res.SamplesDropped+res.SamplesStale, recovery,
+				res.SchedP95, res.ReadyP95)
 		}
 	}
 	return t, nil

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"evolve/internal/obs"
+)
+
+// TestConcurrentTraceReadersDuringShardedRun is the -race gate for the
+// live-observer story: an HTTP dashboard polling /debug/trace, /debug/
+// spans and the latency histograms is, at the tracer layer, concurrent
+// Snapshot/SpanSnapshot/LatencySnapshot calls racing the RecordBatch
+// flushes the sharded tick performs after every barrier. The run's
+// results must also be unaffected by being observed: the fingerprints
+// must match an unobserved run of the same scenario.
+func TestConcurrentTraceReadersDuringShardedRun(t *testing.T) {
+	sc := determinismScenario(77, chaosEverything)
+	sc.Shards = 4
+	sc.ShardWorkers = 4
+	wantReport, wantTrace, wantSpans := runFingerprint(t, sc)
+
+	tr := obs.New(1 << 15)
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !stop.Load() {
+			tr.Snapshot(obs.Filter{Kind: "sched"})
+			tr.SpanSnapshot(obs.SpanFilter{Kind: "lifecycle"})
+			tr.LatencySnapshot()
+			_ = tr.Dropped() + tr.SpansDropped()
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	// Same scenario, now with a reader attached. Sinks stay detached —
+	// a sink would serialise writes anyway; the ring is the raced state.
+	res, err := runScenario(sc, StandardPolicies()[0], nil, tr)
+	stop.Store(true)
+	<-done
+	if err != nil {
+		t.Fatalf("observed run: %v", err)
+	}
+	if res == nil || tr.Events() == 0 || tr.Spans() == 0 {
+		t.Fatalf("observed run recorded %d events / %d spans", tr.Events(), tr.Spans())
+	}
+
+	// Observation must not perturb the run: re-fingerprint with sinks.
+	gotReport, gotTrace, gotSpans := runFingerprint(t, sc)
+	if gotReport != wantReport {
+		t.Error("observed-run scenario no longer reproduces the baseline Report")
+	}
+	if gotTrace != wantTrace || gotSpans != wantSpans {
+		t.Error("observed-run scenario no longer reproduces the baseline trace/span streams")
+	}
+}

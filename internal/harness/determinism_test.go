@@ -45,16 +45,22 @@ func determinismScenario(seed int64, chaosPlan string) Scenario {
 const chaosEverything = "node-crash@12m-18m:node=node-0;metric-drop@5m:p=0.2;" +
 	"act-reject@6m:p=0.25;metric-spike@8m:p=0.05,mag=1.5;act-delay@7m:p=0.2,delay=10s"
 
-// runFingerprint executes the scenario under the EVOLVE policy with a
-// trace sink attached and returns two byte-exact artefacts: the
-// rendered Report (minus the cluster pointer) and the full JSONL trace
-// stream. %+v formatting round-trips float64 (shortest representation
-// is injective), so string equality is bit equality.
-func runFingerprint(t *testing.T, sc Scenario) (report, trace string) {
+// runFingerprint executes the scenario under the EVOLVE policy with
+// trace and span sinks attached and returns three byte-exact
+// artefacts: the rendered Report (minus the cluster pointer), the full
+// JSONL trace stream, and the span stream with the Shard attribution
+// masked. Shard is the one span field allowed to vary with the shard
+// count (it names which shard owned the app); everything else —
+// IDs, parent links, kinds, intervals, payloads — must be identical,
+// so the masked re-serialisation is compared byte for byte. %+v
+// formatting round-trips float64 (shortest representation is
+// injective), so string equality is bit equality.
+func runFingerprint(t *testing.T, sc Scenario) (report, trace, spans string) {
 	t.Helper()
-	var buf bytes.Buffer
+	var buf, spanBuf bytes.Buffer
 	tr := obs.New(1 << 15)
 	tr.SetSink(&buf)
+	tr.SetSpanSink(&spanBuf)
 	res, err := runScenario(sc, StandardPolicies()[0], nil, tr)
 	if err != nil {
 		t.Fatalf("runScenario(shards=%d): %v", sc.Shards, err)
@@ -62,8 +68,29 @@ func runFingerprint(t *testing.T, sc Scenario) (report, trace string) {
 	if err := tr.SinkErr(); err != nil {
 		t.Fatalf("trace sink: %v", err)
 	}
+	if err := tr.SpanSinkErr(); err != nil {
+		t.Fatalf("span sink: %v", err)
+	}
 	res.Cluster = nil
-	return fmt.Sprintf("%+v", *res), buf.String()
+	return fmt.Sprintf("%+v", *res), buf.String(), maskSpanShards(t, &spanBuf)
+}
+
+// maskSpanShards parses a span JSONL stream, zeroes the Shard field
+// and re-serialises, yielding the shard-count-invariant fingerprint.
+func maskSpanShards(t *testing.T, buf *bytes.Buffer) string {
+	t.Helper()
+	sps, err := obs.ReadSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-reading span stream: %v", err)
+	}
+	for i := range sps {
+		sps[i].Shard = 0
+	}
+	var out bytes.Buffer
+	if err := obs.WriteSpansJSONL(&out, sps); err != nil {
+		t.Fatalf("re-serialising span stream: %v", err)
+	}
+	return out.String()
 }
 
 // runReportOnly executes the scenario with no tracer attached — the
@@ -96,9 +123,12 @@ func TestShardedRunsByteIdentical(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			base := determinismScenario(101, tc.plan)
 			base.Shards = 1
-			wantReport, wantTrace := runFingerprint(t, base)
+			wantReport, wantTrace, wantSpans := runFingerprint(t, base)
 			if wantTrace == "" {
 				t.Fatal("baseline produced an empty trace stream")
+			}
+			if wantSpans == "" {
+				t.Fatal("baseline produced an empty span stream")
 			}
 			for _, batched := range []bool{true, false} {
 				name := "batched"
@@ -111,7 +141,7 @@ func TestShardedRunsByteIdentical(t *testing.T) {
 						sc.Shards = shards
 						sc.ShardWorkers = 1
 						sc.UnbatchedRounds = !batched
-						gotReport, gotTrace := runFingerprint(t, sc)
+						gotReport, gotTrace, gotSpans := runFingerprint(t, sc)
 						if gotReport != wantReport {
 							t.Errorf("shards=%d: Report diverged from 1-shard baseline\n got: %s\nwant: %s",
 								shards, gotReport, wantReport)
@@ -119,6 +149,10 @@ func TestShardedRunsByteIdentical(t *testing.T) {
 						if gotTrace != wantTrace {
 							t.Errorf("shards=%d: trace stream diverged from 1-shard baseline (%d vs %d bytes)",
 								shards, len(gotTrace), len(wantTrace))
+						}
+						if gotSpans != wantSpans {
+							t.Errorf("shards=%d: span stream diverged from 1-shard baseline (%d vs %d bytes)",
+								shards, len(gotSpans), len(wantSpans))
 						}
 					}
 				})
@@ -183,19 +217,22 @@ func TestShardedParallelWorkersDeterministic(t *testing.T) {
 			base.Shards = 4
 			base.ShardWorkers = 1
 			base.UnbatchedRounds = !batched
-			wantReport, wantTrace := runFingerprint(t, base)
+			wantReport, wantTrace, wantSpans := runFingerprint(t, base)
 
 			par := determinismScenario(202, chaosEverything)
 			par.Shards = 4
 			par.ShardWorkers = 4
 			par.UnbatchedRounds = !batched
-			gotReport, gotTrace := runFingerprint(t, par)
+			gotReport, gotTrace, gotSpans := runFingerprint(t, par)
 
 			if gotReport != wantReport {
 				t.Errorf("parallel workers: Report diverged\n got: %s\nwant: %s", gotReport, wantReport)
 			}
 			if gotTrace != wantTrace {
 				t.Errorf("parallel workers: trace stream diverged (%d vs %d bytes)", len(gotTrace), len(wantTrace))
+			}
+			if gotSpans != wantSpans {
+				t.Errorf("parallel workers: span stream diverged (%d vs %d bytes)", len(gotSpans), len(wantSpans))
 			}
 		})
 	}

@@ -191,6 +191,14 @@ type Result struct {
 	Abandoned       uint64 // decisions given up after the retry budget
 	DegradedPeriods uint64 // control periods spent in degraded mode
 
+	// Latency outcomes (seconds, p95 upper bounds from the cluster's
+	// always-on bind-time histograms; pure virtual-time intervals, so
+	// byte-identical at any shard/worker count): pending→bound wait,
+	// created→first-ready time, decision-applied→first-caused-bind lag.
+	SchedP95  float64
+	ReadyP95  float64
+	EffectP95 float64
+
 	// The full cluster for figure extraction.
 	Cluster *cluster.Cluster
 }
@@ -401,6 +409,7 @@ func summarise(sc Scenario, pol Policy, c *cluster.Cluster, runner *batch.Runner
 	res.Retries = ls.Retries
 	res.Abandoned = ls.Abandoned
 	res.DegradedPeriods = ls.DegradedPeriods
+	res.SchedP95, res.ReadyP95, res.EffectP95 = c.LatencySummary()
 	return res
 }
 

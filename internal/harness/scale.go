@@ -54,6 +54,13 @@ type ScaleRow struct {
 	// Phases is the mean per-tick phase breakdown over the timed reps
 	// (sharded runs only): where a tick's wall time actually goes.
 	Phases []perf.PhaseMS `json:"phases,omitempty"`
+	// TickMaxMS is the slowest single kernel tick across all timed reps
+	// (sharded runs only) — the latency tail MSPerTick's mean hides.
+	TickMaxMS float64 `json:"tick_max_ms,omitempty"`
+	// RoundsPerTick is the mean coordinator shard rounds per tick over
+	// the timed reps (sharded runs only): how many barrier crossings one
+	// tick costs.
+	RoundsPerTick float64 `json:"rounds_per_tick,omitempty"`
 	// Speedup is wall(1 shard)/wall(this row) at the same point; 1.0 for
 	// the baseline rows.
 	Speedup float64 `json:"speedup"`
@@ -225,6 +232,7 @@ type scaleRun struct {
 	wall    time.Duration
 	events  uint64
 	reps    int
+	rounds0 uint64 // coordinator rounds after warmup, for rounds/tick
 }
 
 // newScaleRun stands up one topology under the given shard count and
@@ -263,6 +271,7 @@ func newScaleRun(seed int64, pt ScalePoint, shards, workers int) (*scaleRun, err
 	c.Run(run.horizon)
 	if shards > 1 {
 		run.pb = c.EnablePhaseTiming()
+		run.rounds0, _ = c.Coordinator().Rounds()
 	}
 	return run, nil
 }
@@ -297,6 +306,11 @@ func (sr *scaleRun) row(pt ScalePoint, workers, ticks int) ScaleRow {
 	}
 	if sr.pb != nil {
 		row.Phases = sr.pb.PerTickMS()
+		row.TickMaxMS = float64(sr.pb.TickMaxNs) / 1e6
+		if total := sr.reps * ticks; total > 0 {
+			rounds, _ := sr.c.Coordinator().Rounds()
+			row.RoundsPerTick = float64(rounds-sr.rounds0) / float64(total)
+		}
 	}
 	return row
 }

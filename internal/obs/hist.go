@@ -1,0 +1,204 @@
+package obs
+
+// Fixed-bucket latency histograms with span exemplars. The metrics
+// registry's log-bucketed Histogram serves the always-on surfaces; this
+// type exists for the tracer: every observation names the span that
+// produced it, and the histogram keeps a link to the worst one — so
+// "p99 time-to-ready regressed" leads directly to the pod whose span
+// chain explains it.
+//
+// Merge is commutative and associative on everything except the
+// floating-point Sum (addition order): bucket counts and the exemplar
+// rule (larger value wins; on an exact tie the smaller span ID) are
+// order-independent, which the property test in hist_test.go pins.
+
+// LatencyKind indexes the tracer's built-in latency histograms.
+type LatencyKind uint8
+
+const (
+	// LatencyTimeToReady is pod created → ready (first bind only).
+	LatencyTimeToReady LatencyKind = iota
+	// LatencySchedule is one pending segment: pending → bound.
+	LatencySchedule
+	// LatencyDecisionEffect is control decision → first bind it caused.
+	LatencyDecisionEffect
+	NumLatencyKinds
+)
+
+var latencyKindNames = [NumLatencyKinds]string{
+	"time_to_ready", "schedule", "decision_to_effect",
+}
+
+// String returns the canonical histogram name.
+func (k LatencyKind) String() string {
+	if k >= NumLatencyKinds {
+		return "unknown"
+	}
+	return latencyKindNames[k]
+}
+
+// DefaultLatencyBuckets bound virtual-time latencies in seconds: from
+// sub-tick binds to the half-hour tail of a starved queue.
+var DefaultLatencyBuckets = []float64{
+	0.5, 1, 2.5, 5, 10, 15, 30, 45, 60, 120, 300, 600, 1800,
+}
+
+// DefaultWallBuckets bound per-phase wall time in seconds: from a
+// microsecond flush to a one-second stalled barrier.
+var DefaultWallBuckets = []float64{
+	1e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1,
+}
+
+// LatencyHistogram is a fixed-bucket histogram whose worst observation
+// keeps an exemplar link to the span that produced it.
+type LatencyHistogram struct {
+	Name string
+	// Bounds are inclusive upper bucket bounds, ascending; an implicit
+	// +Inf bucket follows. Counts has len(Bounds)+1 entries.
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+	// Max is the worst observed value; Exemplar the ID of the span that
+	// produced it (0 when the observation had no span).
+	Max      float64
+	Exemplar uint64
+}
+
+// NewLatencyHistogram returns an empty histogram over the bounds. The
+// bounds slice is referenced, not copied; callers share the package
+// defaults.
+func NewLatencyHistogram(name string, bounds []float64) LatencyHistogram {
+	return LatencyHistogram{Name: name, Bounds: bounds, Counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one value with its producing span (0 for none).
+func (h *LatencyHistogram) Observe(v float64, span uint64) {
+	i := 0
+	for i < len(h.Bounds) && v > h.Bounds[i] {
+		i++
+	}
+	h.Counts[i]++
+	h.Count++
+	h.Sum += v
+	if h.Count == 1 || v > h.Max || (v == h.Max && (h.Exemplar == 0 || (span != 0 && span < h.Exemplar))) {
+		h.Max = v
+		h.Exemplar = span
+	}
+}
+
+// Merge folds o into h. Both must share the same bounds. Counts and the
+// exemplar are order-independent under any merge tree; Sum is exact up
+// to float addition order.
+func (h *LatencyHistogram) Merge(o *LatencyHistogram) {
+	if o.Count == 0 {
+		return
+	}
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	wasEmpty := h.Count == 0
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if wasEmpty || o.Max > h.Max ||
+		(o.Max == h.Max && (h.Exemplar == 0 || (o.Exemplar != 0 && o.Exemplar < h.Exemplar))) {
+		h.Max = o.Max
+		h.Exemplar = o.Exemplar
+	}
+}
+
+// Clone returns a deep copy (Counts is the only mutable reference;
+// Bounds is shared by construction).
+func (h *LatencyHistogram) Clone() LatencyHistogram {
+	c := *h
+	c.Counts = append([]uint64(nil), h.Counts...)
+	return c
+}
+
+// Mean returns the mean observed value.
+func (h *LatencyHistogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1): the
+// bound of the bucket holding that rank, clamped to the observed Max.
+func (h *LatencyHistogram) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			if i == len(h.Bounds) {
+				return h.Max
+			}
+			if h.Bounds[i] > h.Max {
+				return h.Max
+			}
+			return h.Bounds[i]
+		}
+	}
+	return h.Max
+}
+
+// ObserveLatency records one observation (seconds) into the tracer's
+// built-in histogram k, with the producing span (0 for none). No-op
+// when the tracer is disabled; never allocates.
+func (t *Tracer) ObserveLatency(k LatencyKind, seconds float64, span uint64) {
+	if !t.Enabled() || k >= NumLatencyKinds {
+		return
+	}
+	t.mu.Lock()
+	t.lat[k].Observe(seconds, span)
+	t.mu.Unlock()
+}
+
+// ObservePhaseLatency records one kernel-phase wall-time observation
+// (seconds) into the phase histogram at idx, growing the phase set on
+// first use (emitters pass a stable idx/name mapping — the cluster uses
+// perf.PhaseNames — so growth happens once, not per tick).
+func (t *Tracer) ObservePhaseLatency(idx int, name string, seconds float64, span uint64) {
+	if !t.Enabled() || idx < 0 {
+		return
+	}
+	t.mu.Lock()
+	for len(t.phase) <= idx {
+		t.phase = append(t.phase, LatencyHistogram{})
+	}
+	if t.phase[idx].Counts == nil {
+		t.phase[idx] = NewLatencyHistogram("phase_"+name, DefaultWallBuckets)
+	}
+	t.phase[idx].Observe(seconds, span)
+	t.mu.Unlock()
+}
+
+// LatencySnapshot returns deep copies of every non-empty latency
+// histogram: the built-in kinds in kind order, then the phase
+// histograms in phase order.
+func (t *Tracer) LatencySnapshot() []LatencyHistogram {
+	if !t.Enabled() {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]LatencyHistogram, 0, int(NumLatencyKinds)+len(t.phase))
+	for k := range t.lat {
+		if t.lat[k].Count > 0 {
+			out = append(out, t.lat[k].Clone())
+		}
+	}
+	for i := range t.phase {
+		if t.phase[i].Count > 0 {
+			out = append(out, t.phase[i].Clone())
+		}
+	}
+	return out
+}

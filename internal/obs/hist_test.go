@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLatencyHistogramObserve(t *testing.T) {
+	h := NewLatencyHistogram("schedule", DefaultLatencyBuckets)
+	h.Observe(0.3, 7)  // bucket 0 (≤0.5)
+	h.Observe(42, 9)   // bucket 7 (≤45)
+	h.Observe(1e6, 11) // overflow bucket
+	if h.Count != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count)
+	}
+	if h.Counts[0] != 1 || h.Counts[7] != 1 || h.Counts[len(h.Counts)-1] != 1 {
+		t.Fatalf("bucket placement wrong: %v", h.Counts)
+	}
+	if h.Max != 1e6 || h.Exemplar != 11 {
+		t.Fatalf("Max/Exemplar = %v/%d, want 1e6/11", h.Max, h.Exemplar)
+	}
+	if got := h.Mean(); got < 3e5 || got > 4e5 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestLatencyHistogramExemplarTies(t *testing.T) {
+	h := NewLatencyHistogram("x", DefaultLatencyBuckets)
+	h.Observe(5, 30)
+	h.Observe(5, 10) // same value, smaller span ID wins the tie
+	if h.Exemplar != 10 {
+		t.Fatalf("Exemplar = %d, want 10", h.Exemplar)
+	}
+	h.Observe(5, 40) // larger ID does not displace
+	if h.Exemplar != 10 {
+		t.Fatalf("Exemplar = %d after larger-ID tie, want 10", h.Exemplar)
+	}
+	h.Observe(6, 0) // larger value wins even without a span
+	if h.Max != 6 || h.Exemplar != 0 {
+		t.Fatalf("Max/Exemplar = %v/%d, want 6/0", h.Max, h.Exemplar)
+	}
+	h.Observe(6, 99) // a tie with a span beats the empty exemplar
+	if h.Exemplar != 99 {
+		t.Fatalf("Exemplar = %d, want 99", h.Exemplar)
+	}
+}
+
+func TestLatencyHistogramQuantile(t *testing.T) {
+	h := NewLatencyHistogram("x", DefaultLatencyBuckets)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(0.4, 0)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50, 0)
+	}
+	if got := h.Quantile(0.5); got != 0.5 {
+		t.Fatalf("p50 = %v, want bucket bound 0.5", got)
+	}
+	if got := h.Quantile(0.95); got != 50 {
+		t.Fatalf("p95 = %v, want 50 (bucket bound 60 clamped to max)", got)
+	}
+	if got := h.Quantile(1); got != 50 {
+		t.Fatalf("p100 = %v, want 50", got)
+	}
+}
+
+// TestLatencyHistogramMergeOrderIndependent is the property test behind
+// the sharded exemplar guarantee: folding the same observations through
+// any partition, in any merge order, yields identical Counts, Count,
+// Max and Exemplar (Sum is excluded — float addition order). With
+// span-ID ties broken toward the smaller ID, exemplar selection is a
+// deterministic function of the observation multiset.
+func TestLatencyHistogramMergeOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	type obs struct {
+		v    float64
+		span uint64
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		all := make([]obs, n)
+		for i := range all {
+			// Coarse values force Max ties; span 0 sometimes, duplicate
+			// span IDs sometimes.
+			all[i] = obs{v: float64(rng.Intn(8)) * 7.5, span: uint64(rng.Intn(6))}
+		}
+
+		// Reference: observe everything sequentially.
+		ref := NewLatencyHistogram("x", DefaultLatencyBuckets)
+		for _, o := range all {
+			ref.Observe(o.v, o.span)
+		}
+
+		for perm := 0; perm < 8; perm++ {
+			// Random partition into up to 5 shards, random observation
+			// order within each, random merge order across them.
+			parts := make([]LatencyHistogram, 1+rng.Intn(5))
+			for i := range parts {
+				parts[i] = NewLatencyHistogram("x", DefaultLatencyBuckets)
+			}
+			for _, i := range rng.Perm(n) {
+				o := all[i]
+				parts[rng.Intn(len(parts))].Observe(o.v, o.span)
+			}
+			got := NewLatencyHistogram("x", DefaultLatencyBuckets)
+			for _, i := range rng.Perm(len(parts)) {
+				got.Merge(&parts[i])
+			}
+
+			if got.Count != ref.Count {
+				t.Fatalf("trial %d perm %d: Count %d, want %d", trial, perm, got.Count, ref.Count)
+			}
+			for b := range ref.Counts {
+				if got.Counts[b] != ref.Counts[b] {
+					t.Fatalf("trial %d perm %d: bucket %d = %d, want %d",
+						trial, perm, b, got.Counts[b], ref.Counts[b])
+				}
+			}
+			if got.Max != ref.Max {
+				t.Fatalf("trial %d perm %d: Max %v, want %v", trial, perm, got.Max, ref.Max)
+			}
+			if got.Exemplar != ref.Exemplar {
+				t.Fatalf("trial %d perm %d: Exemplar %d, want %d (Max %v)",
+					trial, perm, got.Exemplar, ref.Exemplar, ref.Max)
+			}
+		}
+	}
+}
+
+func TestTracerLatencySnapshot(t *testing.T) {
+	tr := New(8)
+	tr.ObserveLatency(LatencySchedule, 3, 5)
+	tr.ObserveLatency(LatencySchedule, 9, 6)
+	tr.ObservePhaseLatency(2, "flush_apps", 0.002, 0)
+	snap := tr.LatencySnapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d histograms, want 2 (empty kinds skipped)", len(snap))
+	}
+	if snap[0].Name != "schedule" || snap[0].Count != 2 || snap[0].Exemplar != 6 {
+		t.Fatalf("schedule histogram wrong: %+v", snap[0])
+	}
+	if snap[1].Name != "phase_flush_apps" || snap[1].Count != 1 {
+		t.Fatalf("phase histogram wrong: %+v", snap[1])
+	}
+	// Snapshots are deep copies: mutating one must not leak back.
+	snap[0].Counts[0] = 999
+	if tr.LatencySnapshot()[0].Counts[0] == 999 {
+		t.Fatal("LatencySnapshot shares Counts with the tracer")
+	}
+	// Out-of-range kinds are dropped, not panics.
+	tr.ObserveLatency(NumLatencyKinds, 1, 0)
+	tr.ObservePhaseLatency(-1, "x", 1, 0)
+}
+
+func BenchmarkObserveLatency(b *testing.B) {
+	tr := New(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.ObserveLatency(LatencySchedule, float64(i%60), uint64(i))
+	}
+}

@@ -199,6 +199,21 @@ type Tracer struct {
 	sink    io.Writer
 	sinkErr error
 	encBuf  []byte
+
+	// The span layer (span.go): its own ring, sequence and sink so span
+	// emission never perturbs the event stream's bytes.
+	spans       []Span
+	spanNext    int
+	spanWrapped bool
+	spanSeq     uint64
+	spanDropped uint64
+	spanSink    io.Writer
+	spanSinkErr error
+	spanEncBuf  []byte
+
+	// Latency histograms with span exemplars (hist.go).
+	lat   [NumLatencyKinds]LatencyHistogram
+	phase []LatencyHistogram
 }
 
 // nop is the shared disabled tracer.
@@ -210,13 +225,21 @@ var nop = &Tracer{}
 func Nop() *Tracer { return nop }
 
 // New returns an enabled tracer with the given ring capacity (<= 0 means
-// DefaultCapacity). The ring is allocated up front so Record never
-// allocates.
+// DefaultCapacity). The event and span rings are allocated up front so
+// Record and RecordSpan never allocate.
 func New(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Tracer{enabled: true, buf: make([]Event, capacity)}
+	t := &Tracer{
+		enabled: true,
+		buf:     make([]Event, capacity),
+		spans:   make([]Span, capacity),
+	}
+	for k := LatencyKind(0); k < NumLatencyKinds; k++ {
+		t.lat[k] = NewLatencyHistogram(k.String(), DefaultLatencyBuckets)
+	}
+	return t
 }
 
 // Enabled reports whether Record stores events. It is immutable after

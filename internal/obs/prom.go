@@ -72,6 +72,33 @@ func WriteMetrics(w io.Writer, reg *metrics.Registry, tr *Tracer) error {
 			"evolve_trace_events_total "+strconv.FormatUint(tr.Events(), 10))
 		add("evolve_trace_dropped_total", "counter",
 			"evolve_trace_dropped_total "+strconv.FormatUint(tr.Dropped(), 10))
+		add("evolve_trace_spans_total", "counter",
+			"evolve_trace_spans_total "+strconv.FormatUint(tr.Spans(), 10))
+		add("evolve_trace_span_dropped_total", "counter",
+			"evolve_trace_span_dropped_total "+strconv.FormatUint(tr.SpansDropped(), 10))
+		// Sink health: silent trace loss as a scrapeable gauge (1 = the
+		// JSONL tee latched an error and stopped writing).
+		add("evolve_trace_sink_error", "gauge",
+			"evolve_trace_sink_error "+boolGauge(tr.SinkErr() != nil))
+		add("evolve_trace_span_sink_error", "gauge",
+			"evolve_trace_span_sink_error "+boolGauge(tr.SpanSinkErr() != nil))
+		// Tracer-owned latency histograms, with the worst span's ID as an
+		// exemplar gauge (the 0.0.4 text format has no exemplar syntax).
+		for _, h := range tr.LatencySnapshot() {
+			fam := "evolve_latency_" + mangle(h.Name) + "_seconds"
+			var cum uint64
+			for i, bound := range h.Bounds {
+				cum += h.Counts[i]
+				add(fam, "histogram", fam+`_bucket{le="`+formatValue(bound)+`"} `+strconv.FormatUint(cum, 10))
+			}
+			add(fam, "histogram", fam+`_bucket{le="+Inf"} `+strconv.FormatUint(h.Count, 10))
+			add(fam, "histogram", fam+"_sum "+formatValue(h.Sum))
+			add(fam, "histogram", fam+"_count "+strconv.FormatUint(h.Count, 10))
+			add(fam+"_max", "gauge", fam+"_max "+formatValue(h.Max))
+			if h.Exemplar != 0 {
+				add(fam+"_worst_span", "gauge", fam+"_worst_span "+strconv.FormatUint(h.Exemplar, 10))
+			}
+		}
 	}
 
 	names := make([]string, 0, len(fams))
@@ -171,4 +198,12 @@ func escapeLabel(s string) string {
 // the exposition format and strconv renders them canonically.
 func formatValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// boolGauge renders a boolean as a 0/1 gauge value.
+func boolGauge(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
 }

@@ -1,0 +1,356 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mkSpan(kind SpanKind, app, object string, start, end time.Duration) Span {
+	return Span{Kind: kind, App: app, Object: object, Start: start, End: end}
+}
+
+func TestSpanDisabledTracer(t *testing.T) {
+	for _, tr := range []*Tracer{nil, Nop()} {
+		if id := tr.RecordSpan(mkSpan(SpanLifecycle, "web", "web-1", 0, time.Minute)); id != 0 {
+			t.Fatalf("disabled RecordSpan returned id %d, want 0", id)
+		}
+		if got := tr.SpanSnapshot(SpanFilter{}); got != nil {
+			t.Fatalf("disabled SpanSnapshot = %v, want nil", got)
+		}
+		if tr.Spans() != 0 || tr.SpansDropped() != 0 || tr.SpanLen() != 0 {
+			t.Fatal("disabled tracer has span state")
+		}
+		tr.ObserveLatency(LatencySchedule, 1, 0) // must not panic
+		if got := tr.LatencySnapshot(); got != nil {
+			t.Fatalf("disabled LatencySnapshot = %v, want nil", got)
+		}
+	}
+}
+
+func TestSpanRecordAndIDs(t *testing.T) {
+	tr := New(8)
+	for i := 0; i < 5; i++ {
+		id := tr.RecordSpan(mkSpan(SpanPending, "web", "web-1", 0, time.Duration(i)*time.Second))
+		if id != uint64(i+1) {
+			t.Fatalf("span %d assigned id %d, want %d", i, id, i+1)
+		}
+	}
+	sps := tr.SpanSnapshot(SpanFilter{})
+	if len(sps) != 5 {
+		t.Fatalf("got %d spans, want 5", len(sps))
+	}
+	for i, sp := range sps {
+		if sp.ID != uint64(i+1) {
+			t.Errorf("snapshot[%d].ID = %d, want %d", i, sp.ID, i+1)
+		}
+	}
+	if tr.SpanLen() != 5 || tr.Spans() != 5 || tr.SpansDropped() != 0 {
+		t.Fatalf("SpanLen/Spans/SpansDropped = %d/%d/%d, want 5/5/0",
+			tr.SpanLen(), tr.Spans(), tr.SpansDropped())
+	}
+}
+
+func TestSpanRingWrap(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.RecordSpan(mkSpan(SpanSegment, "web", "web-1", 0, time.Duration(i)*time.Second))
+	}
+	if tr.SpanLen() != 4 {
+		t.Fatalf("SpanLen = %d, want 4", tr.SpanLen())
+	}
+	if tr.SpansDropped() != 6 {
+		t.Fatalf("SpansDropped = %d, want 6", tr.SpansDropped())
+	}
+	sps := tr.SpanSnapshot(SpanFilter{})
+	for i, sp := range sps {
+		if want := uint64(7 + i); sp.ID != want {
+			t.Errorf("snapshot[%d].ID = %d, want %d", i, sp.ID, want)
+		}
+	}
+	// The event ring is independent: wrapping spans drops no events.
+	if tr.Dropped() != 0 {
+		t.Fatalf("event Dropped = %d after span wrap, want 0", tr.Dropped())
+	}
+}
+
+func TestSpanFilter(t *testing.T) {
+	tr := New(32)
+	tr.RecordSpan(mkSpan(SpanLifecycle, "web", "web-1", 0, 10*time.Minute))
+	tr.RecordSpan(mkSpan(SpanPending, "web", "web-1", 0, time.Minute))
+	tr.RecordSpan(mkSpan(SpanLifecycle, "api", "api-1", 5*time.Minute, 20*time.Minute))
+	tr.RecordSpan(mkSpan(SpanDecision, "api", "api", 6*time.Minute, 6*time.Minute))
+	for _, tc := range []struct {
+		name string
+		f    SpanFilter
+		want int
+	}{
+		{"all", SpanFilter{}, 4},
+		{"app", SpanFilter{App: "web"}, 2},
+		{"object", SpanFilter{Object: "api-1"}, 1},
+		{"kind", SpanFilter{Kind: "lifecycle"}, 2},
+		{"window", SpanFilter{From: 2 * time.Minute, To: 4 * time.Minute}, 1},
+		{"limit", SpanFilter{Lim: 2}, 2},
+		{"none", SpanFilter{App: "web", Kind: "decision"}, 0},
+	} {
+		if got := len(tr.SpanSnapshot(tc.f)); got != tc.want {
+			t.Errorf("%s: %d spans, want %d", tc.name, got, tc.want)
+		}
+	}
+	// Lim keeps the most recent matches.
+	sps := tr.SpanSnapshot(SpanFilter{Lim: 2})
+	if sps[0].ID != 3 || sps[1].ID != 4 {
+		t.Errorf("limit kept IDs %d,%d, want 3,4", sps[0].ID, sps[1].ID)
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	in := []Span{
+		{ID: 1, Kind: SpanDecision, App: "web", Object: "web", Detail: "replicas=4",
+			Shard: 2, Start: time.Minute, End: time.Minute},
+		{ID: 2, Parent: 1, Kind: SpanLifecycle, App: "web", Object: `web-"3"`,
+			Node: "node-1", Shard: -1, Start: time.Minute, End: 3 * time.Minute},
+		{ID: 3, Kind: SpanPhase, Object: "p2", Shard: -1,
+			Start: 2 * time.Minute, End: 2 * time.Minute, WallNs: 12345},
+	}
+	var buf bytes.Buffer
+	if err := WriteSpansJSONL(&buf, in); err != nil {
+		t.Fatalf("WriteSpansJSONL: %v", err)
+	}
+	out, err := ReadSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSpans: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-tripped %d spans, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("span %d round-trip mismatch:\n got %+v\nwant %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestSpanSinkTeeAndErrorLatch(t *testing.T) {
+	tr := New(4)
+	var buf bytes.Buffer
+	tr.SetSpanSink(&buf)
+	want := mkSpan(SpanGang, "hpc", "job-1", time.Minute, time.Minute)
+	want.Detail = "ranks=8"
+	id := tr.RecordSpan(want)
+	sps, err := ReadSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(sps) != 1 {
+		t.Fatalf("sink stream: %d spans, err %v", len(sps), err)
+	}
+	want.ID = id
+	if sps[0] != want {
+		t.Fatalf("sink span = %+v, want %+v", sps[0], want)
+	}
+	if tr.SpanSinkErr() != nil {
+		t.Fatalf("SpanSinkErr = %v, want nil", tr.SpanSinkErr())
+	}
+
+	// A failing sink latches its first error and stops the tee; the ring
+	// keeps recording.
+	fw := &failWriter{}
+	tr.SetSpanSink(fw)
+	tr.RecordSpan(want)
+	tr.RecordSpan(want)
+	if got := tr.SpanSinkErr(); !errors.Is(got, errWriteFailed) {
+		t.Fatalf("SpanSinkErr = %v, want %v", got, errWriteFailed)
+	}
+	if fw.n != 1 {
+		t.Fatalf("sink written %d times after latch, want 1", fw.n)
+	}
+	if tr.SpanLen() != 3 {
+		t.Fatalf("SpanLen = %d after sink failure, want 3", tr.SpanLen())
+	}
+	// The event sink's error state is untouched.
+	if tr.SinkErr() != nil {
+		t.Fatalf("event SinkErr = %v after span sink failure, want nil", tr.SinkErr())
+	}
+}
+
+func TestSpanKindNamesRoundTrip(t *testing.T) {
+	for _, name := range SpanKindNames() {
+		k, ok := ParseSpanKind(name)
+		if !ok {
+			t.Fatalf("ParseSpanKind(%q) not ok", name)
+		}
+		if k.String() != name {
+			t.Fatalf("kind %q round-trips to %q", name, k.String())
+		}
+	}
+	if _, ok := ParseSpanKind("bogus"); ok {
+		t.Fatal("ParseSpanKind accepted a bogus name")
+	}
+	if SpanKind(250).String() != "unknown" {
+		t.Fatal("out-of-range kind should stringify to unknown")
+	}
+}
+
+// podSpanFixture is a pod's causal chain as the cluster emits it: a
+// decision span, the lifecycle root parented to it, pending + startup
+// children, and a later evict segment + re-pend.
+func podSpanFixture() []Span {
+	return []Span{
+		{ID: 1, Kind: SpanDecision, App: "web", Object: "web", Detail: "replicas=4",
+			Start: time.Minute, End: time.Minute},
+		{ID: 2, Parent: 1, Kind: SpanLifecycle, App: "web", Object: "web-3", Node: "node-1",
+			Start: time.Minute, End: 4 * time.Minute},
+		{ID: 3, Parent: 2, Kind: SpanPending, App: "web", Object: "web-3",
+			Start: time.Minute, End: 2 * time.Minute},
+		{ID: 4, Parent: 2, Kind: SpanStartup, App: "web", Object: "web-3", Node: "node-1",
+			Start: 2 * time.Minute, End: 4 * time.Minute},
+		{ID: 5, Parent: 2, Kind: SpanSegment, App: "web", Object: "web-3", Node: "node-1",
+			Detail: "node-failure", Start: 2 * time.Minute, End: 30 * time.Minute},
+		{ID: 6, Kind: SpanLifecycle, App: "api", Object: "api-1",
+			Start: 0, End: time.Minute},
+	}
+}
+
+func TestPodChain(t *testing.T) {
+	spans := podSpanFixture()
+	chain := PodChain(spans, "web-3")
+	if chain == nil {
+		t.Fatal("PodChain returned nil for a pod with a lifecycle span")
+	}
+	wantIDs := []uint64{1, 2, 3, 4, 5}
+	if len(chain) != len(wantIDs) {
+		t.Fatalf("chain has %d spans, want %d", len(chain), len(wantIDs))
+	}
+	for i, want := range wantIDs {
+		if chain[i].ID != want {
+			t.Errorf("chain[%d].ID = %d, want %d", i, chain[i].ID, want)
+		}
+	}
+	// Parent links: cause ← root ← children.
+	if chain[1].Parent != chain[0].ID {
+		t.Errorf("root parent = %d, want cause span %d", chain[1].Parent, chain[0].ID)
+	}
+	for i := 2; i < len(chain); i++ {
+		if chain[i].Parent != chain[1].ID {
+			t.Errorf("chain[%d].Parent = %d, want root %d", i, chain[i].Parent, chain[1].ID)
+		}
+	}
+	if PodChain(spans, "no-such-pod") != nil {
+		t.Fatal("PodChain returned a chain for an unknown pod")
+	}
+}
+
+func TestExplainPodReady(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExplainPodReady(&buf, podSpanFixture(), "web-3"); err != nil {
+		t.Fatalf("ExplainPodReady: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"pod web-3 (app web)", "3m0s to ready", "on node-1",
+		"caused by decision web", "pending", "startup", "node-failure",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explanation missing %q:\n%s", want, out)
+		}
+	}
+	if err := ExplainPodReady(&buf, podSpanFixture(), "nope"); err == nil {
+		t.Fatal("ExplainPodReady succeeded for an unknown pod")
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, podSpanFixture(), 0, 0); err != nil {
+		t.Fatalf("WriteTimeline: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "6 spans") {
+		t.Errorf("timeline header missing span count:\n%s", out)
+	}
+	// Children render indented beneath the lifecycle root.
+	rootAt := strings.Index(out, "lifecycle web/web-3")
+	childAt := strings.Index(out, "  pending")
+	if rootAt < 0 || childAt < 0 || childAt < rootAt {
+		t.Errorf("timeline nesting wrong (root@%d child@%d):\n%s", rootAt, childAt, out)
+	}
+
+	// A window excludes non-overlapping spans.
+	buf.Reset()
+	if err := WriteTimeline(&buf, podSpanFixture(), 10*time.Minute, 20*time.Minute); err != nil {
+		t.Fatalf("WriteTimeline(window): %v", err)
+	}
+	if !strings.Contains(buf.String(), "1 spans") {
+		t.Errorf("window kept wrong spans:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteTimeline(&buf, nil, 0, 0); err != nil {
+		t.Fatalf("WriteTimeline(empty): %v", err)
+	}
+	if !strings.Contains(buf.String(), "no spans in window") {
+		t.Errorf("empty timeline output: %q", buf.String())
+	}
+}
+
+func TestSummariseSpans(t *testing.T) {
+	var buf bytes.Buffer
+	spans := podSpanFixture()
+	spans = append(spans, Span{ID: 7, Kind: SpanPhase, Object: "p2", WallNs: 5e6,
+		Start: time.Minute, End: time.Minute})
+	SummariseSpans(&buf, spans)
+	out := buf.String()
+	for _, want := range []string{"lifecycle", "pending", "phase", "#2 web-3", "5ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSpanConcurrentAccess races writers (events, spans, latency
+// observations) against readers (snapshots, counters) — the -race gate
+// for the tracer's span and histogram surfaces.
+func TestSpanConcurrentAccess(t *testing.T) {
+	tr := New(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Record(mkEvent(i, KindSched, VerbBind, "web"))
+				tr.RecordSpan(mkSpan(SpanPending, "web", "web-1",
+					time.Duration(i)*time.Second, time.Duration(i+1)*time.Second))
+				tr.ObserveLatency(LatencySchedule, float64(i%10), uint64(i))
+				tr.ObservePhaseLatency(w, "p1", float64(i)*1e-6, uint64(i))
+			}
+		}(w)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr.Snapshot(Filter{App: "web"})
+			tr.SpanSnapshot(SpanFilter{Kind: "pending"})
+			tr.LatencySnapshot()
+			_ = tr.Spans() + uint64(tr.SpanLen()) + tr.SpansDropped()
+			_ = tr.SpanSinkErr()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if got := tr.Spans(); got != 4*500 {
+		t.Fatalf("Spans = %d, want %d", got, 4*500)
+	}
+	if tr.Events() != 4*500 {
+		t.Fatalf("Events = %d, want %d", tr.Events(), 4*500)
+	}
+}

@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Timeline reconstruction over a span stream: the library half of
+// cmd/evolve-timeline and the /debug/timeline route. Everything here
+// works on a plain []Span — from a SpanSnapshot or a ReadSpans of a
+// sink file — so the end-to-end "why was this pod slow?" path is
+// testable without HTTP or a CLI.
+
+// PodChain returns the spans that explain one pod, in causal order: the
+// decision/gang span that caused it (if present in the stream), the
+// pod's root lifecycle span, then its child segments sorted by start
+// time (ID breaks ties). Returns nil when the stream holds no lifecycle
+// span for the pod.
+func PodChain(spans []Span, pod string) []Span {
+	byID := make(map[uint64]*Span, len(spans))
+	var root *Span
+	for i := range spans {
+		sp := &spans[i]
+		byID[sp.ID] = sp
+		if sp.Kind == SpanLifecycle && sp.Object == pod && root == nil {
+			root = sp
+		}
+	}
+	if root == nil {
+		return nil
+	}
+	var out []Span
+	if cause, ok := byID[root.Parent]; ok && root.Parent != 0 {
+		out = append(out, *cause)
+	}
+	out = append(out, *root)
+	var kids []Span
+	for i := range spans {
+		if spans[i].Parent == root.ID {
+			kids = append(kids, spans[i])
+		}
+	}
+	sort.Slice(kids, func(i, j int) bool {
+		if kids[i].Start != kids[j].Start {
+			return kids[i].Start < kids[j].Start
+		}
+		return kids[i].ID < kids[j].ID
+	})
+	return append(out, kids...)
+}
+
+// ExplainPodReady writes the answer to "why was this pod slow to become
+// ready?": the pod's created→ready chain with its causal parent and the
+// pending/startup breakdown, followed by any later lifecycle segments
+// (evictions, re-binds, completion). Returns an error when the stream
+// holds no lifecycle span for the pod.
+func ExplainPodReady(w io.Writer, spans []Span, pod string) error {
+	chain := PodChain(spans, pod)
+	if chain == nil {
+		return fmt.Errorf("obs: no lifecycle span for pod %q", pod)
+	}
+	var root *Span
+	for i := range chain {
+		if chain[i].Kind == SpanLifecycle {
+			root = &chain[i]
+			break
+		}
+	}
+	ttr := root.Duration()
+	fmt.Fprintf(w, "pod %s (app %s): created %s, ready %s — %s to ready",
+		pod, root.App, fmtT(root.Start), fmtT(root.End), fmtD(ttr))
+	if root.Node != "" {
+		fmt.Fprintf(w, " on %s", root.Node)
+	}
+	fmt.Fprintln(w)
+	if chain[0].ID == root.Parent && root.Parent != 0 {
+		c := &chain[0]
+		fmt.Fprintf(w, "  caused by %s %s at %s (span #%d)\n", c.Kind, c.Object, fmtT(c.Start), c.ID)
+	} else if root.Parent != 0 {
+		fmt.Fprintf(w, "  caused by span #%d (not in this stream)\n", root.Parent)
+	}
+	for i := range chain {
+		sp := &chain[i]
+		if sp.Kind != SpanPending && sp.Kind != SpanStartup || sp.Start > root.End {
+			continue
+		}
+		share := ""
+		if ttr > 0 {
+			share = fmt.Sprintf("  (%2.0f%% of time-to-ready)", 100*float64(sp.Duration())/float64(ttr))
+		}
+		fmt.Fprintf(w, "  %s → %s  %8s  %-8s%s\n",
+			fmtT(sp.Start), fmtT(sp.End), fmtD(sp.Duration()), sp.Kind, share)
+	}
+	later := false
+	for i := range chain {
+		sp := &chain[i]
+		if sp.Kind == SpanSegment || (sp.Kind == SpanPending && sp.Start > root.End) {
+			if !later {
+				fmt.Fprintln(w, "after ready:")
+				later = true
+			}
+			detail := sp.Detail
+			if detail == "" {
+				detail = sp.Kind.String()
+			}
+			fmt.Fprintf(w, "  %s → %s  %8s  %-8s %s", fmtT(sp.Start), fmtT(sp.End), fmtD(sp.Duration()), sp.Kind, detail)
+			if sp.Node != "" {
+				fmt.Fprintf(w, " @%s", sp.Node)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// WriteTimeline renders the spans overlapping [from, to] as an indented
+// text timeline: roots (and orphans whose parents fall outside the
+// stream) chronologically, children nested beneath their parents, each
+// line carrying interval, kind, subject and a proportional bar across
+// the window. to == 0 means no upper bound.
+func WriteTimeline(w io.Writer, spans []Span, from, to time.Duration) error {
+	var win []Span
+	f := SpanFilter{From: from, To: to}
+	for i := range spans {
+		if f.Match(&spans[i]) {
+			win = append(win, spans[i])
+		}
+	}
+	if len(win) == 0 {
+		_, err := fmt.Fprintln(w, "no spans in window")
+		return err
+	}
+	lo, hi := win[0].Start, win[0].End
+	present := make(map[uint64]bool, len(win))
+	for i := range win {
+		if win[i].Start < lo {
+			lo = win[i].Start
+		}
+		if win[i].End > hi {
+			hi = win[i].End
+		}
+		present[win[i].ID] = true
+	}
+	kids := make(map[uint64][]int, len(win))
+	var roots []int
+	for i := range win {
+		if win[i].Parent != 0 && present[win[i].Parent] {
+			kids[win[i].Parent] = append(kids[win[i].Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	order := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool {
+			if win[idx[a]].Start != win[idx[b]].Start {
+				return win[idx[a]].Start < win[idx[b]].Start
+			}
+			return win[idx[a]].ID < win[idx[b]].ID
+		})
+	}
+	order(roots)
+	for _, c := range kids {
+		order(c)
+	}
+	fmt.Fprintf(w, "timeline %s → %s (%d spans)\n", fmtT(lo), fmtT(hi), len(win))
+	var render func(i, depth int) error
+	render = func(i, depth int) error {
+		sp := &win[i]
+		subject := sp.Object
+		if sp.App != "" && sp.App != sp.Object {
+			subject = sp.App + "/" + sp.Object
+		}
+		extra := ""
+		if sp.Node != "" {
+			extra += " @" + sp.Node
+		}
+		if sp.Detail != "" {
+			extra += " (" + sp.Detail + ")"
+		}
+		if sp.WallNs != 0 {
+			extra += fmt.Sprintf(" wall=%s", time.Duration(sp.WallNs))
+		}
+		if _, err := fmt.Fprintf(w, "%9s %9s  %s  %*s%-9s %s%s\n",
+			fmtT(sp.Start), fmtD(sp.Duration()), bar(sp, lo, hi),
+			2*depth, "", sp.Kind, subject, extra); err != nil {
+			return err
+		}
+		for _, c := range kids[sp.ID] {
+			if err := render(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := render(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// barWidth is the proportional-bar gutter width in WriteTimeline.
+const barWidth = 24
+
+// bar renders the span's position inside [lo, hi] as a fixed-width
+// ASCII gutter.
+func bar(sp *Span, lo, hi time.Duration) string {
+	b := make([]byte, barWidth+2)
+	b[0], b[barWidth+1] = '[', ']'
+	for i := 1; i <= barWidth; i++ {
+		b[i] = ' '
+	}
+	span := float64(hi - lo)
+	if span <= 0 {
+		span = 1
+	}
+	s := int(float64(sp.Start-lo) / span * barWidth)
+	e := int(float64(sp.End-lo) / span * barWidth)
+	if s < 0 {
+		s = 0
+	}
+	if e >= barWidth {
+		e = barWidth - 1
+	}
+	if e < s {
+		e = s
+	}
+	for i := s; i <= e; i++ {
+		b[i+1] = '#'
+	}
+	return string(b)
+}
+
+// kindAgg is one row of the SummariseSpans aggregate.
+type kindAgg struct {
+	kind         SpanKind
+	count        int
+	total        time.Duration
+	max          time.Duration
+	maxID        uint64
+	wall, maxNs  int64
+	worstSubject string
+}
+
+// SummariseSpans writes a per-kind duration aggregate — the flamegraph
+// view of a span stream: how many spans of each kind, where the virtual
+// time (or, for phase spans, the wall time) went, and which span was
+// worst.
+func SummariseSpans(w io.Writer, spans []Span) {
+	aggs := make([]kindAgg, numSpanKinds)
+	for i := range spans {
+		sp := &spans[i]
+		a := &aggs[sp.Kind%numSpanKinds]
+		a.kind = sp.Kind
+		a.count++
+		d := sp.Duration()
+		a.total += d
+		a.wall += sp.WallNs
+		worse := d > a.max || (d == a.max && a.maxID == 0)
+		if sp.Kind == SpanPhase {
+			worse = sp.WallNs > a.maxNs
+		}
+		if worse {
+			a.max, a.maxNs, a.maxID = d, sp.WallNs, sp.ID
+			a.worstSubject = sp.Object
+		}
+	}
+	fmt.Fprintf(w, "%-10s %8s %12s %12s %12s  %s\n", "kind", "count", "total", "mean", "worst", "worst span")
+	for i := range aggs {
+		a := &aggs[i]
+		if a.count == 0 {
+			continue
+		}
+		total, mean, worst := a.total, a.total/time.Duration(a.count), a.max
+		if a.kind == SpanPhase {
+			total = time.Duration(a.wall)
+			mean = time.Duration(a.wall / int64(a.count))
+			worst = time.Duration(a.maxNs)
+		}
+		fmt.Fprintf(w, "%-10s %8d %12s %12s %12s  #%d %s\n",
+			a.kind, a.count, fmtD(total), fmtD(mean), fmtD(worst), a.maxID, a.worstSubject)
+	}
+}
+
+// fmtT renders a virtual timestamp compactly.
+func fmtT(t time.Duration) string {
+	return t.Truncate(time.Millisecond).String()
+}
+
+// fmtD renders a duration compactly.
+func fmtD(d time.Duration) string {
+	return d.Truncate(time.Millisecond).String()
+}

@@ -44,6 +44,10 @@ type PhaseBreakdown struct {
 	Ticks   uint64
 	TotalNs [NumPhases]int64
 	ShardNs [][NumPhases]int64 // [shard][phase], parallel phases only
+	// TickMaxNs is the slowest single tick observed (whole-tick wall
+	// time, recorded via ObserveTick) — the tail the per-phase means
+	// hide. Zero when the caller never times whole ticks.
+	TickMaxNs int64
 }
 
 // NewPhaseBreakdown returns a breakdown with shard rows for nshards.
@@ -58,8 +62,16 @@ func NewPhaseBreakdown(nshards int) *PhaseBreakdown {
 func (b *PhaseBreakdown) Reset() {
 	b.Ticks = 0
 	b.TotalNs = [NumPhases]int64{}
+	b.TickMaxNs = 0
 	for i := range b.ShardNs {
 		b.ShardNs[i] = [NumPhases]int64{}
+	}
+}
+
+// ObserveTick records one whole tick's wall time, keeping the maximum.
+func (b *PhaseBreakdown) ObserveTick(ns int64) {
+	if ns > b.TickMaxNs {
+		b.TickMaxNs = ns
 	}
 }
 

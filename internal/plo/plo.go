@@ -127,6 +127,9 @@ type Tracker struct {
 	// more than scattered blips.
 	curRun, worstRun int
 	totalErr         float64
+	// burn is the error-budget accounting (burn.go), lazily created by
+	// Burn()/ObserveFor so plain Observe callers pay nothing.
+	burn *BurnTracker
 }
 
 // NewTracker returns a tracker for the given objective.

@@ -46,6 +46,8 @@ type Coordinator struct {
 	rounds    uint64 // shard rounds executed
 	parRounds uint64 // rounds that fanned out to the pool
 	mailed    int    // messages the last round's barrier applied
+	// TakeRounds marks, for per-tick round deltas.
+	roundsMark, parMark uint64
 
 	timing    bool  // accumulate barrier/mailbox wall time
 	barrierNs int64 // wg.Wait wall time in parallel rounds
@@ -145,6 +147,17 @@ func (co *Coordinator) TakeTimings() (barrierNs, mailNs int64) {
 // them fanned out to the worker pool.
 func (co *Coordinator) Rounds() (total, parallel uint64) {
 	return co.rounds, co.parRounds
+}
+
+// TakeRounds returns the shard rounds (total, parallel) executed since
+// the previous TakeRounds call and re-marks — the per-tick delta the
+// phase-span emitter stamps onto its barrier span. Independent of
+// Rounds, which keeps reporting lifetime totals.
+func (co *Coordinator) TakeRounds() (total, parallel uint64) {
+	total = co.rounds - co.roundsMark
+	parallel = co.parRounds - co.parMark
+	co.roundsMark, co.parMark = co.rounds, co.parRounds
+	return total, parallel
 }
 
 // ShardSteps appends each shard engine's executed-event count to dst
