@@ -1,12 +1,14 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-sched bench-shard bench-compare bench-obs check fuzz-smoke chaos-soak
+.PHONY: build test race vet bench bench-json bench-sched bench-shard bench-compare bench-obs check fuzz-smoke chaos-soak ckpt-soak
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomises test order so accidental inter-test state
+# (shared globals, leftover files) cannot hide behind a lucky ordering.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -73,6 +75,23 @@ fuzz-smoke:
 chaos-soak:
 	$(GO) test -run 'TestChaosSoak|TestTable7' -v ./internal/harness
 	$(GO) run ./cmd/evolve-sim -chaos mixed -duration 2h > /dev/null
+
+# ckpt-soak is the crash-consistency gauntlet: the full shard matrix of
+# the headline byte-identity invariant, the chained crash/restore soak
+# at every shard count, the Table 8 sweep, and the CLI resume path —
+# a run killed at 40m and resumed must print the same report as one
+# that never died.
+ckpt-soak:
+	EVOLVE_CKPT_SOAK=1 $(GO) test -run 'TestCheckpoint|TestResumeFromPeriodic|TestCtrlCrash' -count 1 -v .
+	$(GO) test ./internal/harness -run 'TestTable8' -count 1
+	rm -rf /tmp/evolve-ckpt-soak && mkdir -p /tmp/evolve-ckpt-soak
+	$(GO) run ./cmd/evolve-sim -seed 7 -duration 40m -ckpt-dir /tmp/evolve-ckpt-soak -ckpt-every 10m 2>/dev/null >/dev/null
+	$(GO) run ./cmd/evolve-sim -seed 7 -duration 2h -ckpt-dir /tmp/evolve-ckpt-soak -ckpt-every 10m -resume 2>/tmp/evolve-ckpt-soak/resumed.txt >/dev/null
+	$(GO) run ./cmd/evolve-sim -seed 7 -duration 2h -ckpt-every 10m 2>/tmp/evolve-ckpt-soak/whole.txt >/dev/null
+	grep -v '^evolve-sim:' /tmp/evolve-ckpt-soak/resumed.txt > /tmp/evolve-ckpt-soak/resumed.report
+	grep -v '^evolve-sim:' /tmp/evolve-ckpt-soak/whole.txt > /tmp/evolve-ckpt-soak/whole.report
+	diff /tmp/evolve-ckpt-soak/resumed.report /tmp/evolve-ckpt-soak/whole.report
+	@echo "ckpt-soak: resumed report is byte-identical to the uninterrupted run"
 
 # check is the CI gate: static analysis plus the full suite under the
 # race detector (the parallel runner must be race-clean, not just fast).

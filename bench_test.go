@@ -7,7 +7,7 @@
 //
 // both regenerates the results and tracks the cost of producing them.
 // cmd/evolve-bench renders the same tables and figures for reading.
-package evolve
+package evolve_test
 
 import (
 	"io"

@@ -1,0 +1,71 @@
+package evolve
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestCheckpointSoak chains crash/restore cycles inside one lineage:
+// the world crashes repeatedly mid-run, each time restoring from its
+// last periodic checkpoint (so a restore of a restore of a restore…),
+// and the surviving lineage must still finish byte-identical to the
+// run that never crashed. This is the long-haul version of the
+// headline invariant — any state the snapshot forgets to carry, or
+// carries inexactly, compounds across cycles and surfaces here.
+//
+// The default run keeps the matrix small; `make ckpt-soak` sets
+// EVOLVE_CKPT_SOAK=1 to sweep every shard count and twice the crash
+// points.
+func TestCheckpointSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run")
+	}
+	shardCounts := []int{0, 2}
+	crashPoints := []time.Duration{12 * time.Minute, 33 * time.Minute, 48 * time.Minute}
+	if os.Getenv("EVOLVE_CKPT_SOAK") != "" {
+		shardCounts = []int{0, 1, 2, 4, 7, 16}
+		crashPoints = []time.Duration{
+			11 * time.Minute, 17 * time.Minute, 24 * time.Minute,
+			33 * time.Minute, 41 * time.Minute, 48 * time.Minute,
+		}
+	}
+	for _, shards := range shardCounts {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			whole := ckptWorld(t, shards, "mixed")
+			if err := whole.Run(time.Hour); err != nil {
+				t.Fatal(err)
+			}
+			want := ckptFingerprint(whole)
+
+			c := ckptWorld(t, shards, "mixed")
+			for _, crashAt := range crashPoints {
+				if err := c.Run(crashAt - c.Now()); err != nil {
+					t.Fatal(err)
+				}
+				snap := c.LastCheckpoint()
+				if snap == nil {
+					t.Fatalf("no checkpoint before crash at %v", crashAt)
+				}
+				c = ckptWorld(t, shards, "mixed")
+				if err := c.Restore(bytes.NewReader(snap)); err != nil {
+					t.Fatalf("restore after crash at %v: %v", crashAt, err)
+				}
+			}
+			if err := c.Run(time.Hour - c.Now()); err != nil {
+				t.Fatal(err)
+			}
+			if got := ckptFingerprint(c); got != want {
+				i := 0
+				for i < len(got) && i < len(want) && got[i] == want[i] {
+					i++
+				}
+				lo := max(0, i-200)
+				t.Errorf("soak lineage diverged from uninterrupted run at byte %d:\n--- uninterrupted\n…%s\n--- soak\n…%s",
+					i, want[lo:min(len(want), i+200)], got[lo:min(len(got), i+200)])
+			}
+		})
+	}
+}

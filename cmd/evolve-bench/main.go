@@ -84,6 +84,7 @@ func items(opts *benchOpts) []item {
 		tbl("table5", harness.Table5),
 		tbl("table6", harness.Table6),
 		tbl("table7", harness.Table7),
+		tbl("table8", harness.Table8),
 		fig("figure1", harness.Figure1),
 		fig("figure2", harness.Figure2),
 		fig("figure3", func(r *harness.Runner, seed int64) (*harness.Figure, error) {

@@ -12,16 +12,22 @@
 //	evolve-sim -trace run.jsonl -duration 2h   # then: evolve-explain -trace run.jsonl -app web
 //	evolve-sim -spans spans.jsonl -duration 2h # then: evolve-timeline -spans spans.jsonl -pod web-7
 //	evolve-sim -metrics-addr :9090             # Prometheus text on /metrics after the run
+//	evolve-sim -ckpt-dir ck -ckpt-every 5m     # periodic world checkpoints in ck/
+//	evolve-sim -ckpt-dir ck -ckpt-every 5m -resume  # continue from the latest one
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"evolve"
@@ -38,6 +44,9 @@ type outputs struct {
 	trace        string
 	spans        string
 	traceBuf     int
+	ckptDir      string
+	ckptEvery    time.Duration
+	resume       bool
 }
 
 func main() {
@@ -61,6 +70,9 @@ func main() {
 		buf       = flag.Int("trace-buf", obs.DefaultCapacity, "decision-trace ring capacity (events kept for /debug/trace)")
 		config    = flag.String("config", "", "JSON scenario file (see evolve.FileConfig); overrides the workload flags")
 		chaosPlan = flag.String("chaos", "", "fault-injection plan: a profile ("+strings.Join(chaos.Profiles(), ", ")+") or a chaos-DSL string")
+		ckptDir   = flag.String("ckpt-dir", "", "directory for periodic ckpt-*.evck checkpoint files (requires -ckpt-every)")
+		ckptEvery = flag.Duration("ckpt-every", 0, "take a world checkpoint at this virtual-time interval (e.g. 30s, 5m); 0 disables")
+		resume    = flag.Bool("resume", false, "restore the latest checkpoint in -ckpt-dir before running; the run continues to -duration")
 	)
 	flag.Parse()
 
@@ -68,6 +80,7 @@ func main() {
 		list: *list, events: *events, dump: *dump,
 		serve: *serve, metricsAddr: *metrics,
 		trace: *trace, spans: *spans, traceBuf: *buf,
+		ckptDir: *ckptDir, ckptEvery: *ckptEvery, resume: *resume,
 	}
 
 	if *config != "" {
@@ -164,8 +177,36 @@ func finish(c *evolve.Cluster, dur time.Duration, out outputs) {
 		c.EnableTracing(out.traceBuf)
 	}
 
-	if err := c.Run(dur); err != nil {
-		fatal(err)
+	if out.ckptEvery > 0 {
+		if err := c.EnableCheckpoints(out.ckptDir, out.ckptEvery); err != nil {
+			fatal(err)
+		}
+	} else if out.ckptDir != "" {
+		fatal(errors.New("-ckpt-dir needs -ckpt-every to schedule checkpoints"))
+	}
+	if out.resume {
+		// Restore the latest checkpoint, then run only the remaining
+		// virtual time so the resumed run ends at the same horizon —
+		// and, by determinism, with the same report — as a run that
+		// never crashed. A missing or empty directory starts fresh so
+		// the same command line works on the first launch too.
+		if out.ckptDir == "" {
+			fatal(errors.New("-resume needs -ckpt-dir"))
+		}
+		if path, err := evolve.LatestCheckpoint(out.ckptDir); err == nil {
+			if err := c.RestoreFile(path); err != nil {
+				fatal(fmt.Errorf("resume: %w", err))
+			}
+			fmt.Fprintf(os.Stderr, "evolve-sim: resumed from %s at t=%s\n", path, c.Now())
+		} else {
+			fmt.Fprintf(os.Stderr, "evolve-sim: no checkpoint in %s, starting fresh\n", out.ckptDir)
+		}
+	}
+
+	if rem := dur - c.Now(); rem > 0 {
+		if err := c.Run(rem); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Fprint(os.Stderr, c.Report())
 
@@ -211,18 +252,43 @@ func finish(c *evolve.Cluster, dur time.Duration, out outputs) {
 	}
 	// The simulation is paused now, so serving its state is safe. When
 	// both addresses are requested the metrics listener runs aside.
+	// Servers block until SIGINT/SIGTERM, then drain in-flight requests.
+	var servers []*http.Server
+	srvErr := make(chan error, 2)
+	start := func(addr string, h http.Handler, what string) {
+		s := &http.Server{Addr: addr, Handler: h, ReadHeaderTimeout: 5 * time.Second}
+		servers = append(servers, s)
+		fmt.Fprintf(os.Stderr, "evolve-sim: serving %s on %s\n", what, addr)
+		go func() {
+			if err := s.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				srvErr <- err
+			}
+		}()
+	}
 	if out.metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", c.Handler())
-		fmt.Fprintf(os.Stderr, "evolve-sim: serving /metrics on %s\n", out.metricsAddr)
-		if out.serve == "" {
-			fatal(http.ListenAndServe(out.metricsAddr, mux))
-		}
-		go func() { fatal(http.ListenAndServe(out.metricsAddr, mux)) }()
+		start(out.metricsAddr, mux, "/metrics")
 	}
 	if out.serve != "" {
-		fmt.Fprintf(os.Stderr, "evolve-sim: serving results on %s\n", out.serve)
-		fatal(http.ListenAndServe(out.serve, c.Handler()))
+		start(out.serve, c.Handler(), "results")
+	}
+	if len(servers) > 0 {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		select {
+		case err := <-srvErr:
+			fatal(err)
+		case s := <-sig:
+			fmt.Fprintf(os.Stderr, "evolve-sim: %v, shutting down\n", s)
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			for _, srv := range servers {
+				if err := srv.Shutdown(ctx); err != nil {
+					fmt.Fprintln(os.Stderr, "evolve-sim: shutdown:", err)
+				}
+			}
+		}
 	}
 }
 

@@ -210,6 +210,37 @@ type Cluster struct {
 	runErr  error
 
 	tracer *obs.Tracer
+
+	// Checkpoint plumbing (ckpt.go): ckptEvery/ckptDir configure the
+	// periodic snapshot timer, lastCkpt retains the latest encoded
+	// checkpoint, and lastLoopState is the controller-process blob the
+	// ctrl-crash restore path hands back to the restarted loop.
+	ckptEvery     time.Duration
+	ckptDir       string
+	ckptCount     int
+	ckptBytes     int64
+	lastCkpt      []byte
+	lastLoopState []byte
+}
+
+// start performs the one-time arming of the periodic processes: tracer
+// installation, the cluster tick, the control loop, any ctrl-crash
+// windows from the chaos plan, and the checkpoint timer. Run and
+// Restore both funnel through it, in this order, so a restored world
+// arms the same timers in the same sequence as the original.
+func (cl *Cluster) start() {
+	if cl.started {
+		return
+	}
+	cl.started = true
+	if cl.tracer.Enabled() {
+		cl.c.SetTracer(cl.tracer)
+	}
+	cl.loop.SetTracer(cl.tracer)
+	cl.c.Start()
+	cl.loop.Start()
+	cl.armCtrlCrash()
+	cl.armCheckpoints()
 }
 
 // New builds a cluster from options.
@@ -393,6 +424,7 @@ func (cl *Cluster) SubmitBatchJob(o BatchJobOptions) error {
 			job.Stages[i].NodeSelector = map[string]string{"pool": o.Pool}
 		}
 	}
+	cl.eng.TagNext("batch-submit", o.Name)
 	cl.eng.At(o.SubmitAt, func() {
 		if err := cl.runner.Submit(job); err != nil {
 			panic(fmt.Sprintf("evolve: batch submit %s: %v", o.Name, err))
@@ -422,6 +454,7 @@ func (cl *Cluster) SubmitHPCJob(o HPCJobOptions) error {
 	if o.Pool != "" {
 		job.NodeSelector = map[string]string{"pool": o.Pool}
 	}
+	cl.eng.TagNext("hpc-submit", o.Name)
 	cl.eng.At(o.SubmitAt, func() {
 		if err := cl.queue.Submit(job); err != nil {
 			panic(fmt.Sprintf("evolve: hpc submit %s: %v", o.Name, err))
@@ -440,15 +473,7 @@ func (cl *Cluster) Run(d time.Duration) error {
 	if d <= 0 {
 		return fmt.Errorf("evolve: non-positive run duration")
 	}
-	if !cl.started {
-		cl.started = true
-		if cl.tracer.Enabled() {
-			cl.c.SetTracer(cl.tracer)
-		}
-		cl.loop.SetTracer(cl.tracer)
-		cl.c.Start()
-		cl.loop.Start()
-	}
+	cl.start()
 	cl.c.Run(cl.eng.Now() + d)
 	return cl.runErr
 }
@@ -698,6 +723,28 @@ func (cl *Cluster) ControllerStates() []ControllerState {
 
 // SeriesNames lists the recorded telemetry series.
 func (cl *Cluster) SeriesNames() []string { return cl.c.Metrics().SeriesNames() }
+
+// SeriesSample is one recorded point of a telemetry series.
+type SeriesSample struct {
+	At    time.Duration
+	Value float64
+}
+
+// SeriesSamples returns the recorded points of one telemetry series
+// ("app/web/violation", "cluster/usage/cpu", …) oldest-first, for
+// programmatic post-processing (the harness's recovery analysis);
+// WriteSeriesCSV is the textual equivalent.
+func (cl *Cluster) SeriesSamples(name string) ([]SeriesSample, error) {
+	if !cl.c.Metrics().HasSeries(name) {
+		return nil, fmt.Errorf("%w: %q (see SeriesNames)", ErrUnknownSeries, name)
+	}
+	samples := cl.c.Metrics().Series(name).Samples()
+	out := make([]SeriesSample, len(samples))
+	for i, p := range samples {
+		out[i] = SeriesSample{At: p.At, Value: p.Value}
+	}
+	return out, nil
+}
 
 // ErrUnknownSeries is returned (wrapped) by WriteSeriesCSV when the
 // named series does not exist; other errors indicate write failures.

@@ -113,17 +113,29 @@ type jobState struct {
 	done        bool
 }
 
+// taskRef locates an in-flight task pod's place in a job's DAG, so a
+// checkpoint can rebuild its completion callback (pod names alone are
+// not parseable: stage and job names may contain the separator).
+type taskRef struct {
+	job   string
+	stage string
+	idx   int
+}
+
 // Runner executes DAG jobs on a cluster.
 type Runner struct {
-	c       *cluster.Cluster
-	jobs    map[string]*jobState
-	onDone  func(job string, makespan time.Duration)
-	taskSeq uint64
+	c      *cluster.Cluster
+	jobs   map[string]*jobState
+	onDone func(job string, makespan time.Duration)
+	// inflight maps live task pod names to their DAG position; see
+	// taskRef and ReattachTask.
+	inflight map[string]taskRef
+	taskSeq  uint64
 }
 
 // NewRunner returns a runner bound to the cluster.
 func NewRunner(c *cluster.Cluster) *Runner {
-	return &Runner{c: c, jobs: make(map[string]*jobState)}
+	return &Runner{c: c, jobs: make(map[string]*jobState), inflight: make(map[string]taskRef)}
 }
 
 // OnJobDone installs a completion callback.
@@ -182,7 +194,7 @@ func (r *Runner) launchReady(js *jobState) {
 func (r *Runner) submitTask(js *jobState, st *stageState, idx int) {
 	r.taskSeq++
 	name := fmt.Sprintf("%s-%s-%d-r%d", js.spec.Name, st.spec.Name, idx, r.taskSeq)
-	taskKey := fmt.Sprintf("%s-%d", st.spec.Name, idx)
+	r.inflight[name] = taskRef{job: js.spec.Name, stage: st.spec.Name, idx: idx}
 	spec := cluster.TaskSpec{
 		Name:         name,
 		Job:          js.spec.Name,
@@ -190,13 +202,40 @@ func (r *Runner) submitTask(js *jobState, st *stageState, idx int) {
 		Requests:     st.spec.Requests,
 		Priority:     js.spec.Priority,
 		NodeSelector: st.spec.NodeSelector,
-		OnDone: func(_ string, failed bool) {
-			r.taskDone(js, st, taskKey, idx, failed)
-		},
+		OnDone:       r.onDoneFor(name, js, st, idx),
 	}
 	if err := r.c.SubmitTask(spec); err != nil {
 		panic(fmt.Sprintf("batch: task submit: %v", err))
 	}
+}
+
+// onDoneFor builds the completion callback for a task pod; ReattachTask
+// rebuilds the same callback after a checkpoint restore.
+func (r *Runner) onDoneFor(name string, js *jobState, st *stageState, idx int) func(string, bool) {
+	taskKey := fmt.Sprintf("%s-%d", st.spec.Name, idx)
+	return func(_ string, failed bool) {
+		delete(r.inflight, name)
+		r.taskDone(js, st, taskKey, idx, failed)
+	}
+}
+
+// ReattachTask returns the completion callback for a restored in-flight
+// task pod. The cluster restorer calls it for every live task pod owned
+// by this runner's jobs.
+func (r *Runner) ReattachTask(pod string) (func(string, bool), error) {
+	ref, ok := r.inflight[pod]
+	if !ok {
+		return nil, fmt.Errorf("batch: task pod %s not in checkpoint inflight set", pod)
+	}
+	js, ok := r.jobs[ref.job]
+	if !ok {
+		return nil, fmt.Errorf("batch: task pod %s references unknown job %s", pod, ref.job)
+	}
+	st, ok := js.stages[ref.stage]
+	if !ok {
+		return nil, fmt.Errorf("batch: task pod %s references unknown stage %s/%s", pod, ref.job, ref.stage)
+	}
+	return r.onDoneFor(pod, js, st, ref.idx), nil
 }
 
 func (r *Runner) taskDone(js *jobState, st *stageState, taskKey string, idx int, failed bool) {

@@ -58,12 +58,18 @@ const (
 	// ActPartial applies only a Mag fraction of a decision's delta with
 	// probability P.
 	ActPartial
+	// CtrlCrash kills the control plane at From and restarts it at To
+	// from its last checkpoint; without To the controller stays down.
+	// The embedder (facade or harness) arms these windows — they need
+	// access to the control loop and the checkpoint store, which the
+	// injector deliberately does not have.
+	CtrlCrash
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"node-crash", "metric-drop", "metric-freeze", "metric-spike",
-	"act-reject", "act-delay", "act-partial",
+	"act-reject", "act-delay", "act-partial", "ctrl-crash",
 }
 
 // String returns the canonical kind name.

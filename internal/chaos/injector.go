@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"strconv"
 	"time"
 
 	"evolve/internal/sim"
@@ -53,12 +54,13 @@ type Stats struct {
 	SamplesDropped, SamplesFrozen, SamplesSpiked uint64
 	Rejected, Delayed, Partial                   uint64
 	NodeCrashes, NodeRestores                    uint64
+	CtrlCrashes, CtrlRestarts                    uint64
 }
 
 // Injections returns the total number of injected faults.
 func (s Stats) Injections() uint64 {
 	return s.SamplesDropped + s.SamplesFrozen + s.SamplesSpiked +
-		s.Rejected + s.Delayed + s.Partial + s.NodeCrashes
+		s.Rejected + s.Delayed + s.Partial + s.NodeCrashes + s.CtrlCrashes
 }
 
 // Injector answers the cluster's interposer hooks for one compiled plan.
@@ -69,6 +71,7 @@ type Injector struct {
 	metric []Fault // MetricDrop / MetricFreeze / MetricSpike, plan order
 	act    []Fault // ActReject / ActDelay / ActPartial, plan order
 	nodes  []Fault // NodeCrash, plan order
+	ctrl   []Fault // CtrlCrash, plan order
 	stats  Stats
 }
 
@@ -85,10 +88,23 @@ func NewInjector(plan Plan, seed int64) *Injector {
 			inj.metric = append(inj.metric, f)
 		case ActReject, ActDelay, ActPartial:
 			inj.act = append(inj.act, f)
+		case CtrlCrash:
+			inj.ctrl = append(inj.ctrl, f)
 		}
 	}
 	return inj
 }
+
+// CtrlCrashes returns the plan's control-plane crash windows in plan
+// order. Arm does not schedule them: killing and restarting the
+// controller needs the control loop and the checkpoint store, which only
+// the embedder has.
+func (inj *Injector) CtrlCrashes() []Fault { return inj.ctrl }
+
+// CountCtrlRestart folds a controller kill/restart pair into the stats
+// (the embedder drives the windows, see CtrlCrashes).
+func (inj *Injector) CountCtrlCrash()   { inj.stats.CtrlCrashes++ }
+func (inj *Injector) CountCtrlRestart() { inj.stats.CtrlRestarts++ }
 
 // Stats returns a snapshot of the injection counters.
 func (inj *Injector) Stats() Stats { return inj.stats }
@@ -106,6 +122,8 @@ func (inj *Injector) Absorb(s Stats) {
 	inj.stats.Partial += s.Partial
 	inj.stats.NodeCrashes += s.NodeCrashes
 	inj.stats.NodeRestores += s.NodeRestores
+	inj.stats.CtrlCrashes += s.CtrlCrashes
+	inj.stats.CtrlRestarts += s.CtrlRestarts
 }
 
 // Arm schedules the plan's node crash/restore windows onto the engine.
@@ -113,14 +131,16 @@ func (inj *Injector) Absorb(s Stats) {
 // make the corresponding fault a no-op — a plan may name nodes a smaller
 // scenario does not have.
 func (inj *Injector) Arm(eng *sim.Engine, target NodeTarget) {
-	for _, f := range inj.nodes {
+	for i, f := range inj.nodes {
 		node := f.Node
+		eng.TagNext("chaos", strconv.Itoa(i)+"/fail")
 		eng.At(f.From, func() {
 			if target.FailNode(node) == nil {
 				inj.stats.NodeCrashes++
 			}
 		})
 		if f.To > 0 {
+			eng.TagNext("chaos", strconv.Itoa(i)+"/restore")
 			eng.At(f.To, func() {
 				if target.RestoreNode(node) == nil {
 					inj.stats.NodeRestores++

@@ -1,0 +1,565 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"evolve/internal/ckpt"
+	"evolve/internal/control"
+	"evolve/internal/resource"
+)
+
+// Checkpoint layer for the cluster substrate. CkptSave serialises the
+// full mutable world — nodes, apps, pods, per-app windows and random
+// stream positions, the event journal, tick fault counters and the
+// metrics registry — at a tick barrier. CkptLoad patches a freshly
+// constructed world (same topology, same specs) back to that state:
+// node and app objects are patched in place (they are the very pointers
+// the registry and the metric handles hold), while the pod set is
+// replaced wholesale, because pods are born and die at runtime and the
+// fresh world's initial replicas are not the checkpoint's pods.
+//
+// Everything derivable is deliberately not serialised: the sorted
+// indexes are rebuilt by insertion, the scheduler snapshot and the
+// dense hot-state caches rebuild lazily on the next tick, and node
+// scratch (slow, running) is recomputed by the tick phases before
+// anything reads it. The one non-derivable cache field is rc.contrib —
+// phaseAppFast reads it when an app's ready count drops to zero, and
+// the lazy rebuild does not set it — so it rides along per app.
+
+// maxCkptItems bounds checkpointed collection sizes (the 1M-pod kernel
+// fits with headroom); a corrupt length prefix fails loudly instead of
+// allocating unbounded memory.
+const maxCkptItems = 1 << 24
+
+// delayedApply is one chaos-delayed decision still waiting for its
+// timer; the checkpoint records it so restore can rebuild the timer's
+// closure (see RebuildTimer).
+type delayedApply struct {
+	app string
+	d   control.Decision
+}
+
+// taskTimerArg is the TimerTag argument of a task completion timer. The
+// bind time disambiguates restarted tasks: a re-submitted pod with the
+// same name arms a new timer under a new tag.
+func taskTimerArg(name string, boundAt time.Duration) string {
+	return name + "@" + strconv.FormatInt(int64(boundAt), 10)
+}
+
+// taskCompletionFn is the completion callback armTaskCompletion
+// schedules; RebuildTimer re-creates the identical closure on restore.
+func (c *Cluster) taskCompletionFn(name string, boundAt time.Duration) func() {
+	return func() {
+		cur, ok := c.pods[name]
+		if !ok || cur.Phase != Running || cur.BoundAt != boundAt {
+			return // pod was evicted/restarted meanwhile
+		}
+		c.completeTask(cur)
+	}
+}
+
+// RebuildTimer reconstructs the callback of a checkpointed cluster
+// timer that the freshly constructed world did not re-arm: task
+// completions and chaos-delayed actuations. Both rebuild from state
+// CkptLoad restored, so the world restorer must load the cluster before
+// restoring timers.
+func (c *Cluster) RebuildTimer(kind, arg string) (func(), error) {
+	switch kind {
+	case "task":
+		i := strings.LastIndex(arg, "@")
+		if i < 0 {
+			return nil, fmt.Errorf("cluster: malformed task timer arg %q", arg)
+		}
+		boundAt, err := strconv.ParseInt(arg[i+1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: malformed task timer arg %q: %v", arg, err)
+		}
+		return c.taskCompletionFn(arg[:i], time.Duration(boundAt)), nil
+	case "act-delay":
+		pa, ok := c.pendingApply[arg]
+		if !ok {
+			return nil, fmt.Errorf("cluster: delayed apply %q not in checkpoint", arg)
+		}
+		st, ok := c.apps[pa.app]
+		if !ok {
+			return nil, fmt.Errorf("cluster: delayed apply %q references unknown service %s", arg, pa.app)
+		}
+		key, d := arg, pa.d
+		return func() {
+			delete(c.pendingApply, key)
+			_ = c.applyDecision(st, d)
+		}, nil
+	}
+	return nil, fmt.Errorf("cluster: no rebuilder for timer kind %q", kind)
+}
+
+func saveFloats(w *ckpt.Writer, s []float64) {
+	w.Int(len(s))
+	for _, v := range s {
+		w.F64(v)
+	}
+}
+
+func loadFloats(r *ckpt.Reader, dst []float64) ([]float64, error) {
+	n := r.Int()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n < 0 || n > maxCkptItems {
+		return nil, fmt.Errorf("cluster: ckpt: float slice length %d out of range", n)
+	}
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, r.F64())
+	}
+	return dst, r.Err()
+}
+
+func saveVectors(w *ckpt.Writer, s []resource.Vector) {
+	w.Int(len(s))
+	for _, v := range s {
+		v.CkptSave(w)
+	}
+}
+
+func loadVectors(r *ckpt.Reader, dst []resource.Vector) ([]resource.Vector, error) {
+	n := r.Int()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n < 0 || n > maxCkptItems {
+		return nil, fmt.Errorf("cluster: ckpt: vector slice length %d out of range", n)
+	}
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, resource.LoadVector(r))
+	}
+	return dst, r.Err()
+}
+
+func saveSelector(w *ckpt.Writer, sel map[string]string) {
+	keys := make([]string, 0, len(sel))
+	for k := range sel {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Int(len(keys))
+	for _, k := range keys {
+		w.Str(k)
+		w.Str(sel[k])
+	}
+}
+
+func loadSelector(r *ckpt.Reader) (map[string]string, error) {
+	n := r.Int()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n < 0 || n > maxCkptItems {
+		return nil, fmt.Errorf("cluster: ckpt: selector length %d out of range", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	sel := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := r.Str()
+		sel[k] = r.Str()
+	}
+	return sel, r.Err()
+}
+
+func savePod(w *ckpt.Writer, p *PodObject) {
+	w.Str(p.Name)
+	w.U64(p.Meta.ResourceVersion)
+	w.Str(p.App)
+	w.Str(p.Node)
+	w.Int(int(p.Phase))
+	p.Requests.CkptSave(w)
+	w.Int(p.Priority)
+	p.Usage.CkptSave(w)
+	saveSelector(w, p.NodeSelector)
+	w.Bool(p.Task != nil)
+	if p.Task != nil {
+		t := p.Task
+		w.Str(t.Name)
+		w.Str(t.Job)
+		t.Model.Work.CkptSave(w)
+		w.F64(t.Model.MemSet)
+		t.Requests.CkptSave(w)
+		w.Int(t.Priority)
+		saveSelector(w, t.NodeSelector)
+	}
+	w.Dur(p.CreatedAt)
+	w.Dur(p.BoundAt)
+	w.Dur(p.ReadyAt)
+	w.Dur(p.FinishAt)
+	w.Dur(p.pendingSince)
+	w.Dur(p.causeAt)
+	w.Bool(p.everBound)
+	w.U64(p.spanID)
+	w.U64(p.causeSpan)
+}
+
+func loadPod(r *ckpt.Reader) (*PodObject, error) {
+	p := &PodObject{}
+	p.Meta.Kind = KindPod
+	p.Meta.Name = r.Str()
+	p.Meta.ResourceVersion = r.U64()
+	p.App = r.Str()
+	p.Node = r.Str()
+	p.Phase = Phase(r.Int())
+	p.Requests = resource.LoadVector(r)
+	p.Priority = r.Int()
+	p.Usage = resource.LoadVector(r)
+	sel, err := loadSelector(r)
+	if err != nil {
+		return nil, err
+	}
+	p.NodeSelector = sel
+	if r.Bool() {
+		t := &TaskSpec{}
+		t.Name = r.Str()
+		t.Job = r.Str()
+		t.Model.Work = resource.LoadVector(r)
+		t.Model.MemSet = r.F64()
+		t.Requests = resource.LoadVector(r)
+		t.Priority = r.Int()
+		if t.NodeSelector, err = loadSelector(r); err != nil {
+			return nil, err
+		}
+		p.Task = t
+	}
+	p.CreatedAt = r.Dur()
+	p.BoundAt = r.Dur()
+	p.ReadyAt = r.Dur()
+	p.FinishAt = r.Dur()
+	p.pendingSince = r.Dur()
+	p.causeAt = r.Dur()
+	p.everBound = r.Bool()
+	p.spanID = r.U64()
+	p.causeSpan = r.U64()
+	return p, r.Err()
+}
+
+func (c *Cluster) saveAppState(w *ckpt.Writer, st *appState) {
+	w.Str(st.obj.Spec.Name)
+	w.U64(st.obj.Meta.ResourceVersion)
+	w.Int(st.obj.DesiredReplicas)
+	st.obj.Alloc.CkptSave(w)
+	st.tracker.CkptSave(w)
+	saveFloats(w, st.winSLI)
+	saveFloats(w, st.winMean)
+	saveFloats(w, st.winP99)
+	saveFloats(w, st.winThroughput)
+	saveFloats(w, st.winOffered)
+	saveVectors(w, st.winUsage)
+	saveVectors(w, st.winUtil)
+	w.Bool(st.winSaturated)
+	w.Int(st.winTicks)
+	w.Int(st.winStale)
+	w.Bool(st.haveSensed)
+	w.F64(st.sensed.sli)
+	w.F64(st.sensed.mean)
+	w.F64(st.sensed.p99)
+	w.F64(st.sensed.tput)
+	w.F64(st.sensed.offered)
+	st.sensed.usage.CkptSave(w)
+	st.sensed.util.CkptSave(w)
+	w.Dur(st.lastObserve)
+	w.Int(st.migrateDebt)
+	w.Bool(st.wasViolated)
+	w.Dur(st.decisionAt)
+	w.U64(st.decisionSpan)
+	w.U64(st.noise.Draws())
+	w.U64(st.chaosRNG.Draws())
+	w.Int(st.rc.contrib)
+}
+
+func (c *Cluster) loadAppState(r *ckpt.Reader, st *appState) error {
+	name := r.Str()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if name != st.obj.Spec.Name {
+		return fmt.Errorf("cluster: ckpt: service %q, fresh world has %q (topology drift)", name, st.obj.Spec.Name)
+	}
+	st.obj.Meta.ResourceVersion = r.U64()
+	st.obj.DesiredReplicas = r.Int()
+	st.obj.Alloc = resource.LoadVector(r)
+	if err := st.tracker.CkptLoad(r); err != nil {
+		return err
+	}
+	var err error
+	if st.winSLI, err = loadFloats(r, st.winSLI); err != nil {
+		return err
+	}
+	if st.winMean, err = loadFloats(r, st.winMean); err != nil {
+		return err
+	}
+	if st.winP99, err = loadFloats(r, st.winP99); err != nil {
+		return err
+	}
+	if st.winThroughput, err = loadFloats(r, st.winThroughput); err != nil {
+		return err
+	}
+	if st.winOffered, err = loadFloats(r, st.winOffered); err != nil {
+		return err
+	}
+	if st.winUsage, err = loadVectors(r, st.winUsage); err != nil {
+		return err
+	}
+	if st.winUtil, err = loadVectors(r, st.winUtil); err != nil {
+		return err
+	}
+	st.winSaturated = r.Bool()
+	st.winTicks = r.Int()
+	st.winStale = r.Int()
+	st.haveSensed = r.Bool()
+	st.sensed.sli = r.F64()
+	st.sensed.mean = r.F64()
+	st.sensed.p99 = r.F64()
+	st.sensed.tput = r.F64()
+	st.sensed.offered = r.F64()
+	st.sensed.usage = resource.LoadVector(r)
+	st.sensed.util = resource.LoadVector(r)
+	st.lastObserve = r.Dur()
+	st.migrateDebt = r.Int()
+	st.wasViolated = r.Bool()
+	st.decisionAt = r.Dur()
+	st.decisionSpan = r.U64()
+	st.noise.Burn(r.U64())
+	st.chaosRNG.Burn(r.U64())
+	st.rc.contrib = r.Int()
+	st.rc.ok = false
+	return r.Err()
+}
+
+// CkptSave serialises the cluster's full mutable state. Must be called
+// at a tick barrier (no tick in progress); the facade's checkpoint
+// timer guarantees that.
+func (c *Cluster) CkptSave(w *ckpt.Writer) {
+	c.syncPodUsage()
+	w.Begin("cluster")
+	w.Int(c.cfg.Shards)
+	w.U64(c.podSeq)
+	w.U64(c.delaySeq)
+
+	keys := make([]string, 0, len(c.pendingApply))
+	for k := range c.pendingApply {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Int(len(keys))
+	for _, k := range keys {
+		pa := c.pendingApply[k]
+		w.Str(k)
+		w.Str(pa.app)
+		w.Int(pa.d.Replicas)
+		pa.d.Alloc.CkptSave(w)
+	}
+
+	w.Int(len(c.nodeList))
+	for _, n := range c.nodeList {
+		w.Str(n.Name)
+		w.U64(n.Meta.ResourceVersion)
+		w.Bool(n.Ready)
+		n.Allocated.CkptSave(w)
+		n.Usage.CkptSave(w)
+	}
+
+	w.Int(len(c.appList))
+	for _, st := range c.appList {
+		c.saveAppState(w, st)
+	}
+
+	w.Int(len(c.byName))
+	for _, p := range c.byName {
+		savePod(w, p)
+	}
+
+	w.U64(c.events.dropped)
+	evs := c.events.snapshot()
+	w.Int(len(evs))
+	for _, e := range evs {
+		w.Dur(e.At)
+		w.Str(e.Kind)
+		w.Str(e.Object)
+		w.Str(e.Message)
+	}
+
+	w.Dur(c.lastTick.At)
+	w.Int(c.lastTick.RegistryFaults)
+	w.Int(c.lastTick.BindFailures)
+	w.Int(c.lastTick.SamplesDropped)
+	w.Int(c.lastTick.SamplesStale)
+
+	w.Bool(c.hot != nil)
+	if c.hot != nil {
+		w.Dur(c.hot.lastPhaseAt)
+	}
+
+	c.met.CkptSave(w)
+	w.U64(c.store.Version())
+}
+
+// CkptLoad restores state written by CkptSave into a freshly
+// constructed cluster with identical configuration and topology (same
+// nodes, same services; the initial replicas the fresh construction
+// created are discarded and the checkpoint's pod set injected).
+// reattach supplies the completion callback for restored task pods —
+// the world restorer routes each pod to its owning batch runner or HPC
+// queue. A nil reattach leaves task callbacks unset (tests only).
+func (c *Cluster) CkptLoad(r *ckpt.Reader, reattach func(p *PodObject) (func(string, bool), error)) error {
+	r.Begin("cluster")
+	if shards := r.Int(); r.Err() == nil && shards != c.cfg.Shards {
+		return fmt.Errorf("cluster: ckpt: checkpoint has %d shards, this world %d", shards, c.cfg.Shards)
+	}
+	c.podSeq = r.U64()
+	c.delaySeq = r.U64()
+
+	npa := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if npa < 0 || npa > maxCkptItems {
+		return fmt.Errorf("cluster: ckpt: delayed-apply count %d out of range", npa)
+	}
+	c.pendingApply = make(map[string]delayedApply, npa)
+	for i := 0; i < npa; i++ {
+		k := r.Str()
+		app := r.Str()
+		d := control.Decision{Replicas: r.Int(), Alloc: resource.LoadVector(r)}
+		c.pendingApply[k] = delayedApply{app: app, d: d}
+	}
+
+	// Drop the fresh world's pods before patching nodes: releasing a
+	// bound pod rewinds its node's Allocated, which the checkpoint
+	// values below then overwrite. Forget (not Delete) keeps the store
+	// version and watchers out of it — the checkpointed version counter
+	// is restored at the end.
+	for _, p := range append([]*PodObject(nil), c.byName...) {
+		c.release(p)
+		c.indexRemovePod(p)
+		delete(c.pods, p.Name)
+		if err := c.store.Forget(KindPod, p.Name); err != nil {
+			return fmt.Errorf("cluster: ckpt: dropping fresh pod %s: %w", p.Name, err)
+		}
+	}
+
+	nn := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if nn != len(c.nodeList) {
+		return fmt.Errorf("cluster: ckpt: checkpoint has %d nodes, this world %d (topology drift)", nn, len(c.nodeList))
+	}
+	for i := 0; i < nn; i++ {
+		name := r.Str()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		n := c.nodeList[i]
+		if n.Name != name {
+			return fmt.Errorf("cluster: ckpt: node %q, fresh world has %q (topology drift)", name, n.Name)
+		}
+		n.Meta.ResourceVersion = r.U64()
+		n.Ready = r.Bool()
+		n.Allocated = resource.LoadVector(r)
+		n.Usage = resource.LoadVector(r)
+		n.pc.ok = false
+	}
+
+	na := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if na != len(c.appList) {
+		return fmt.Errorf("cluster: ckpt: checkpoint has %d services, this world %d (topology drift)", na, len(c.appList))
+	}
+	for i := 0; i < na; i++ {
+		if err := c.loadAppState(r, c.appList[i]); err != nil {
+			return err
+		}
+	}
+
+	np := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if np < 0 || np > maxCkptItems {
+		return fmt.Errorf("cluster: ckpt: pod count %d out of range", np)
+	}
+	for i := 0; i < np; i++ {
+		p, err := loadPod(r)
+		if err != nil {
+			return err
+		}
+		if p.Task != nil && reattach != nil {
+			fn, err := reattach(p)
+			if err != nil {
+				return err
+			}
+			p.Task.OnDone = fn
+		}
+		if _, dup := c.pods[p.Name]; dup {
+			return fmt.Errorf("cluster: ckpt: duplicate pod %s", p.Name)
+		}
+		c.pods[p.Name] = p
+		c.byName = podInsert(c.byName, p, byNameLess)
+		if !p.IsTask() {
+			c.byApp[p.App] = podInsert(c.byApp[p.App], p, byCreationLess)
+		}
+		switch {
+		case p.Node != "":
+			c.byNode[p.Node] = podInsert(c.byNode[p.Node], p, byNameLess)
+		case p.Phase == Pending:
+			c.pending = podInsert(c.pending, p, pendingLess)
+		}
+		if err := c.store.Inject(p); err != nil {
+			return fmt.Errorf("cluster: ckpt: injecting pod %s: %w", p.Name, err)
+		}
+	}
+
+	dropped := r.U64()
+	ne := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if ne < 0 || ne > eventLogCapacity {
+		return fmt.Errorf("cluster: ckpt: event count %d out of range", ne)
+	}
+	c.events = eventLog{}
+	for i := 0; i < ne; i++ {
+		c.events.add(Event{At: r.Dur(), Kind: r.Str(), Object: r.Str(), Message: r.Str()})
+	}
+	c.events.dropped = dropped
+
+	c.lastTick = TickResult{
+		At:             r.Dur(),
+		RegistryFaults: r.Int(),
+		BindFailures:   r.Int(),
+		SamplesDropped: r.Int(),
+		SamplesStale:   r.Int(),
+	}
+
+	if r.Bool() {
+		if c.hot == nil {
+			return fmt.Errorf("cluster: ckpt: checkpoint is sharded, this world is not")
+		}
+		c.hot.lastPhaseAt = r.Dur()
+		c.hot.usageStale = false
+	} else if c.hot != nil {
+		return fmt.Errorf("cluster: ckpt: checkpoint is unsharded, this world is sharded")
+	}
+
+	if err := c.met.CkptLoad(r); err != nil {
+		return err
+	}
+	c.store.SetVersion(r.U64())
+	return r.Err()
+}

@@ -197,6 +197,12 @@ type Cluster struct {
 	events  eventLog
 	tracer  *obs.Tracer
 
+	// Delayed-actuation bookkeeping (ckpt.go): chaos-delayed decision
+	// applies still in flight, keyed by a monotonic sequence so a
+	// checkpoint can rebuild their timers. Empty when chaos is off.
+	delaySeq     uint64
+	pendingApply map[string]delayedApply
+
 	// chaos is the optional fault injector on the sensor/actuation paths
 	// (nil when off); lastTick accumulates the faults absorbed since the
 	// most recent tick began (see faults.go).
@@ -231,6 +237,8 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 		byApp:  make(map[string][]*PodObject),
 		snap:   sched.NewSnapshot(),
 		tracer: obs.Nop(),
+
+		pendingApply: make(map[string]delayedApply),
 	}
 	if cfg.Shards > 1 {
 		c.initShards(cfg.Shards, cfg.ShardWorkers)
@@ -463,6 +471,7 @@ func (c *Cluster) Start() {
 		return
 	}
 	c.started = true
+	c.eng.TagNext("tick", "")
 	c.eng.Every(c.cfg.MetricsInterval, c.tick)
 }
 

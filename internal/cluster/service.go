@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"evolve/internal/chaos"
@@ -167,7 +168,14 @@ func (c *Cluster) chaoticApply(st *appState, d control.Decision, v chaos.ActVerd
 				NewReplicas: d.Replicas, NewAlloc: d.Alloc,
 			})
 		}
-		c.eng.After(v.Delay, func() { _ = c.applyDecision(st, d) })
+		key := strconv.FormatUint(c.delaySeq, 10)
+		c.delaySeq++
+		c.pendingApply[key] = delayedApply{app: app, d: d}
+		c.eng.TagNext("act-delay", key)
+		c.eng.After(v.Delay, func() {
+			delete(c.pendingApply, key)
+			_ = c.applyDecision(st, d)
+		})
 		return nil
 	default: // partial
 		frac := v.Partial

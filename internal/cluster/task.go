@@ -125,13 +125,8 @@ func (c *Cluster) armTaskCompletion(p *PodObject) {
 	p.Usage = p.Requests
 	name := p.Name
 	boundAt := p.BoundAt
-	c.eng.After(d, func() {
-		cur, ok := c.pods[name]
-		if !ok || cur.Phase != Running || cur.BoundAt != boundAt {
-			return // pod was evicted/restarted meanwhile
-		}
-		c.completeTask(cur)
-	})
+	c.eng.TagNext("task", taskTimerArg(name, boundAt))
+	c.eng.After(d, c.taskCompletionFn(name, boundAt))
 }
 
 // KillTask evicts a pending or running task pod; its OnDone callback

@@ -2,6 +2,7 @@ package control
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"evolve/internal/obs"
@@ -35,9 +36,16 @@ type RetryConfig struct {
 	Base time.Duration
 	// Cap bounds the backoff. Default 30s.
 	Cap time.Duration
-	// Jitter is the ± fraction applied to each backoff. Default 0.25.
+	// Jitter is the ± fraction applied to each backoff. Zero takes the
+	// default 0.25; a negative value (see JitterNone) selects an
+	// explicit zero-jitter ladder for deterministic retry timing.
 	Jitter float64
 }
+
+// JitterNone is the RetryConfig.Jitter sentinel for "no jitter at all".
+// The zero value of Jitter means "use the default", so an explicit
+// zero-jitter ladder needs a distinct representation.
+const JitterNone = -1.0
 
 // DefaultRetryConfig returns the standard backoff ladder: 2s, 4s, 8s
 // (±25%), then abandon.
@@ -91,9 +99,26 @@ type Loop struct {
 	// recovery transition can record the whole episode as one span.
 	degradedSince map[string]time.Duration
 
+	// pendingRetries mirrors the in-flight retry timers, keyed by the
+	// unique tag each retry event carries, so a checkpoint can rebuild
+	// the retry closures on restore. Entries are removed when their
+	// event fires (superseded or not).
+	pendingRetries map[string]retryEntry
+	retrySeq       uint64
+
 	stats   LoopStats
 	onFatal func(error)
 	started bool
+	killed  bool   // Kill'd by a ctrl-crash window, awaiting Restart
+	cancel  func() // stops the periodic step (armed by Start/Restart)
+}
+
+// retryEntry is the rebuildable description of one scheduled retry.
+type retryEntry struct {
+	app     string
+	d       Decision
+	attempt int
+	gen     uint64
 }
 
 // NewLoop builds a loop over the plant. Call Add for every app, then
@@ -111,8 +136,11 @@ func NewLoop(eng *sim.Engine, plant Plant, cfg LoopConfig) *Loop {
 	if cfg.Retry.Cap <= 0 {
 		cfg.Retry.Cap = DefaultRetryConfig().Cap
 	}
-	if cfg.Retry.Jitter <= 0 {
+	if cfg.Retry.Jitter == 0 {
 		cfg.Retry.Jitter = DefaultRetryConfig().Jitter
+	} else if cfg.Retry.Jitter < 0 {
+		// JitterNone (or any negative sentinel): explicit zero jitter.
+		cfg.Retry.Jitter = 0
 	}
 	return &Loop{
 		eng:   eng,
@@ -121,15 +149,16 @@ func NewLoop(eng *sim.Engine, plant Plant, cfg LoopConfig) *Loop {
 		// The loop RNG must not fork from the engine: forking draws from
 		// the engine stream and would shift every downstream component's
 		// randomness, breaking seed-compatibility with pre-loop runs.
-		rng:           sim.NewRNG(cfg.Seed ^ 0x6c6f6f70), // "loop"
-		tracer:        obs.Nop(),
-		ctrl:          make(map[string]*Hardened),
-		lastDecision:  make(map[string]Decision),
-		prevAdapts:    make(map[string]int),
-		lastRationale: make(map[string]string),
-		retryGen:      make(map[string]uint64),
-		degradedSince: make(map[string]time.Duration),
-		onFatal:       func(err error) { panic(err) },
+		rng:            sim.NewRNG(cfg.Seed ^ 0x6c6f6f70), // "loop"
+		tracer:         obs.Nop(),
+		ctrl:           make(map[string]*Hardened),
+		lastDecision:   make(map[string]Decision),
+		prevAdapts:     make(map[string]int),
+		lastRationale:  make(map[string]string),
+		retryGen:       make(map[string]uint64),
+		degradedSince:  make(map[string]time.Duration),
+		pendingRetries: make(map[string]retryEntry),
+		onFatal:        func(err error) { panic(err) },
 	}
 }
 
@@ -188,7 +217,43 @@ func (l *Loop) Start() {
 		return
 	}
 	l.started = true
-	l.eng.Every(l.cfg.Interval, l.step)
+	l.eng.TagNext("loop", "")
+	l.cancel = l.eng.Every(l.cfg.Interval, l.step)
+}
+
+// Kill stops the loop mid-run — the ctrl-crash chaos kind's model of the
+// controller process dying. The periodic step is cancelled and every
+// outstanding retry is superseded (its timer fires as a no-op): in-
+// flight decisions are lost exactly as they would be with the process.
+// The controllers' state survives in memory only so the harness can
+// measure against it; a real restart comes from a checkpoint via
+// Restart.
+func (l *Loop) Kill() {
+	if !l.started || l.killed {
+		return
+	}
+	l.killed = true
+	if l.cancel != nil {
+		l.cancel()
+	}
+	for app := range l.retryGen {
+		l.retryGen[app]++
+	}
+}
+
+// Killed reports whether the loop is down pending Restart.
+func (l *Loop) Killed() bool { return l.killed }
+
+// Restart re-arms the periodic step after Kill — the controller process
+// coming back up. Callers restore checkpointed controller state first
+// (LoadState); the first step fires one interval after the restart.
+func (l *Loop) Restart() {
+	if !l.started || !l.killed {
+		return
+	}
+	l.killed = false
+	l.eng.TagNext("loop", "")
+	l.cancel = l.eng.Every(l.cfg.Interval, l.step)
 }
 
 // step runs one control period over every app, in the plant's (sorted)
@@ -295,7 +360,12 @@ func (l *Loop) actuate(app string, d Decision, attempt int, gen uint64) {
 			Detail: fmt.Sprintf("attempt %d failed (%v); retrying in %v", attempt+1, err, backoff),
 		})
 	}
+	key := strconv.FormatUint(l.retrySeq, 10)
+	l.retrySeq++
+	l.pendingRetries[key] = retryEntry{app: app, d: d, attempt: attempt, gen: gen}
+	l.eng.TagNext("retry", key)
 	l.eng.After(backoff, func() {
+		delete(l.pendingRetries, key)
 		if l.retryGen[app] != gen {
 			return // superseded by a newer decision
 		}

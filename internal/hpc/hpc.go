@@ -9,6 +9,7 @@ package hpc
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"evolve/internal/cluster"
@@ -104,8 +105,29 @@ type Queue struct {
 // queue retries dispatch on every cluster tick.
 func NewQueue(c *cluster.Cluster, policy Policy) *Queue {
 	q := &Queue{c: c, policy: policy, lookahead: 8, all: make(map[string]*jobState)}
+	c.Engine().TagNext("hpc-dispatch", "")
 	c.Engine().Every(c.Config().MetricsInterval, q.Dispatch)
 	return q
+}
+
+// ReattachRank returns the completion callback for a restored rank pod.
+// The attempt number is recovered from the pod name's suffix (the job
+// name itself is supplied by the cluster's task record, so the parse is
+// unambiguous); callbacks from superseded attempts stay inert exactly as
+// they would have in the original run.
+func (q *Queue) ReattachRank(pod, job string) (func(string, bool), error) {
+	js, ok := q.all[job]
+	if !ok {
+		return nil, fmt.Errorf("hpc: rank pod %s references unknown job %s", pod, job)
+	}
+	suffix := strings.TrimPrefix(pod, job)
+	var attempt, rank int
+	if _, err := fmt.Sscanf(suffix, "-a%d-rank%d", &attempt, &rank); err != nil {
+		return nil, fmt.Errorf("hpc: rank pod %s has unparseable suffix %q: %v", pod, suffix, err)
+	}
+	return func(_ string, failed bool) {
+		q.rankDone(js, attempt, failed)
+	}, nil
 }
 
 // OnJobDone installs a completion callback (wait = queue time,

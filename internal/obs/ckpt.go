@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"fmt"
+
+	"evolve/internal/ckpt"
+)
+
+// SaveControlTrace writes a controller decision decomposition; the
+// controllers' StateSaver implementations carry their lastTrace through
+// checkpoints with it.
+func SaveControlTrace(w *ckpt.Writer, t ControlTrace) {
+	w.Str(t.Stage)
+	w.F64(t.UtilTarget)
+	w.Int(t.Adaptations)
+	w.Int(t.FlooredKinds)
+	for _, term := range t.Terms {
+		w.F64(term.Err)
+		w.F64(term.P)
+		w.F64(term.I)
+		w.F64(term.D)
+		w.F64(term.Out)
+		w.Bool(term.Clamped)
+	}
+	for _, g := range t.Gains {
+		w.F64(g.Kp)
+		w.F64(g.Ki)
+		w.F64(g.Kd)
+	}
+}
+
+// LoadControlTrace reads a ControlTrace written by SaveControlTrace.
+func LoadControlTrace(r *ckpt.Reader) ControlTrace {
+	var t ControlTrace
+	t.Stage = r.Str()
+	t.UtilTarget = r.F64()
+	t.Adaptations = r.Int()
+	t.FlooredKinds = r.Int()
+	for k := range t.Terms {
+		t.Terms[k] = PIDTerm{Err: r.F64(), P: r.F64(), I: r.F64(), D: r.F64(), Out: r.F64(), Clamped: r.Bool()}
+	}
+	for k := range t.Gains {
+		t.Gains[k] = GainSet{Kp: r.F64(), Ki: r.F64(), Kd: r.F64()}
+	}
+	return t
+}
+
+func saveLatHist(w *ckpt.Writer, h *LatencyHistogram) {
+	w.Str(h.Name)
+	w.Int(len(h.Counts))
+	for _, c := range h.Counts {
+		w.U64(c)
+	}
+	w.U64(h.Count)
+	w.F64(h.Sum)
+	w.F64(h.Max)
+	w.U64(h.Exemplar)
+}
+
+// loadLatHist reads a histogram written by saveLatHist into h, which
+// must already carry the right bounds (bounds are configuration: the
+// tracer's built-in kinds and phase histograms share package defaults).
+func loadLatHist(r *ckpt.Reader, h *LatencyHistogram) error {
+	name := r.Str()
+	n := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if h.Counts == nil {
+		// A phase histogram materialised on first use: reconstruct it.
+		*h = NewLatencyHistogram(name, DefaultWallBuckets)
+	}
+	if n != len(h.Counts) {
+		return fmt.Errorf("obs: ckpt: histogram %s has %d buckets, checkpoint %d", h.Name, len(h.Counts), n)
+	}
+	if name != h.Name {
+		return fmt.Errorf("obs: ckpt: histogram name %q, checkpoint %q", h.Name, name)
+	}
+	for i := range h.Counts {
+		h.Counts[i] = r.U64()
+	}
+	h.Count = r.U64()
+	h.Sum = r.F64()
+	h.Max = r.F64()
+	h.Exemplar = r.U64()
+	return r.Err()
+}
+
+// CkptSave writes the tracer's full state: both rings (as the same JSONL
+// encoding the sinks receive — it round-trips exactly), sequence and
+// drop counters, and the latency histograms. Sinks and their latched
+// errors are caller-owned wiring and deliberately excluded.
+func (t *Tracer) CkptSave(w *ckpt.Writer) {
+	w.Begin("tracer")
+	w.Bool(t.Enabled())
+	if !t.Enabled() {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w.Int(len(t.buf))
+	w.U64(t.seq)
+	w.U64(t.dropped)
+	var n int
+	if t.wrapped {
+		n = len(t.buf)
+	} else {
+		n = t.next
+	}
+	w.Int(n)
+	var enc []byte
+	emit := func(evs []Event) {
+		for i := range evs {
+			enc = AppendJSON(enc[:0], &evs[i])
+			w.Bytes(enc)
+		}
+	}
+	if t.wrapped {
+		emit(t.buf[t.next:])
+	}
+	emit(t.buf[:t.next])
+
+	w.Int(len(t.spans))
+	w.U64(t.spanSeq)
+	w.U64(t.spanDropped)
+	if t.spanWrapped {
+		n = len(t.spans)
+	} else {
+		n = t.spanNext
+	}
+	w.Int(n)
+	emitSpans := func(sps []Span) {
+		for i := range sps {
+			enc = AppendSpanJSON(enc[:0], &sps[i])
+			w.Bytes(enc)
+		}
+	}
+	if t.spanWrapped {
+		emitSpans(t.spans[t.spanNext:])
+	}
+	emitSpans(t.spans[:t.spanNext])
+
+	for k := range t.lat {
+		saveLatHist(w, &t.lat[k])
+	}
+	w.Int(len(t.phase))
+	for i := range t.phase {
+		present := t.phase[i].Counts != nil
+		w.Bool(present)
+		if present {
+			saveLatHist(w, &t.phase[i])
+		}
+	}
+}
+
+// CkptLoad restores state written by CkptSave into a tracer constructed
+// with the same capacity. The ring is rebuilt in canonical rotation
+// (oldest at index 0) — rotation is unobservable through Snapshot and
+// subsequent records. Sinks should be attached after the load.
+func (t *Tracer) CkptLoad(r *ckpt.Reader) error {
+	r.Begin("tracer")
+	enabled := r.Bool()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if enabled != t.Enabled() {
+		return fmt.Errorf("obs: ckpt: tracer enabled=%v, checkpoint %v", t.Enabled(), enabled)
+	}
+	if !enabled {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c := r.Int(); c != len(t.buf) {
+		return fmt.Errorf("obs: ckpt: event ring capacity %d, checkpoint %d", len(t.buf), c)
+	}
+	t.seq = r.U64()
+	t.dropped = r.U64()
+	n := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n < 0 || n > len(t.buf) {
+		return fmt.Errorf("obs: ckpt: event count %d exceeds ring %d", n, len(t.buf))
+	}
+	for i := range t.buf {
+		t.buf[i] = Event{}
+	}
+	for i := 0; i < n; i++ {
+		ev, err := ParseEvent(r.Bytes())
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if err != nil {
+			return err
+		}
+		t.buf[i] = ev
+	}
+	t.wrapped = n == len(t.buf)
+	if t.wrapped {
+		t.next = 0
+	} else {
+		t.next = n
+	}
+
+	if c := r.Int(); c != len(t.spans) {
+		return fmt.Errorf("obs: ckpt: span ring capacity %d, checkpoint %d", len(t.spans), c)
+	}
+	t.spanSeq = r.U64()
+	t.spanDropped = r.U64()
+	n = r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n < 0 || n > len(t.spans) {
+		return fmt.Errorf("obs: ckpt: span count %d exceeds ring %d", n, len(t.spans))
+	}
+	for i := range t.spans {
+		t.spans[i] = Span{}
+	}
+	for i := 0; i < n; i++ {
+		sp, err := ParseSpan(r.Bytes())
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if err != nil {
+			return err
+		}
+		t.spans[i] = sp
+	}
+	t.spanWrapped = n == len(t.spans)
+	if t.spanWrapped {
+		t.spanNext = 0
+	} else {
+		t.spanNext = n
+	}
+
+	for k := range t.lat {
+		if err := loadLatHist(r, &t.lat[k]); err != nil {
+			return err
+		}
+	}
+	np := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if np < 0 || np > 1<<16 {
+		return fmt.Errorf("obs: ckpt: phase histogram count %d out of range", np)
+	}
+	t.phase = t.phase[:0]
+	for i := 0; i < np; i++ {
+		t.phase = append(t.phase, LatencyHistogram{})
+		if r.Bool() {
+			if err := loadLatHist(r, &t.phase[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return r.Err()
+}

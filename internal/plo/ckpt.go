@@ -1,0 +1,45 @@
+package plo
+
+import "evolve/internal/ckpt"
+
+// Checkpoint serialisation. The objective itself is construction-time
+// configuration; only the accumulated violation accounting is state.
+
+// CkptSave writes the tracker's accumulated statistics.
+func (t *Tracker) CkptSave(w *ckpt.Writer) {
+	w.Int(t.samples)
+	w.Int(t.violations)
+	w.Int(t.curRun)
+	w.Int(t.worstRun)
+	w.F64(t.totalErr)
+	if t.burn != nil {
+		w.Bool(true)
+		w.F64(t.burn.budget)
+		w.F64(t.burn.elapsed)
+		w.F64(t.burn.violSec)
+	} else {
+		w.Bool(false)
+	}
+}
+
+// CkptLoad restores the tracker's accumulated statistics. The burn
+// tracker's lazily-created-ness is part of the state: a checkpoint of a
+// tracker that never burned restores to one that still hasn't.
+func (t *Tracker) CkptLoad(r *ckpt.Reader) error {
+	t.samples = r.Int()
+	t.violations = r.Int()
+	t.curRun = r.Int()
+	t.worstRun = r.Int()
+	t.totalErr = r.F64()
+	if r.Bool() {
+		if t.burn == nil {
+			t.burn = &BurnTracker{}
+		}
+		t.burn.budget = r.F64()
+		t.burn.elapsed = r.F64()
+		t.burn.violSec = r.F64()
+	} else {
+		t.burn = nil
+	}
+	return r.Err()
+}

@@ -1,0 +1,43 @@
+package registry
+
+import "fmt"
+
+// Checkpoint-restore hooks. Restoring a world rewinds the store to a
+// snapshot by surgically patching objects: these operations bypass
+// version stamping and watch notification, because the restore path
+// reconstructs watcher-side state (tracer rings, indexes) wholesale
+// afterwards — replaying notifications would double-apply it.
+
+// Version returns the store's current version counter.
+func (s *Store) Version() uint64 { return s.version }
+
+// SetVersion rewinds (or advances) the version counter to v. Restore
+// calls it last, after object surgery, so the post-restore version
+// trajectory continues exactly where the checkpoint left off.
+func (s *Store) SetVersion(v uint64) { s.version = v }
+
+// Inject inserts obj preserving its ResourceVersion, with no version
+// bump and no watch notification. The key must be vacant.
+func (s *Store) Inject(obj Object) error {
+	m := obj.GetMeta()
+	if m.Kind == "" || m.Name == "" {
+		return fmt.Errorf("registry: inject: object must have kind and name, got %q/%q", m.Kind, m.Name)
+	}
+	key := m.Key()
+	if _, ok := s.objects[key]; ok {
+		return &AlreadyExists{key}
+	}
+	s.objects[key] = obj
+	return nil
+}
+
+// Forget removes an object with no watch notification; the silent dual
+// of Inject. Missing keys error, as with Delete.
+func (s *Store) Forget(kind, name string) error {
+	key := kind + "/" + name
+	if _, ok := s.objects[key]; !ok {
+		return &NotFound{key}
+	}
+	delete(s.objects, key)
+	return nil
+}

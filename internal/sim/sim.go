@@ -26,7 +26,8 @@ type event struct {
 	seq  uint64 // tie-breaker: FIFO among events at the same instant
 	fn   func()
 	dead bool
-	gen  uint64 // bumped on recycle; a Canceler only acts on its own generation
+	gen  uint64   // bumped on recycle; a Canceler only acts on its own generation
+	tag  TimerTag // checkpoint identity (see ckpt.go); zero for untagged events
 }
 
 type eventHeap []*event
@@ -61,6 +62,10 @@ type Engine struct {
 	rng     *RNG
 	nsteps  uint64
 	stopped bool
+	// pendingTag, when set via TagNext, is attached to the next scheduled
+	// event and cleared. Checkpointing relies on every long-lived timer
+	// carrying a tag; see ckpt.go.
+	pendingTag TimerTag
 }
 
 // NewEngine returns an engine with virtual time 0 and a deterministic
@@ -103,6 +108,8 @@ func (e *Engine) schedule(t Time, fn func()) *event {
 		ev = &event{}
 	}
 	ev.at, ev.seq, ev.fn, ev.dead = t, e.seq, fn, false
+	ev.tag = e.pendingTag
+	e.pendingTag = TimerTag{}
 	e.seq++
 	e.live++
 	heap.Push(&e.events, ev)
@@ -119,6 +126,7 @@ const freeSlack = 64
 // a high-water mark relative to the live heap.
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
+	ev.tag = TimerTag{}
 	ev.gen++
 	e.free = append(e.free, ev)
 	if max := len(e.events) + freeSlack; len(e.free) > max {
@@ -166,6 +174,9 @@ func (e *Engine) Every(interval time.Duration, fn func()) Canceler {
 		panic("sim: Every interval must be positive")
 	}
 	stopped := false
+	// Capture the pending tag by value so every re-arm carries the same
+	// identity: a periodic timer is one logical timer across firings.
+	tag := e.pendingTag
 	var cur *event // the in-flight re-arm event, so cancel can kill it
 	var curGen uint64
 	var tick func()
@@ -177,6 +188,7 @@ func (e *Engine) Every(interval time.Duration, fn func()) Canceler {
 		if !stopped {
 			// Re-arm through the cancel-free core: a periodic process
 			// allocates nothing per firing.
+			e.pendingTag = tag
 			cur = e.schedule(e.now+interval, tick)
 			curGen = cur.gen
 		}
@@ -219,13 +231,15 @@ func (e *Engine) step() (executed bool) {
 		return false
 	}
 	e.now = next.at
-	// Retire the event before running it: a callback that cancels its
-	// own (already firing) event must not decrement live twice.
+	// Retire and count the event before running it: a callback that
+	// cancels its own (already firing) event must not decrement live
+	// twice, and a callback that checkpoints the clock (the periodic
+	// snapshot timer) must see its own firing in the step count.
 	next.dead = true
 	e.live--
+	e.nsteps++
 	next.fn()
 	e.recycle(next)
-	e.nsteps++
 	return true
 }
 
@@ -342,12 +356,58 @@ func (e *Engine) RunAll() uint64 {
 // workload generators need. It wraps math/rand with an explicit seed so
 // simulations never touch global randomness.
 type RNG struct {
-	r *rand.Rand
+	r    *rand.Rand
+	src  *countSource
+	seed int64
 }
+
+// countSource wraps math/rand's seeded source and counts state steps.
+// Both Int63 and Uint64 advance the generator state exactly once, so the
+// count is the stream position: re-seeding and burning Draws() steps
+// reproduces the stream exactly (see Burn). rand.New takes the Source64
+// path when offered, so values are bit-identical to an unwrapped source.
+type countSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countSource) Seed(seed int64) { c.src.Seed(seed) }
 
 // NewRNG returns a source seeded with seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	src := &countSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &RNG{r: rand.New(src), src: src, seed: seed}
+}
+
+// Seed returns the seed this source was created with.
+func (g *RNG) Seed() int64 { return g.seed }
+
+// Draws returns the number of state steps consumed so far — the stream
+// position a checkpoint records.
+func (g *RNG) Draws() uint64 { return g.src.n }
+
+// Burn advances the source to stream position n (absolute, not
+// relative): a restore seeds a fresh RNG and burns it to the
+// checkpointed Draws. Burning behind the current position panics — it
+// would mean the restored stream silently rewound.
+func (g *RNG) Burn(n uint64) {
+	if n < g.src.n {
+		panic(fmt.Sprintf("sim: RNG Burn(%d) behind current position %d", n, g.src.n))
+	}
+	for g.src.n < n {
+		g.src.n++
+		g.src.src.Uint64()
+	}
 }
 
 // Fork derives an independent child source; use one child per model
