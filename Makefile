@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-sched bench-shard bench-compare bench-obs check fuzz-smoke chaos-soak ckpt-soak
+.PHONY: build test race vet bench bench-json bench-sched bench-shard bench-control bench-compare bench-obs check fuzz-smoke chaos-soak ckpt-soak
 
 build:
 	$(GO) build ./...
@@ -24,10 +24,10 @@ bench:
 # bench-json regenerates the committed BENCH_*.json trajectory record
 # from the full evaluation run (see cmd/evolve-bench). Figure 6 — the
 # kernel scale sweep to 100k nodes / 1M pods — dominates the wall time;
-# BENCH_7.json carries its raw rows (with per-phase breakdown) in the
-# trailing summary line.
+# the trailing summary line carries its raw rows (with per-phase
+# breakdown) plus Figure 12's control-plane rows.
 bench-json:
-	$(GO) run ./cmd/evolve-bench -json > BENCH_7.json
+	$(GO) run ./cmd/evolve-bench -json > BENCH_10.json
 
 # bench-shard is the sharded-kernel regression smoke at CI scale: the
 # first three points of the Figure 6 ladder under shard counts {1, 4},
@@ -39,12 +39,27 @@ bench-shard:
 	$(GO) test ./internal/harness -run 'TestSharded' -count 1 -v
 	$(GO) test ./internal/sim -run 'TestCoordinator|TestBatched|TestProcessEventsAt' -count 1
 
+# bench-control is the control-plane scaling regression smoke at CI
+# scale: the quick Figure 12 ladder under worker counts {1, 4}, plus
+# the suites that pin byte-identical replay across control-plane worker
+# counts and the serial path's allocation budget (the -race variant of
+# the determinism suite runs in the race job).
+bench-control:
+	$(GO) run ./cmd/evolve-bench -json -quick -ctrl-workers 4 -only figure12
+	$(GO) test ./internal/harness -run 'TestCtrlWorkers|TestFigure12' -count 1 -v
+	$(GO) test ./internal/control -run 'TestLoopWorkersDeterministic|TestControlEvalAllocs' -count 1
+	$(GO) test ./internal/sched -run 'TestScheduleBatch|TestDisjointCandidates' -count 1
+	$(GO) test ./internal/cluster -run 'TestDrainBatched' -count 1
+
 # bench-compare guards the committed scale trajectory: the current
-# record's rows must not regress ms_per_tick or shard speedup by more
-# than 15% against the previous PR's record on matching
-# (nodes, pods, shards) points.
+# record's kernel rows must not regress ms_per_tick or shard speedup —
+# nor its control-plane rows ms_per_period or worker speedup — by more
+# than 15% against the previous PR's record on matching points. Serial
+# rows fail on absolute ms; parallel rows fail when both ms and
+# within-record speedup regress (the checks disagreeing means the
+# shared serial baseline moved, not the row — see cmd/bench-compare).
 bench-compare:
-	$(GO) run ./cmd/bench-compare -old BENCH_6.json -new BENCH_7.json
+	$(GO) run ./cmd/bench-compare -old BENCH_7.json -new BENCH_10.json
 
 # bench-sched is the scheduler hot-path regression smoke: the sched
 # benchmarks at a fixed iteration count (so -benchtime noise cannot mask

@@ -1,24 +1,42 @@
-// Command bench-compare diffs the kernel scale rows of two committed
-// bench trajectory records (BENCH_*.json): it matches rows on
-// (nodes, pods, shards) and fails — exit 1 — when the new record
-// regresses ms_per_tick or shard speedup by more than the tolerance.
-// CI runs it after regenerating the quick ladder so a shard-scaling
-// regression fails the PR instead of silently landing in the record.
+// Command bench-compare diffs the scale rows of two committed bench
+// trajectory records (BENCH_*.json): kernel rows are matched on
+// (nodes, pods, shards) and control-plane rows on (apps, pods,
+// ctrl_workers), and the run fails — exit 1 — when the new record
+// regresses ms_per_tick, ms_per_period or speedup by more than the
+// tolerance. CI runs it after regenerating the quick ladders so a
+// scaling regression fails the PR instead of silently landing in the
+// record.
 //
 // Usage:
 //
 //	bench-compare -old BENCH_6.json -new BENCH_7.json [-tolerance 0.15]
 //
 // Rows present on only one side are reported but never fail the run:
-// ladders legitimately grow and shrink between PRs, and absolute wall
-// times only compare within one machine anyway.
+// ladders legitimately grow and shrink between PRs, old records predate
+// whole row families (kernel rows arrived with figure6, control-plane
+// rows with figure12), and absolute wall times only compare within one
+// machine anyway.
+//
+// Serial rows (1 shard / 1 worker) fail on the absolute ms check
+// alone. Parallel rows fail only when BOTH the absolute ms check and
+// the within-record speedup check regress: speedup is a ratio against
+// the same record's serial baseline, so the two checks disagreeing is
+// exactly the signature of the shared baseline having moved between
+// records (machine drift, or a serial-path change) — dividing the two
+// speedups then compares different denominators and would misattribute
+// the baseline shift to the parallel row. A genuine parallel-path
+// regression slows the row both absolutely and relative to its own
+// baseline, failing both checks; a genuine serial-path regression
+// fails the serial row directly.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"sort"
 )
@@ -36,19 +54,37 @@ type scaleRow struct {
 	RoundsPerTick float64 `json:"rounds_per_tick"`
 }
 
+// ctrlRow mirrors harness.CtrlScaleRow (records from PR 10 on).
+type ctrlRow struct {
+	Apps        int     `json:"apps"`
+	Pods        int     `json:"pods"`
+	Workers     int     `json:"ctrl_workers"`
+	MSPerPeriod float64 `json:"ms_per_period"`
+	EvalMS      float64 `json:"eval_ms"`
+	ApplyMS     float64 `json:"apply_ms"`
+	Speedup     float64 `json:"speedup"`
+}
+
 type pointKey struct{ Nodes, Pods, Shards int }
 
-// readScale extracts the scale rows from a bench record: a JSONL stream
-// whose summary line carries them under "scale".
-func readScale(path string) (map[pointKey]scaleRow, error) {
+type ctrlKey struct{ Apps, Pods, Workers int }
+
+// readRecord extracts the kernel and control-plane scale rows from a
+// bench record: a JSONL stream whose summary line carries them under
+// "scale" and "ctrl_scale".
+func readRecord(path string) (map[pointKey]scaleRow, map[ctrlKey]ctrlRow, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil, fmt.Errorf("baseline record %s does not exist — generate it on the base revision with `make bench-json` (or point -old at the last committed BENCH_*.json)", path)
+		}
+		return nil, nil, err
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	rows := map[pointKey]scaleRow{}
+	ctrl := map[ctrlKey]ctrlRow{}
 	found := false
 	for sc.Scan() {
 		line := sc.Bytes()
@@ -56,11 +92,12 @@ func readScale(path string) (map[pointKey]scaleRow, error) {
 			continue
 		}
 		var rec struct {
-			ID    string     `json:"id"`
-			Scale []scaleRow `json:"scale"`
+			ID        string     `json:"id"`
+			Scale     []scaleRow `json:"scale"`
+			CtrlScale []ctrlRow  `json:"ctrl_scale"`
 		}
 		if err := json.Unmarshal(line, &rec); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
 		}
 		if rec.ID != "summary" {
 			continue
@@ -69,38 +106,72 @@ func readScale(path string) (map[pointKey]scaleRow, error) {
 		for _, row := range rec.Scale {
 			rows[pointKey{row.Nodes, row.Pods, row.Shards}] = row
 		}
+		for _, row := range rec.CtrlScale {
+			ctrl[ctrlKey{row.Apps, row.Pods, row.Workers}] = row
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if !found {
-		return nil, fmt.Errorf("%s: no summary line", path)
+		return nil, nil, fmt.Errorf("%s: no summary line — was it written with `evolve-bench -json`?", path)
 	}
-	return rows, nil
+	return rows, ctrl, nil
 }
 
 func main() {
 	oldPath := flag.String("old", "", "baseline bench record (e.g. BENCH_6.json)")
 	newPath := flag.String("new", "", "candidate bench record (e.g. BENCH_7.json)")
-	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional regression in ms_per_tick and speedup")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional regression in ms_per_tick, ms_per_period and speedup")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "bench-compare: -old and -new are required")
 		os.Exit(2)
 	}
 
-	oldRows, err := readScale(*oldPath)
+	oldRows, oldCtrl, err := readRecord(*oldPath)
 	if err != nil {
 		fatal(err)
 	}
-	newRows, err := readScale(*newPath)
+	newRows, newCtrl, err := readRecord(*newPath)
 	if err != nil {
 		fatal(err)
 	}
-	if len(newRows) == 0 {
-		fatal(fmt.Errorf("%s carries no scale rows", *newPath))
+	if len(newRows) == 0 && len(newCtrl) == 0 {
+		fatal(fmt.Errorf("%s carries no scale rows — run evolve-bench with figure6 and/or figure12 selected", *newPath))
 	}
 
+	failures := 0
+	compared := 0
+	if len(newRows) > 0 && len(oldRows) == 0 {
+		fmt.Printf("note: %s carries no kernel scale rows (pre-figure6 record?); skipping the kernel comparison\n", *oldPath)
+	}
+	if len(newRows) > 0 {
+		f, c := compareKernel(oldRows, newRows, *newPath, *tolerance)
+		failures += f
+		compared += c
+	}
+	if len(newCtrl) > 0 && len(oldCtrl) == 0 {
+		fmt.Printf("note: %s carries no control-plane scale rows (pre-figure12 record?); skipping the control-plane comparison\n", *oldPath)
+	}
+	if len(newCtrl) > 0 {
+		f, c := compareCtrl(oldCtrl, newCtrl, *tolerance)
+		failures += f
+		compared += c
+	}
+	if compared == 0 {
+		fatal(fmt.Errorf("no comparable rows between %s and %s (ladders share no points)", *oldPath, *newPath))
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "bench-compare: %d row(s) regressed beyond %.0f%%\n", failures, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("bench-compare: %d row(s) within %.0f%% tolerance\n", compared, *tolerance*100)
+}
+
+// compareKernel diffs the figure6 kernel rows; returns (failures,
+// compared).
+func compareKernel(oldRows, newRows map[pointKey]scaleRow, newPath string, tolerance float64) (int, int) {
 	keys := make([]pointKey, 0, len(newRows))
 	for key := range newRows {
 		keys = append(keys, key)
@@ -115,8 +186,7 @@ func main() {
 		}
 		return a.Shards < b.Shards
 	})
-	failures := 0
-	compared := 0
+	failures, compared := 0, 0
 	for _, key := range keys {
 		nw := newRows[key]
 		old, ok := oldRows[key]
@@ -126,34 +196,89 @@ func main() {
 			continue
 		}
 		compared++
-		status := "ok  "
-		if old.MSPerTick > 0 && nw.MSPerTick > old.MSPerTick*(1+*tolerance) {
-			status = "FAIL"
-			failures++
-		} else if old.Speedup > 0 && nw.Speedup < old.Speedup/(1+*tolerance) {
-			status = "FAIL"
+		msBad := old.MSPerTick > 0 && nw.MSPerTick > old.MSPerTick*(1+tolerance)
+		spBad := old.Speedup > 0 && nw.Speedup < old.Speedup/(1+tolerance)
+		status, note := verdict(key.Shards > 1, msBad, spBad, "1-shard")
+		if status == "FAIL" {
 			failures++
 		}
-		fmt.Printf("%s  %6d nodes %8d pods %2d shards: %8.3f -> %8.3f ms/tick (%+.1f%%), speedup %.2fx -> %.2fx\n",
+		fmt.Printf("%s  %6d nodes %8d pods %2d shards: %8.3f -> %8.3f ms/tick (%+.1f%%), speedup %.2fx -> %.2fx%s\n",
 			status, key.Nodes, key.Pods, key.Shards,
 			old.MSPerTick, nw.MSPerTick, 100*(nw.MSPerTick-old.MSPerTick)/old.MSPerTick,
-			old.Speedup, nw.Speedup)
+			old.Speedup, nw.Speedup, note)
 	}
 	for key := range oldRows {
 		if _, ok := newRows[key]; !ok {
 			fmt.Printf("GONE  %6d nodes %8d pods %2d shards: row absent from %s\n",
-				key.Nodes, key.Pods, key.Shards, *newPath)
+				key.Nodes, key.Pods, key.Shards, newPath)
 		}
 	}
 	printLatencySummary(keys, newRows)
-	if compared == 0 {
-		fatal(fmt.Errorf("no comparable rows between %s and %s", *oldPath, *newPath))
+	return failures, compared
+}
+
+// compareCtrl diffs the figure12 control-plane rows on ms_per_period
+// and speedup; returns (failures, compared).
+func compareCtrl(oldCtrl, newCtrl map[ctrlKey]ctrlRow, tolerance float64) (int, int) {
+	keys := make([]ctrlKey, 0, len(newCtrl))
+	for key := range newCtrl {
+		keys = append(keys, key)
 	}
-	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "bench-compare: %d row(s) regressed beyond %.0f%%\n", failures, *tolerance*100)
-		os.Exit(1)
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Apps != b.Apps {
+			return a.Apps < b.Apps
+		}
+		if a.Pods != b.Pods {
+			return a.Pods < b.Pods
+		}
+		return a.Workers < b.Workers
+	})
+	failures, compared := 0, 0
+	fmt.Printf("\ncontrol plane (figure12):\n")
+	for _, key := range keys {
+		nw := newCtrl[key]
+		old, ok := oldCtrl[key]
+		if !ok {
+			fmt.Printf("NEW   %5d apps %8d pods %2d workers: %.3f ms/period (eval %.3f, apply %.3f; no baseline row)\n",
+				key.Apps, key.Pods, key.Workers, nw.MSPerPeriod, nw.EvalMS, nw.ApplyMS)
+			continue
+		}
+		compared++
+		msBad := old.MSPerPeriod > 0 && nw.MSPerPeriod > old.MSPerPeriod*(1+tolerance)
+		spBad := old.Speedup > 0 && nw.Speedup < old.Speedup/(1+tolerance)
+		status, note := verdict(key.Workers > 1, msBad, spBad, "1-worker")
+		if status == "FAIL" {
+			failures++
+		}
+		fmt.Printf("%s  %5d apps %8d pods %2d workers: %8.3f -> %8.3f ms/period (%+.1f%%), speedup %.2fx -> %.2fx%s\n",
+			status, key.Apps, key.Pods, key.Workers,
+			old.MSPerPeriod, nw.MSPerPeriod, 100*(nw.MSPerPeriod-old.MSPerPeriod)/old.MSPerPeriod,
+			old.Speedup, nw.Speedup, note)
 	}
-	fmt.Printf("bench-compare: %d row(s) within %.0f%% tolerance\n", compared, *tolerance*100)
+	return failures, compared
+}
+
+// verdict decides a row's status from its two checks. Serial rows are
+// judged on absolute ms alone (their speedup is identically 1). A
+// parallel row fails only when ms and speedup agree it regressed: the
+// speedup ratio factors as baselineDrift × msImprovement, so when the
+// two checks disagree the discrepancy lives in the serial baseline the
+// speedups share, not in this row — the note says which way.
+func verdict(parallel, msBad, spBad bool, baseName string) (string, string) {
+	switch {
+	case !parallel:
+		if msBad {
+			return "FAIL", ""
+		}
+	case msBad && spBad:
+		return "FAIL", ""
+	case spBad:
+		return "ok  ", fmt.Sprintf("  (speedup shift tracks the %s baseline; ms within tolerance)", baseName)
+	case msBad:
+		return "ok  ", fmt.Sprintf("  (ms shift tracks the %s baseline; speedup within tolerance)", baseName)
+	}
+	return "ok  ", ""
 }
 
 // printLatencySummary renders the candidate record's tick-latency tail:

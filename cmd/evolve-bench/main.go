@@ -49,9 +49,12 @@ type benchOpts struct {
 	quick       bool // reduced figure6 ladder (the CI scale)
 	scalePoints int  // truncate the figure6 ladder to its first N points (0 = all)
 
+	ctrlWorkers int // worker counts to sweep in figure12: 0 = {1,2,4,8}, N = {1,N}
+
 	// scaleRows collects figure6's raw per-run rows for the -json
-	// summary and BENCH_7.json.
+	// summary and BENCH_7.json; ctrlRows the same for figure12.
 	scaleRows []harness.ScaleRow
+	ctrlRows  []harness.CtrlScaleRow
 }
 
 // scaleConfig resolves the figure6 sweep from the flags.
@@ -59,6 +62,18 @@ func (o *benchOpts) scaleConfig(seed int64) harness.ScaleConfig {
 	cfg := harness.DefaultScaleConfig(seed, o.quick)
 	if o.shards > 0 {
 		cfg.Shards = []int{1, o.shards}
+	}
+	if o.scalePoints > 0 && o.scalePoints < len(cfg.Points) {
+		cfg.Points = cfg.Points[:o.scalePoints]
+	}
+	return cfg
+}
+
+// ctrlScaleConfig resolves the figure12 sweep from the flags.
+func (o *benchOpts) ctrlScaleConfig(seed int64) harness.CtrlScaleConfig {
+	cfg := harness.DefaultCtrlScaleConfig(seed, o.quick)
+	if o.ctrlWorkers > 0 {
+		cfg.Workers = []int{1, o.ctrlWorkers}
 	}
 	if o.scalePoints > 0 && o.scalePoints < len(cfg.Points) {
 		cfg.Points = cfg.Points[:o.scalePoints]
@@ -103,6 +118,11 @@ func items(opts *benchOpts) []item {
 		fig("figure9", harness.Figure9),
 		fig("figure10", harness.Figure10),
 		fig("figure11", harness.Figure11),
+		fig("figure12", func(r *harness.Runner, seed int64) (*harness.Figure, error) {
+			f, rows, err := harness.Figure12(r, opts.ctrlScaleConfig(seed))
+			opts.ctrlRows = rows
+			return f, err
+		}),
 	}
 }
 
@@ -131,6 +151,10 @@ type summary struct {
 	// counts per (topology, shard count) run — when figure6 was selected.
 	Shards int                `json:"shards"`
 	Scale  []harness.ScaleRow `json:"scale,omitempty"`
+	// CtrlScale holds figure12's raw rows — ms per control period split
+	// into eval/apply per (fleet, worker count) run — when figure12 was
+	// selected.
+	CtrlScale []harness.CtrlScaleRow `json:"ctrl_scale,omitempty"`
 	// ScaleHits counts figure6 rows served from the -scale-cache
 	// directory instead of being re-run.
 	ScaleHits uint64 `json:"scale_hits,omitempty"`
@@ -178,12 +202,13 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	shards := flag.Int("shards", 0, "figure6: sweep shard counts {1,N} instead of the default {1,4,8}")
+	ctrlWorkers := flag.Int("ctrl-workers", 0, "figure12: sweep control-plane worker counts {1,N} instead of the default {1,2,4,8}")
 	quick := flag.Bool("quick", false, "figure6: reduced topology ladder (the CI scale)")
 	scalePoints := flag.Int("scale-points", 0, "figure6: truncate the ladder to its first N points (0 = full ladder)")
 	scaleCache := flag.String("scale-cache", "", "directory for the content-addressed figure6 row cache (keyed on binary hash + run parameters; omit to always re-run)")
 	flag.Parse()
 
-	opts := &benchOpts{shards: *shards, quick: *quick, scalePoints: *scalePoints}
+	opts := &benchOpts{shards: *shards, quick: *quick, scalePoints: *scalePoints, ctrlWorkers: *ctrlWorkers}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -300,6 +325,7 @@ func main() {
 			SchedIndex:       measureSchedIndex(),
 			Shards:           *shards,
 			Scale:            opts.scaleRows,
+			CtrlScale:        opts.ctrlRows,
 			ScaleHits:        st.ScaleHits,
 			EffectiveWorkers: effWorkers,
 		}); err != nil {

@@ -98,6 +98,20 @@ type Options struct {
 	// concurrently (0 = GOMAXPROCS, 1 = serial rounds). Identical
 	// results at any value.
 	ShardWorkers int
+	// CtrlWorkers shards the control plane: each control period's
+	// read-only evaluate phase (observe → decide per app) fans out over
+	// this many workers, and the pending-backlog drain batches
+	// independent placements. Decisions are applied serially in
+	// canonical app order, so runs are byte-identical at any value; 0 or
+	// 1 keeps the exact serial control step. Worth enabling at hundreds
+	// of services and up.
+	CtrlWorkers int
+	// DebugPprof mounts net/http/pprof under /debug/pprof/ on the
+	// Handler mux so control-period profiles can be captured from a live
+	// process. Off by default: the profiling endpoints expose stacks and
+	// binary internals, which not every deployment wants on its debug
+	// port.
+	DebugPprof bool
 }
 
 // PoolOptions declares one labeled node pool; its nodes carry the label
@@ -277,6 +291,7 @@ func New(opts Options) (*Cluster, error) {
 	ccfg.ScoreWorkers = opts.ScoreWorkers
 	ccfg.Shards = opts.Shards
 	ccfg.ShardWorkers = opts.ShardWorkers
+	ccfg.DrainWorkers = opts.CtrlWorkers
 	c := cluster.New(eng, ccfg)
 	if len(opts.Pools) > 0 {
 		for _, pool := range opts.Pools {
@@ -309,7 +324,7 @@ func New(opts Options) (*Cluster, error) {
 		runner:  batch.NewRunner(c),
 		ctrl:    make(map[string]control.Controller),
 		factory: factory,
-		loop:    control.NewLoop(eng, c, control.LoopConfig{Interval: opts.ControlInterval, Seed: opts.Seed}),
+		loop:    control.NewLoop(eng, c, control.LoopConfig{Interval: opts.ControlInterval, Seed: opts.Seed, Workers: opts.CtrlWorkers}),
 
 		tracer: obs.Nop(),
 	}

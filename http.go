@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"sort"
 	"strconv"
@@ -33,6 +34,9 @@ import (
 //	                        pod's path to readiness instead
 //	GET /debug/controllers  per-app controller state as JSON: policy,
 //	                        rationale, last decision, PID decomposition
+//	GET /debug/pprof/       net/http/pprof profiling endpoints; mounted
+//	                        only when Options.DebugPprof is set (or
+//	                        evolve-sim -pprof), 404 otherwise
 //
 // Unknown or malformed query parameters on the /debug routes return 400
 // with a usage message rather than an empty 200.
@@ -168,8 +172,25 @@ func (cl *Cluster) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	if cl.opts.DebugPprof {
+		// Mount the pprof handlers explicitly instead of importing the
+		// package for its DefaultServeMux side effect: the endpoints stay
+		// off this mux — and off any process embedding the library —
+		// unless the option asks for them.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
+
+// EnablePprof opts subsequently built Handlers into the net/http/pprof
+// mounts (the same switch as Options.DebugPprof, for callers — like
+// `evolve-sim -pprof -config` — that build the cluster from a source
+// without the option).
+func (cl *Cluster) EnablePprof() { cl.opts.DebugPprof = true }
 
 // traceFilter parses /debug/trace query parameters into an obs.Filter.
 func traceFilter(r *http.Request) (obs.Filter, error) {

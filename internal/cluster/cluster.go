@@ -52,6 +52,12 @@ type Config struct {
 	// cross-shard mail mid-timestamp, so results are byte-identical in
 	// either mode; off reproduces the PR 6 round protocol exactly.
 	BatchedRounds bool
+	// DrainWorkers opts the pending-backlog scheduling drain into batched
+	// placement: pods whose feasibility-index candidate prefixes are
+	// provably disjoint are scored concurrently on the shared worker pool
+	// and committed in queue order. 0 or 1 keeps the exact serial per-pod
+	// loop. Placements are byte-identical either way (see sched.ScheduleBatch).
+	DrainWorkers int
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -173,6 +179,8 @@ type Cluster struct {
 	scratchQueue []*PodObject
 	scratchRun   []*PodObject
 	nodeUpd      []registry.Object // sharded path: buffered node updates
+	batchPods    []sched.PodInfo   // drain batching: current batch's views
+	batchRes     []sched.BatchResult
 	h            *clusterHandles
 
 	// Sharded kernel (nil / empty on the single-engine path). co drives
@@ -208,6 +216,15 @@ type Cluster struct {
 	// most recent tick began (see faults.go).
 	chaos    *chaos.Injector
 	lastTick TickResult
+
+	// Control-period actuation batch (service.go): while the control
+	// loop's serial apply walk is inside Begin/EndActuationBatch, the
+	// per-decision largest-node cap is served from this cache instead of
+	// rescanning nodeList per app. Topology and readiness cannot change
+	// within one engine event, so the cached vector is bit-exact.
+	ctrlBatch     bool
+	ctrlBiggest   resource.Vector
+	ctrlBiggestOK bool
 }
 
 // New builds a cluster on the given engine.
@@ -613,58 +630,159 @@ func (c *Cluster) schedulePending() {
 	if len(c.pending) == 0 {
 		return
 	}
+	var t0 time.Time
+	if c.phases != nil {
+		t0 = time.Now()
+	}
 	queue := append(c.scratchQueue[:0], c.pending...)
 	c.scratchQueue = queue
 	c.refreshSnapshot()
-	for _, p := range queue {
-		info := sched.PodInfo{Name: p.Name, App: p.App, Requests: p.Requests, Priority: p.Priority, NodeSelector: p.NodeSelector}
-		nodeName, err := c.sch.ScheduleOn(info, c.snap)
-		if err == nil {
-			if berr := c.bind(p, nodeName); berr != nil {
-				// The node vanished between the placement decision and the
-				// bind (mid-round failure). Absorb the fault, rebuild the
-				// snapshot without the dead node, and leave the pod pending.
-				c.bindFault(p, nodeName, berr)
-				c.refreshSnapshot()
-				continue
-			}
-			c.snap.Commit(nodeName, info)
-			continue
-		}
-		c.met.Counter("sched/unschedulable").Inc()
-		if c.tracer.Enabled() {
-			// Rejections are rare (the pod stays pending) so the error
-			// formatting stays off the steady-state path.
-			c.tracer.Record(obs.Event{
-				At: c.now(), Kind: obs.KindSched, Verb: obs.VerbReject,
-				App: p.App, Object: p.Name, Detail: err.Error(), Alloc: p.Requests,
-			})
-		}
-		if p.Priority <= 0 {
-			continue
-		}
-		if plan := c.sch.Preempt(info, c.snap.Nodes()); plan != nil {
-			for _, victim := range plan.Victims {
-				if vp, ok := c.pods[victim]; ok {
-					c.evict(vp, "preempted")
-				}
-			}
-			c.met.Counter("sched/preemptions").Inc()
-			c.recordEvent("preemption", p.Name, "evicted %v on %s", plan.Victims, plan.Node)
-			if c.tracer.Enabled() {
-				c.tracer.Record(obs.Event{
-					At: c.now(), Kind: obs.KindSched, Verb: obs.VerbPreempt,
-					App: p.App, Object: p.Name, Node: plan.Node,
-					Detail: fmt.Sprintf("victims %v", plan.Victims),
-				})
-			}
-			if berr := c.bind(p, plan.Node); berr != nil {
-				c.bindFault(p, plan.Node, berr)
-			}
-			// Evictions touched several nodes; rebuild rather than patch.
-			c.refreshSnapshot()
+	if c.cfg.DrainWorkers > 1 {
+		c.drainBatched(queue)
+	} else {
+		for _, p := range queue {
+			c.schedOne(p)
 		}
 	}
+	if c.phases != nil {
+		c.phases.Add(perf.PhaseSchedDrain, time.Since(t0).Nanoseconds())
+	}
+}
+
+// schedOne is the serial per-pod placement step of the drain: schedule,
+// bind, patch the snapshot; absorb bind faults; on rejection count it,
+// trace it, and try priority preemption.
+func (c *Cluster) schedOne(p *PodObject) {
+	info := sched.PodInfo{Name: p.Name, App: p.App, Requests: p.Requests, Priority: p.Priority, NodeSelector: p.NodeSelector}
+	nodeName, err := c.sch.ScheduleOn(info, c.snap)
+	if err == nil {
+		if berr := c.bind(p, nodeName); berr != nil {
+			// The node vanished between the placement decision and the
+			// bind (mid-round failure). Absorb the fault, rebuild the
+			// snapshot without the dead node, and leave the pod pending.
+			c.bindFault(p, nodeName, berr)
+			c.refreshSnapshot()
+			return
+		}
+		c.snap.Commit(nodeName, info)
+		return
+	}
+	c.met.Counter("sched/unschedulable").Inc()
+	if c.tracer.Enabled() {
+		// Rejections are rare (the pod stays pending) so the error
+		// formatting stays off the steady-state path.
+		c.tracer.Record(obs.Event{
+			At: c.now(), Kind: obs.KindSched, Verb: obs.VerbReject,
+			App: p.App, Object: p.Name, Detail: err.Error(), Alloc: p.Requests,
+		})
+	}
+	if p.Priority <= 0 {
+		return
+	}
+	if plan := c.sch.Preempt(info, c.snap.Nodes()); plan != nil {
+		for _, victim := range plan.Victims {
+			if vp, ok := c.pods[victim]; ok {
+				c.evict(vp, "preempted")
+			}
+		}
+		c.met.Counter("sched/preemptions").Inc()
+		c.recordEvent("preemption", p.Name, "evicted %v on %s", plan.Victims, plan.Node)
+		if c.tracer.Enabled() {
+			c.tracer.Record(obs.Event{
+				At: c.now(), Kind: obs.KindSched, Verb: obs.VerbPreempt,
+				App: p.App, Object: p.Name, Node: plan.Node,
+				Detail: fmt.Sprintf("victims %v", plan.Victims),
+			})
+		}
+		if berr := c.bind(p, plan.Node); berr != nil {
+			c.bindFault(p, plan.Node, berr)
+		}
+		// Evictions touched several nodes; rebuild rather than patch.
+		c.refreshSnapshot()
+	}
+}
+
+// drainBatched walks the queue like the serial loop but, where a run of
+// consecutive pods has pairwise-disjoint candidate prefixes in the
+// feasibility index, scores them concurrently through
+// sched.ScheduleBatch before binding in queue order. Disjointness
+// proves each member's feasible set is untouched by the others'
+// commits, so the chosen nodes — and every bind-side event, counter,
+// and latency sample, emitted in the same queue order — are
+// byte-identical to the serial walk. Any non-OK result or bind fault
+// abandons the rest of its batch and the pod re-enters the exact
+// serial step, reproducing unschedulable messages and preemption
+// behaviour against the same committed state a serial walk would see.
+func (c *Cluster) drainBatched(queue []*PodObject) {
+	i := 0
+	for i < len(queue) {
+		n := c.batchRun(queue[i:])
+		if n < 2 {
+			c.schedOne(queue[i])
+			i++
+			continue
+		}
+		batch := c.batchPods[:n]
+		if cap(c.batchRes) < n {
+			c.batchRes = make([]sched.BatchResult, n)
+		}
+		res := c.batchRes[:n]
+		c.sch.ScheduleBatch(batch, c.snap, res)
+		done := 0
+		for j := 0; j < n; j++ {
+			if !res[j].OK {
+				// Unschedulable through the batch: stop here and let the
+				// serial step replay it for the exact error and preemption.
+				break
+			}
+			p := queue[i+j]
+			if berr := c.bind(p, res[j].Node); berr != nil {
+				c.bindFault(p, res[j].Node, berr)
+				c.refreshSnapshot()
+				// The fault invalidated the batch's pre-scored results;
+				// the remaining members re-enter the loop fresh.
+				done = j + 1
+				break
+			}
+			c.snap.Commit(res[j].Node, batch[j])
+			done = j + 1
+		}
+		if done == 0 {
+			// First member failed: place it serially so progress is made.
+			c.schedOne(queue[i])
+			done = 1
+		}
+		i += done
+	}
+}
+
+// batchRun measures the longest prefix of queue whose members have
+// pairwise-disjoint candidate prefixes, filling c.batchPods with their
+// scheduler views. Bounded by resource.NumKinds: same-kind prefixes
+// nest, so disjoint members necessarily index through different
+// resource kinds.
+func (c *Cluster) batchRun(queue []*PodObject) int {
+	limit := len(queue)
+	if limit > int(resource.NumKinds) {
+		limit = int(resource.NumKinds)
+	}
+	pods := c.batchPods[:0]
+	for _, p := range queue[:limit] {
+		info := sched.PodInfo{Name: p.Name, App: p.App, Requests: p.Requests, Priority: p.Priority, NodeSelector: p.NodeSelector}
+		disjoint := true
+		for j := range pods {
+			if !c.snap.DisjointCandidates(&pods[j], &info) {
+				disjoint = false
+				break
+			}
+		}
+		if !disjoint {
+			break
+		}
+		pods = append(pods, info)
+	}
+	c.batchPods = pods
+	return len(pods)
 }
 
 // refreshSnapshot rebuilds the reusable scheduling snapshot (and its

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"evolve/internal/perf"
+	"evolve/internal/plo"
+	"evolve/internal/resource"
+	"evolve/internal/sim"
+)
+
+// drainService builds a service whose replicas request the given
+// allocation — the knob that polarizes its candidate prefix.
+func drainService(name string, replicas int, alloc resource.Vector) ServiceSpec {
+	return ServiceSpec{
+		Name: name,
+		Model: perf.ServiceModel{
+			BaseLatency:      2 * time.Millisecond,
+			DemandPerOp:      resource.New(10, 0, 20e3, 50e3),
+			MemFixed:         64 << 20,
+			MemPerConcurrent: 4 << 20,
+			MaxLatency:       30 * time.Second,
+		},
+		PLO:             plo.Latency(100 * time.Millisecond),
+		InitialReplicas: replicas,
+		InitialAlloc:    alloc,
+		MaxReplicas:     replicas + 2,
+		Priority:        100,
+	}
+}
+
+// drainPlacements stands up a polarized topology — CPU-rich/memory-poor
+// nodes next to memory-rich/CPU-poor ones — and interleaves CPU-bound
+// and memory-bound services so the pending queue alternates flavors
+// with disjoint candidate prefixes. It drains under the given worker
+// count and returns every pod's placement plus the batch call count.
+func drainPlacements(t *testing.T, workers int) (string, uint64) {
+	t.Helper()
+	eng := sim.NewEngine(17)
+	cfg := DefaultConfig()
+	cfg.MeasurementNoise = 0
+	cfg.DrainWorkers = workers
+	c := New(eng, cfg)
+	for i := 0; i < 6; i++ {
+		if err := c.AddNode(fmt.Sprintf("cpu-%02d", i), resource.New(64000, 8<<30, 1e9, 2e9)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddNode(fmt.Sprintf("mem-%02d", i), resource.New(2000, 256<<30, 1e9, 2e9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := c.CreateService(drainService(fmt.Sprintf("cpu-svc-%d", i), 2,
+			resource.New(16000, 1<<30, 1e6, 1e6))); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CreateService(drainService(fmt.Sprintf("mem-svc-%d", i), 2,
+			resource.New(500, 64<<30, 1e6, 1e6))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SchedulePendingNow()
+	var b strings.Builder
+	for _, p := range c.Pods() {
+		fmt.Fprintf(&b, "%s->%s;", p.Meta.Name, p.Node)
+	}
+	fmt.Fprintf(&b, "pending=%d", len(c.PendingPods()))
+	return b.String(), c.Scheduler().Stats().BatchCalls
+}
+
+// TestDrainBatchedMatchesSerial: the batched backlog drain must place
+// every pod exactly where the serial loop places it, and must actually
+// engage (BatchCalls > 0) on the polarized workload built for it.
+func TestDrainBatchedMatchesSerial(t *testing.T) {
+	want, serialBatches := drainPlacements(t, 1)
+	if serialBatches != 0 {
+		t.Errorf("serial drain made %d batch calls, want 0", serialBatches)
+	}
+	if !strings.Contains(want, "pending=0") {
+		t.Fatalf("serial drain left pods pending: %s", want)
+	}
+	for _, workers := range []int{2, 4} {
+		got, batches := drainPlacements(t, workers)
+		if got != want {
+			t.Errorf("workers=%d: placements diverged\n got: %s\nwant: %s", workers, got, want)
+		}
+		if batches == 0 {
+			t.Errorf("workers=%d: batch drain never engaged on the polarized queue", workers)
+		}
+	}
+}

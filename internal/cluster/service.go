@@ -142,6 +142,22 @@ func (c *Cluster) ApplyDecision(app string, d control.Decision) error {
 	return c.applyDecision(st, d)
 }
 
+// BeginActuationBatch implements control.BatchActuator: the control
+// loop brackets its serial apply walk with Begin/End so per-decision
+// work that is invariant for the whole step event can be computed once.
+// Today that is the largest-ready-node allocatable cap — O(nodes) per
+// decision serially, O(nodes) per control period batched. Topology and
+// readiness cannot change inside one engine event, so the cached value
+// is bit-exact; chaos-delayed applies and loop retries fire outside the
+// window and recompute against the live world.
+func (c *Cluster) BeginActuationBatch() {
+	c.ctrlBatch = true
+	c.ctrlBiggest, c.ctrlBiggestOK = c.largestNodeAllocatable()
+}
+
+// EndActuationBatch closes the window opened by BeginActuationBatch.
+func (c *Cluster) EndActuationBatch() { c.ctrlBatch = false }
+
 // chaoticApply carries out an actuation under an injected fault verdict:
 // reject it (transient error, the loop retries), delay it, or apply only
 // a fraction of the decision's delta.
@@ -206,8 +222,13 @@ func (c *Cluster) applyDecision(st *appState, d control.Decision) error {
 	}
 	// A per-replica allocation larger than the biggest ready node can
 	// host would create permanently unschedulable pods; clamp it, the
-	// way an admission LimitRange would.
-	if biggest, ok := c.largestNodeAllocatable(); ok {
+	// way an admission LimitRange would. Inside an actuation batch the
+	// cap was computed once for the whole control period.
+	biggest, ok := c.ctrlBiggest, c.ctrlBiggestOK
+	if !c.ctrlBatch {
+		biggest, ok = c.largestNodeAllocatable()
+	}
+	if ok {
 		capped := d.Alloc.Min(biggest)
 		if capped != d.Alloc {
 			c.met.Counter("resize/node-capped").Inc()
@@ -254,13 +275,25 @@ func (c *Cluster) applyDecision(st *appState, d control.Decision) error {
 		pods = pods[:len(pods)-1]
 	}
 
-	// Vertical: in-place resize where headroom allows.
+	// Vertical: in-place resize where headroom allows. A replica already
+	// at the desired allocation is left untouched: with Free() >= 0 on
+	// every dimension the grant would be exactly the current requests, so
+	// the resize is a no-op — skipping it avoids re-deriving the node's
+	// Allocated sum (and its float dust) plus two registry updates per
+	// steady-state replica per period.
 	throttled := false
 	for _, p := range pods {
 		if p.Phase == Pending {
-			p.Requests = d.Alloc
-			c.update(p)
+			if p.Requests != d.Alloc {
+				p.Requests = d.Alloc
+				c.update(p)
+			}
 			continue
+		}
+		if p.Requests == d.Alloc {
+			if _, ok := c.nodes[p.Node]; ok {
+				continue
+			}
 		}
 		granted := c.resizeInPlace(p, d.Alloc)
 		if !granted {

@@ -144,6 +144,21 @@ func TraceDecision(tr *obs.Tracer, o Observation, d Decision, c Controller, prev
 	if !tr.Enabled() {
 		return prevAdapts
 	}
+	ev, adapts := decideEvent(o, d, c, prevAdapts)
+	tr.Record(ev)
+	if adapts > prevAdapts {
+		tr.Record(adaptEvent(ev))
+	}
+	return adapts
+}
+
+// decideEvent builds the "decide" trace event for one control step and
+// returns it with the controller's adaptation count (prevAdapts when the
+// controller is not Traceable). Pure value construction — no tracer
+// access, no controller mutation beyond the Rationale/DecisionTrace
+// reads — so the parallel evaluate phase can call it from workers and
+// hand the events to the serial apply phase for recording.
+func decideEvent(o Observation, d Decision, c Controller, prevAdapts int) (obs.Event, int) {
 	ev := obs.Event{
 		At:          o.Now,
 		Kind:        obs.KindControl,
@@ -169,18 +184,20 @@ func TraceDecision(tr *obs.Tracer, o Observation, d Decision, c Controller, prev
 		ev.Ctrl = t.DecisionTrace()
 		adapts = ev.Ctrl.Adaptations
 	}
-	tr.Record(ev)
-	if adapts > prevAdapts {
-		tr.Record(obs.Event{
-			At:      o.Now,
-			Kind:    obs.KindGain,
-			Verb:    obs.VerbAdapt,
-			App:     o.App,
-			HasCtrl: ev.HasCtrl,
-			Ctrl:    ev.Ctrl,
-		})
+	return ev, adapts
+}
+
+// adaptEvent derives the gain-adaptation event that accompanies a decide
+// event whose adaptation count advanced.
+func adaptEvent(ev obs.Event) obs.Event {
+	return obs.Event{
+		At:      ev.At,
+		Kind:    obs.KindGain,
+		Verb:    obs.VerbAdapt,
+		App:     ev.App,
+		HasCtrl: ev.HasCtrl,
+		Ctrl:    ev.Ctrl,
 	}
-	return adapts
 }
 
 // IsTransient reports whether an actuation error is retryable: the error

@@ -3,9 +3,12 @@ package control
 import (
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"evolve/internal/obs"
+	"evolve/internal/par"
+	"evolve/internal/perf"
 	"evolve/internal/sim"
 )
 
@@ -61,9 +64,48 @@ type LoopConfig struct {
 	// simulation engine's streams, so retries (which only happen under
 	// faults) never perturb fault-free runs.
 	Seed int64
+	// Workers fans the read-only evaluate phase of each control period
+	// (observe → harden → decide → trace-fragment construction) out over
+	// that many concurrent workers, partitioning apps with sim.ShardOf.
+	// The apply phase (stats, tracer records, actuation, retries) stays
+	// serial in canonical app order, so runs are byte-identical at any
+	// value. 0 or 1 keeps the exact serial step. Workers is configuration,
+	// not state: checkpoints ignore it and a restored loop uses whatever
+	// the restoring process configured.
+	Workers int
 	// Harden and Retry take defaults when zero.
 	Harden HardenConfig
 	Retry  RetryConfig
+}
+
+// BatchActuator is optionally implemented by plants that can amortise
+// per-decision work across one control period's apply phase. The loop
+// brackets the parallel-eval apply walk with Begin/End; everything the
+// plant caches inside the window must be invariant for the duration of
+// the step event (the simulated world cannot change mid-event), so
+// results stay byte-identical. Retries and chaos-delayed applies fire
+// outside the window and see the live world.
+type BatchActuator interface {
+	BeginActuationBatch()
+	EndActuationBatch()
+}
+
+// CtrlTiming accumulates control-period wall time, split into the
+// evaluate fan-out and the serial apply walk. Serial (Workers<=1) loops
+// attribute the whole step to ApplyNs. Wall-clock observation only —
+// never part of the simulated state.
+type CtrlTiming struct {
+	Periods uint64
+	EvalNs  int64
+	ApplyNs int64
+}
+
+// MSPerPeriod returns the mean wall milliseconds per control period.
+func (t *CtrlTiming) MSPerPeriod() float64 {
+	if t.Periods == 0 {
+		return 0
+	}
+	return float64(t.EvalNs+t.ApplyNs) / float64(t.Periods) / 1e6
 }
 
 // LoopStats counts what the loop did.
@@ -106,11 +148,56 @@ type Loop struct {
 	pendingRetries map[string]retryEntry
 	retrySeq       uint64
 
+	// Parallel-eval scratch (stepSharded): the per-period eval tuples in
+	// canonical app order, the per-worker index partitions, and the
+	// reusable pool jobs. All reused across periods.
+	evalBuf    []ctrlEval
+	evalGroups [][]int32
+	evalJobs   []evalJob
+
+	// timing/phases are wall-clock observation hooks (EnableTiming /
+	// SetPhases); both nil by default so the serial step stays untouched.
+	timing *CtrlTiming
+	phases *perf.PhaseBreakdown
+
 	stats   LoopStats
 	onFatal func(error)
 	started bool
 	killed  bool   // Kill'd by a ctrl-crash window, awaiting Restart
 	cancel  func() // stops the periodic step (armed by Start/Restart)
+}
+
+// ctrlEval is one app's evaluate-phase result: everything the serial
+// apply walk needs to replay the exact serial step without re-deciding.
+type ctrlEval struct {
+	app    string
+	h      *Hardened
+	o      Observation
+	d      Decision
+	err    error
+	wasDeg bool
+	nowDeg bool
+	// traced is set when the tracer was enabled at eval time; ev/adapts
+	// then carry the pre-built decide event and adaptation count.
+	traced bool
+	adapts int
+	ev     obs.Event
+}
+
+// evalJob runs one worker's partition of the evaluate phase on the
+// shared bounded pool.
+type evalJob struct {
+	l   *Loop
+	idx []int32
+	wg  *sync.WaitGroup
+}
+
+// Run implements par.Job.
+func (j *evalJob) Run() {
+	defer j.wg.Done()
+	for _, i := range j.idx {
+		j.l.evalOne(&j.l.evalBuf[i])
+	}
 }
 
 // retryEntry is the rebuildable description of one scheduled retry.
@@ -211,6 +298,35 @@ func (l *Loop) LastDecision(app string) (Decision, bool) {
 // Stats returns a snapshot of the loop counters.
 func (l *Loop) Stats() LoopStats { return l.stats }
 
+// EnableTiming turns on control-period wall-clock accounting and returns
+// the accumulator (idempotent). Timing wraps the serial step in two
+// time.Now calls; the step body itself is unchanged.
+func (l *Loop) EnableTiming() *CtrlTiming {
+	if l.timing == nil {
+		l.timing = &CtrlTiming{}
+	}
+	return l.timing
+}
+
+// SetPhases mirrors the loop's eval/apply wall time into a shared
+// perf.PhaseBreakdown (the cluster's tick breakdown), so control-period
+// cost shows up next to the tick phases in bench rows. Nil disables.
+func (l *Loop) SetPhases(pb *perf.PhaseBreakdown) { l.phases = pb }
+
+// recordTiming accumulates one period's wall time into the enabled
+// sinks.
+func (l *Loop) recordTiming(evalNs, applyNs int64) {
+	if l.timing != nil {
+		l.timing.Periods++
+		l.timing.EvalNs += evalNs
+		l.timing.ApplyNs += applyNs
+	}
+	if l.phases != nil {
+		l.phases.Add(perf.PhaseCtrlEval, evalNs)
+		l.phases.Add(perf.PhaseCtrlApply, applyNs)
+	}
+}
+
 // Start arms the periodic control step. Idempotent.
 func (l *Loop) Start() {
 	if l.started {
@@ -256,9 +372,30 @@ func (l *Loop) Restart() {
 	l.cancel = l.eng.Every(l.cfg.Interval, l.step)
 }
 
-// step runs one control period over every app, in the plant's (sorted)
-// app order so the decision sequence is deterministic.
+// step runs one control period: the exact serial walk at Workers<=1,
+// the evaluate/apply split otherwise. Both produce byte-identical
+// results; see DESIGN.md "Control-plane sharding & deterministic apply".
 func (l *Loop) step() {
+	if l.cfg.Workers > 1 {
+		l.stepSharded()
+		return
+	}
+	if l.timing == nil && l.phases == nil {
+		l.stepSerial()
+		return
+	}
+	t0 := time.Now()
+	l.stepSerial()
+	// The serial step interleaves evaluation and actuation per app, so
+	// the whole period is attributed to apply.
+	l.recordTiming(0, time.Since(t0).Nanoseconds())
+}
+
+// stepSerial runs one control period over every app, in the plant's
+// (sorted) app order so the decision sequence is deterministic. This is
+// the original single-threaded step, kept verbatim so the 1-worker path
+// holds its allocation budget.
+func (l *Loop) stepSerial() {
 	rec, _ := l.plant.(Recorder)
 	for _, app := range l.plant.Apps() {
 		h, ok := l.ctrl[app]
@@ -289,6 +426,150 @@ func (l *Loop) step() {
 				if r := ex.Rationale(); r != "" && r != l.lastRationale[app] {
 					l.lastRationale[app] = r
 					rec.RecordEvent("autoscale", app, r)
+				}
+			}
+		}
+	}
+}
+
+// stepSharded is the parallel control period: a read-only evaluate
+// fan-out over cfg.Workers partitions (apps assigned by sim.ShardOf, so
+// the partition is stable across runs and worker counts), then a serial
+// apply walk in canonical app order replaying exactly what stepSerial
+// would have done. Evaluation touches only per-app state (the app's
+// observation window, its Hardened wrapper, its controller) and draws no
+// shared RNG, so the tuples are independent of worker scheduling; every
+// order-sensitive effect — stats, tracer records, retry-jitter draws,
+// actuations — happens in the apply walk.
+func (l *Loop) stepSharded() {
+	apps := l.plant.Apps()
+	buf := l.evalBuf[:0]
+	for _, app := range apps {
+		if h, ok := l.ctrl[app]; ok {
+			buf = append(buf, ctrlEval{app: app, h: h})
+		}
+	}
+	l.evalBuf = buf
+	if len(buf) == 0 {
+		return
+	}
+	workers := l.cfg.Workers
+	if workers > len(buf) {
+		workers = len(buf)
+	}
+
+	var t0 time.Time
+	timing := l.timing != nil || l.phases != nil
+	if timing {
+		t0 = time.Now()
+	}
+	if workers <= 1 {
+		for i := range buf {
+			l.evalOne(&buf[i])
+		}
+	} else {
+		for len(l.evalGroups) < workers {
+			l.evalGroups = append(l.evalGroups, nil)
+		}
+		for len(l.evalJobs) < workers {
+			l.evalJobs = append(l.evalJobs, evalJob{l: l})
+		}
+		groups := l.evalGroups[:workers]
+		for w := range groups {
+			groups[w] = groups[w][:0]
+		}
+		for i := range buf {
+			w := sim.ShardOf(buf[i].app, workers)
+			groups[w] = append(groups[w], int32(i))
+		}
+		var wg sync.WaitGroup
+		for w := 1; w < workers; w++ {
+			if len(groups[w]) == 0 {
+				continue
+			}
+			job := &l.evalJobs[w]
+			job.idx, job.wg = groups[w], &wg
+			wg.Add(1)
+			par.Submit(job)
+		}
+		for _, i := range groups[0] {
+			l.evalOne(&buf[i])
+		}
+		wg.Wait()
+	}
+	var evalNs int64
+	if timing {
+		evalNs = time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+	}
+
+	l.applyEvals()
+	if timing {
+		l.recordTiming(evalNs, time.Since(t0).Nanoseconds())
+	}
+}
+
+// evalOne computes one app's evaluate tuple. Called from pool workers:
+// it must only read loop maps (no writes happen during the fan-out) and
+// mutate per-app state.
+func (l *Loop) evalOne(e *ctrlEval) {
+	o, err := l.plant.Observe(e.app)
+	if err != nil {
+		e.err = err
+		return
+	}
+	e.o = o
+	e.wasDeg = e.h.Degraded()
+	e.d = e.h.Decide(o)
+	e.nowDeg = e.h.Degraded()
+	if l.tracer.Enabled() {
+		e.traced = true
+		e.ev, e.adapts = decideEvent(o, e.d, e.h.inner, l.prevAdapts[e.app])
+	}
+}
+
+// applyEvals replays the buffered evaluate tuples serially in canonical
+// app order: the stats, tracer records, health transitions, actuations
+// and retry scheduling land in exactly the sequence stepSerial produces.
+// An observe error surfaces at its canonical position and stops the
+// walk, matching the serial early return (later apps have already been
+// evaluated then — the one divergence from serial, and only on runs
+// that are failing fatally anyway).
+func (l *Loop) applyEvals() {
+	rec, _ := l.plant.(Recorder)
+	if ba, ok := l.plant.(BatchActuator); ok {
+		ba.BeginActuationBatch()
+		defer ba.EndActuationBatch()
+	}
+	for i := range l.evalBuf {
+		e := &l.evalBuf[i]
+		if e.err != nil {
+			l.onFatal(fmt.Errorf("control: observe %s: %w", e.app, e.err))
+			return
+		}
+		l.stats.Decisions++
+		l.lastDecision[e.app] = e.d
+		if e.traced {
+			l.tracer.Record(e.ev)
+			if e.adapts > l.prevAdapts[e.app] {
+				l.tracer.Record(adaptEvent(e.ev))
+			}
+			l.prevAdapts[e.app] = e.adapts
+		}
+		if e.nowDeg != e.wasDeg {
+			l.traceHealth(e.h, e.o, e.wasDeg, rec)
+		}
+		if e.nowDeg {
+			l.stats.DegradedPeriods++
+		}
+		// A new decision supersedes any outstanding retries for the app.
+		l.retryGen[e.app]++
+		l.actuate(e.app, e.d, 0, l.retryGen[e.app])
+		if rec != nil {
+			if ex, ok := e.h.inner.(Explainer); ok {
+				if r := ex.Rationale(); r != "" && r != l.lastRationale[e.app] {
+					l.lastRationale[e.app] = r
+					rec.RecordEvent("autoscale", e.app, r)
 				}
 			}
 		}

@@ -85,6 +85,12 @@ type Scenario struct {
 	// workloads are byte-identical either way; the flag exists so the
 	// determinism suite can pin that.
 	UnbatchedRounds bool
+	// CtrlWorkers shards the control plane: the control period's
+	// evaluate phase fans out over this many workers (control.LoopConfig
+	// Workers) and the scheduling drain batches disjoint placements
+	// (cluster.Config.DrainWorkers). 0 or 1 keeps the exact serial
+	// paths; results are byte-identical at any value.
+	CtrlWorkers int
 }
 
 // Validate reports scenario construction errors.
@@ -252,6 +258,7 @@ func runScenario(sc Scenario, pol Policy, hooks []Hook, tr *obs.Tracer) (*Result
 	ccfg.Shards = sc.Shards
 	ccfg.ShardWorkers = sc.ShardWorkers
 	ccfg.BatchedRounds = !sc.UnbatchedRounds
+	ccfg.DrainWorkers = sc.CtrlWorkers
 	c := cluster.New(eng, ccfg)
 	c.SetTracer(tr)
 	if len(sc.Pools) > 0 {
@@ -337,7 +344,7 @@ func runScenario(sc Scenario, pol Policy, hooks []Hook, tr *obs.Tracer) (*Result
 	// Control loop: the shared hardened driver (degraded-mode wrapper,
 	// retry ladder). On fault-free runs it traces and decides exactly as
 	// the old inline loop did.
-	loop := control.NewLoop(eng, c, control.LoopConfig{Interval: sc.ControlInterval, Seed: sc.Seed})
+	loop := control.NewLoop(eng, c, control.LoopConfig{Interval: sc.ControlInterval, Seed: sc.Seed, Workers: sc.CtrlWorkers})
 	loop.SetTracer(c.Tracer())
 	loop.OnFatal(func(err error) { fail(fmt.Errorf("harness: control: %w", err)) })
 	for name, ctrl := range controllers {

@@ -19,12 +19,19 @@ const (
 	PhaseFlushNodes        // node-side barrier commit + cluster totals
 	PhaseMailbox           // coordinator cross-shard mailbox drains
 	PhaseBarrier           // coordinator wg.Wait in parallel rounds
+	// Control-plane phases (appended so older records' indices hold):
+	// the control period's read-only evaluate fan-out, its serial apply
+	// walk, and the tick-time pending-backlog scheduling drain.
+	PhaseCtrlEval
+	PhaseCtrlApply
+	PhaseSchedDrain
 	NumPhases
 )
 
 // PhaseNames maps phase index to the stable JSON/summary label.
 var PhaseNames = [NumPhases]string{
 	"p1", "p2", "flush_apps", "p3", "flush_nodes", "mailbox", "barrier_wait",
+	"ctrl_eval", "ctrl_apply", "sched_drain",
 }
 
 // parallelPhase reports whether a phase runs sharded (its time lives in

@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"evolve/internal/resource"
+)
+
+// TestScheduleBatchMatchesScheduleOn: a batch is evaluated against one
+// frozen snapshot, so each slot must land exactly where ScheduleOn
+// would have placed that pod alone — same winner, same infeasibility.
+func TestScheduleBatchMatchesScheduleOn(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			batch, solo := New(PolicySpread), New(PolicySpread)
+			snap := NewSnapshot()
+			snap.Reset()
+			for i := 0; i < 60; i++ {
+				snap.AddNode(randNode(rng, i))
+			}
+			snap.Build()
+			for round := 0; round < 50; round++ {
+				n := rng.Intn(int(resource.NumKinds)) + 1
+				pods := make([]PodInfo, n)
+				for j := range pods {
+					pods[j] = randPod(rng, round*8+j)
+				}
+				results := make([]BatchResult, n)
+				batch.ScheduleBatch(pods, snap, results)
+				for j := range pods {
+					want, err := solo.ScheduleOn(pods[j], snap)
+					if results[j].OK != (err == nil) {
+						t.Fatalf("round %d slot %d: batch OK=%v, solo err=%v", round, j, results[j].OK, err)
+					}
+					if results[j].OK && results[j].Node != want {
+						t.Fatalf("round %d slot %d: batch chose %q, solo chose %q", round, j, results[j].Node, want)
+					}
+				}
+			}
+			if batch.Stats().BatchCalls == 0 {
+				t.Error("BatchCalls not counted")
+			}
+		})
+	}
+}
+
+// TestDisjointCandidates cross-checks the disjointness oracle against
+// the literal candidate sets: a true answer must mean an empty
+// intersection, and pods keyed to the same scarcest kind — whose
+// prefixes nest — must always report overlapping.
+func TestDisjointCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	snap := NewSnapshot()
+	snap.Reset()
+	for i := 0; i < 48; i++ {
+		snap.AddNode(randNode(rng, i))
+	}
+	snap.Build()
+	checked, disjoint := 0, 0
+	for i := 0; i < 400; i++ {
+		a, b := randPod(rng, 2*i), randPod(rng, 2*i+1)
+		got := snap.DisjointCandidates(&a, &b)
+		if got != snap.DisjointCandidates(&b, &a) {
+			t.Fatalf("pair %d: DisjointCandidates not symmetric", i)
+		}
+		ca, cb := snap.candidates(&a), snap.candidates(&b)
+		inA := make(map[int32]bool, len(ca))
+		for _, e := range ca {
+			inA[e] = true
+		}
+		overlap := false
+		for _, e := range cb {
+			if inA[e] {
+				overlap = true
+				break
+			}
+		}
+		ka, _ := snap.candidatePrefix(&a)
+		kb, _ := snap.candidatePrefix(&b)
+		if got && overlap {
+			t.Fatalf("pair %d: reported disjoint but candidates intersect", i)
+		}
+		if got && ka == kb {
+			t.Fatalf("pair %d: same-kind prefixes nest, cannot be disjoint", i)
+		}
+		checked++
+		if got {
+			disjoint++
+		}
+	}
+	if checked != 400 {
+		t.Fatalf("checked %d pairs, want 400", checked)
+	}
+	t.Logf("randomized sweep: %d/%d pairs disjoint", disjoint, checked)
+}
+
+// TestDisjointCandidatesPolarized pins the positive case on the
+// topology the batch drain exists for: CPU-rich/memory-poor nodes next
+// to memory-rich/CPU-poor ones, so a CPU-bound pod's candidate prefix
+// (top of the CPU order) and a memory-bound pod's (top of the MEM
+// order) share no node. The oracle must say so — otherwise the batch
+// path is dead code on its motivating workload.
+func TestDisjointCandidatesPolarized(t *testing.T) {
+	snap := NewSnapshot()
+	snap.Reset()
+	for i := 0; i < 8; i++ {
+		snap.AddNode(NodeInfo{
+			Name:        fmt.Sprintf("cpu-%02d", i),
+			Allocatable: resource.New(64000, 8<<30, 1e9, 2e9),
+		})
+		snap.AddNode(NodeInfo{
+			Name:        fmt.Sprintf("mem-%02d", i),
+			Allocatable: resource.New(2000, 256<<30, 1e9, 2e9),
+		})
+	}
+	snap.Build()
+	cpuBound := PodInfo{Name: "cb", App: "a", Requests: resource.New(16000, 1<<30, 1e6, 1e6)}
+	memBound := PodInfo{Name: "mb", App: "b", Requests: resource.New(500, 64<<30, 1e6, 1e6)}
+	if !snap.DisjointCandidates(&cpuBound, &memBound) {
+		t.Fatal("polarized pods reported overlapping")
+	}
+	// And the oracle's claim must be literally true.
+	ca, cb := snap.candidates(&cpuBound), snap.candidates(&memBound)
+	inA := make(map[int32]bool, len(ca))
+	for _, e := range ca {
+		inA[e] = true
+	}
+	for _, e := range cb {
+		if inA[e] {
+			t.Fatalf("candidate sets intersect at %s", snap.nodes[e].Name)
+		}
+	}
+	// Pods keyed to the same scarce kind must stay serial.
+	cpuBound2 := PodInfo{Name: "cb2", App: "c", Requests: resource.New(8000, 1<<30, 1e6, 1e6)}
+	if snap.DisjointCandidates(&cpuBound, &cpuBound2) {
+		t.Fatal("two CPU-bound pods reported disjoint (nested prefixes)")
+	}
+}

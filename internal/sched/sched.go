@@ -364,6 +364,9 @@ type Stats struct {
 	Pruned uint64
 	// ParallelCalls counts placements that used the parallel score fan-out.
 	ParallelCalls uint64
+	// BatchCalls counts placements scored through ScheduleBatch (the
+	// drain's disjoint-candidate batching).
+	BatchCalls uint64
 	// GangCalls and Preempts count the higher-level operations.
 	GangCalls uint64
 	Preempts  uint64
@@ -401,6 +404,8 @@ type Scheduler struct {
 	parRes    []shardBest
 	parJobs   []shardJob
 	parWG     sync.WaitGroup
+	batchJobs []batchJob
+	batchWG   sync.WaitGroup
 	// schedPod/schedInv back the pod and reciprocal-allocatable pointers
 	// handed to plugin interfaces and the fused kernel. Escape analysis
 	// sends indirect-call pointer arguments to the heap; pointing them at

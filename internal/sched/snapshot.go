@@ -263,6 +263,15 @@ func (sn *Snapshot) Stats() SnapshotStats { return sn.stats }
 // the next mutation. A pod with no positive request gets every live
 // entry.
 func (sn *Snapshot) candidates(pod *PodInfo) []int32 {
+	k, n := sn.candidatePrefix(pod)
+	return sn.order[k][:n]
+}
+
+// candidatePrefix locates the pod's candidate set in the feasibility
+// index: the kind whose feasible prefix is shortest, and that prefix's
+// length. A pod with no positive request gets kind 0's whole order
+// (every live entry).
+func (sn *Snapshot) candidatePrefix(pod *PodInfo) (kind, n int) {
 	if !sn.built {
 		sn.Build()
 	}
@@ -289,9 +298,47 @@ func (sn *Snapshot) candidates(pod *PodInfo) []int32 {
 		}
 	}
 	if bestK < 0 {
-		return sn.order[0]
+		return 0, len(sn.order[0])
 	}
-	return sn.order[bestK][:bestLen]
+	return bestK, bestLen
+}
+
+// maxDisjointScan bounds the membership scan in DisjointCandidates: the
+// check is O(shorter prefix), so past this length the answer is a
+// conservative "overlapping" rather than a linear walk per queue pod.
+const maxDisjointScan = 32
+
+// DisjointCandidates reports whether the two pods' candidate prefixes
+// are provably disjoint. Disjoint candidates mean disjoint feasible
+// sets (feasible ⊆ candidates), so committing one pod's placement
+// cannot change which node the other would pick — the licence for
+// scoring both concurrently against the same snapshot and committing
+// in queue order (ScheduleBatch). Conservative: false negatives only.
+//
+// Two prefixes of the same kind's order always nest, so disjoint pods
+// necessarily index through different resource kinds — batches are
+// bounded by resource.NumKinds. An empty prefix (unschedulable pod)
+// reports overlapping so the caller routes it through the serial path
+// and its error message sees the exact committed state.
+func (sn *Snapshot) DisjointCandidates(a, b *PodInfo) bool {
+	ka, na := sn.candidatePrefix(a)
+	kb, nb := sn.candidatePrefix(b)
+	if na == 0 || nb == 0 || ka == kb {
+		return false
+	}
+	if na > nb {
+		ka, na, kb, nb = kb, nb, ka, na
+	}
+	if na > maxDisjointScan {
+		return false
+	}
+	pos := sn.pos[kb]
+	for _, e := range sn.order[ka][:na] {
+		if pos[e] < int32(nb) {
+			return false
+		}
+	}
+	return true
 }
 
 // CheckInvariants verifies the snapshot's internal consistency: cache
